@@ -1,0 +1,37 @@
+// Ablation: the verification-phase early exits (accept once alpha is
+// reached, reject once the remaining mass cannot reach alpha).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace simj;
+  bench::PrintHeader("Ablation: verification early exits (ER)");
+
+  workload::SyntheticConfig config;
+  config.seed = 106;
+  config.num_certain = 100;
+  config.num_uncertain = 100;
+  config.num_vertices = 10;
+  config.num_edges = 16;
+  config.labels_per_vertex = 4;
+  workload::SyntheticDataset data = workload::MakeErDataset(config);
+
+  std::printf("%-18s %6s %14s %10s %10s\n", "mode", "alpha",
+              "verification(s)", "overall(s)", "results");
+  for (double alpha : {0.3, 0.6, 0.9}) {
+    for (bool early_exit : {true, false}) {
+      core::SimJParams params =
+          bench::ParamsFor(bench::JoinConfig::kSimJ, /*tau=*/2, alpha);
+      params.early_exit_verification = early_exit;
+      bench::EfficiencyRow row = bench::RunEfficiency(
+          data.certain, data.uncertain, data.dict, params);
+      std::printf("%-18s %6.1f %14.3f %10.3f %10lld\n",
+                  early_exit ? "early exit" : "full enumeration", alpha,
+                  row.verification_seconds, row.overall_seconds,
+                  static_cast<long long>(row.results));
+    }
+  }
+  return 0;
+}

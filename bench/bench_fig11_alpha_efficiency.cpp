@@ -1,0 +1,53 @@
+// Figure 11: effect of the similarity threshold alpha on (a) response time
+// (pruning / verification / overall, SimJ+opt) and (b) candidate ratio of
+// CSS only / SimJ / SimJ+opt vs the Real ratio (WebQ workload, tau = 1).
+//
+// Paper shape: alpha barely affects pruning time; larger alpha means fewer
+// candidates and lower overall time; SimJ+opt < SimJ < CSS only in
+// candidate ratio; CSS only is alpha-independent.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace simj;
+  bench::PrintHeader("Figure 11: effect of alpha (WebQ-like, tau = 1)");
+
+  bench::QaDataset data = bench::MakeWebQLike();
+  std::printf("|D|=%zu |U|=%zu\n\n", data.sides.d.size(),
+              data.sides.u.size());
+
+  std::printf("(a) response time of SimJ+opt, seconds\n");
+  std::printf("%6s %10s %14s %10s\n", "alpha", "pruning", "verification",
+              "overall");
+  std::vector<bench::EfficiencyRow> opt_rows;
+  for (int step = 1; step <= 9; ++step) {
+    double alpha = 0.1 * step;
+    core::SimJParams params =
+        bench::ParamsFor(bench::JoinConfig::kSimJOpt, /*tau=*/1, alpha);
+    bench::EfficiencyRow row = bench::RunEfficiency(
+        data.sides.d, data.sides.u, data.kb->dict(), params);
+    opt_rows.push_back(row);
+    std::printf("%6.1f %10.3f %14.3f %10.3f\n", alpha, row.pruning_seconds,
+                row.verification_seconds, row.overall_seconds);
+  }
+
+  std::printf("\n(b) candidate ratio (%%)\n");
+  std::printf("%6s %10s %10s %10s %10s\n", "alpha", "CSS only", "SimJ",
+              "SimJ+opt", "Real");
+  for (int step = 1; step <= 9; ++step) {
+    double alpha = 0.1 * step;
+    bench::EfficiencyRow css = bench::RunEfficiency(
+        data.sides.d, data.sides.u, data.kb->dict(),
+        bench::ParamsFor(bench::JoinConfig::kCssOnly, 1, alpha));
+    bench::EfficiencyRow simj = bench::RunEfficiency(
+        data.sides.d, data.sides.u, data.kb->dict(),
+        bench::ParamsFor(bench::JoinConfig::kSimJ, 1, alpha));
+    const bench::EfficiencyRow& opt = opt_rows[step - 1];
+    std::printf("%6.1f %9.3f%% %9.3f%% %9.3f%% %9.3f%%\n", alpha,
+                100.0 * css.candidate_ratio, 100.0 * simj.candidate_ratio,
+                100.0 * opt.candidate_ratio, 100.0 * simj.real_ratio);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12: effect of the GED threshold tau on response time and
+// candidate ratio (ER dataset, alpha = 0.8).
+//
+// Paper shape: overall time and candidate ratios grow with tau;
+// SimJ+opt <= SimJ <= CSS only throughout, converging toward the Real
+// ratio at small tau.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace simj;
+  Flags flags(argc, argv);
+  bench::PrintHeader("Figure 12: effect of tau (ER, alpha = 0.8)");
+
+  workload::SyntheticConfig config;
+  config.seed = flags.GetInt("seed", 100);
+  config.num_certain = static_cast<int>(flags.GetInt("num_certain", 120));
+  config.num_uncertain = static_cast<int>(flags.GetInt("num_uncertain", 120));
+  config.num_vertices = static_cast<int>(flags.GetInt("num_vertices", 10));
+  config.num_edges = static_cast<int>(flags.GetInt("num_edges", 16));
+  config.labels_per_vertex =
+      static_cast<int>(flags.GetInt("labels_per_vertex", 3));
+  workload::SyntheticDataset data = workload::MakeErDataset(config);
+  std::printf("|D|=%zu |U|=%zu, %d vertices, ~%d edges\n\n",
+              data.certain.size(), data.uncertain.size(), config.num_vertices,
+              config.num_edges);
+
+  std::printf("%4s | %10s %14s %10s | %10s %10s %10s %10s\n", "tau",
+              "pruning", "verification", "overall", "CSS only", "SimJ",
+              "SimJ+opt", "Real");
+  for (int tau = 0; tau <= 5; ++tau) {
+    bench::EfficiencyRow css =
+        bench::RunEfficiency(data.certain, data.uncertain, data.dict,
+                             bench::ParamsFor(bench::JoinConfig::kCssOnly,
+                                              tau, /*alpha=*/0.8));
+    bench::EfficiencyRow simj =
+        bench::RunEfficiency(data.certain, data.uncertain, data.dict,
+                             bench::ParamsFor(bench::JoinConfig::kSimJ, tau,
+                                              /*alpha=*/0.8));
+    bench::EfficiencyRow opt =
+        bench::RunEfficiency(data.certain, data.uncertain, data.dict,
+                             bench::ParamsFor(bench::JoinConfig::kSimJOpt,
+                                              tau, /*alpha=*/0.8));
+    std::printf("%4d | %10.3f %14.3f %10.3f | %9.3f%% %9.3f%% %9.3f%% %9.3f%%\n",
+                tau, opt.pruning_seconds, opt.verification_seconds,
+                opt.overall_seconds, 100.0 * css.candidate_ratio,
+                100.0 * simj.candidate_ratio, 100.0 * opt.candidate_ratio,
+                100.0 * opt.real_ratio);
+  }
+  return 0;
+}

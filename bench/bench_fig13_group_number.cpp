@@ -1,0 +1,55 @@
+// Figure 13: effect of the group number GN on response time and candidate
+// ratio (SF dataset).
+//
+// Paper shape: pruning time grows with GN (more groups to score) while the
+// candidate ratio of SimJ+opt falls toward the Real ratio; CSS only and
+// SimJ are flat (they ignore GN).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace simj;
+  Flags flags(argc, argv);
+  bench::PrintHeader("Figure 13: effect of group number GN (SF, tau=2, "
+                     "alpha=0.4)");
+
+  workload::SyntheticConfig config;
+  config.seed = flags.GetInt("seed", 101);
+  config.num_certain = static_cast<int>(flags.GetInt("num_certain", 120));
+  config.num_uncertain = static_cast<int>(flags.GetInt("num_uncertain", 120));
+  config.num_vertices = static_cast<int>(flags.GetInt("num_vertices", 10));
+  config.num_edges = static_cast<int>(flags.GetInt("num_edges", 14));
+  config.labels_per_vertex =
+      static_cast<int>(flags.GetInt("labels_per_vertex", 4));
+  workload::SyntheticDataset data = workload::MakeSfDataset(config);
+
+  constexpr int kTau = 2;
+  constexpr double kAlpha = 0.4;
+
+  bench::EfficiencyRow css = bench::RunEfficiency(
+      data.certain, data.uncertain, data.dict,
+      bench::ParamsFor(bench::JoinConfig::kCssOnly, kTau, kAlpha));
+  bench::EfficiencyRow simj = bench::RunEfficiency(
+      data.certain, data.uncertain, data.dict,
+      bench::ParamsFor(bench::JoinConfig::kSimJ, kTau, kAlpha));
+  std::printf("reference: CSS only %.3f%% candidates, SimJ %.3f%% "
+              "candidates, Real %.3f%%\n\n",
+              100.0 * css.candidate_ratio, 100.0 * simj.candidate_ratio,
+              100.0 * simj.real_ratio);
+
+  std::printf("%4s %10s %14s %10s %12s\n", "GN", "pruning", "verification",
+              "overall", "SimJ+opt(%)");
+  for (int gn : {1, 5, 10, 15, 20, 25, 30, 35, 40}) {
+    core::SimJParams params =
+        bench::ParamsFor(bench::JoinConfig::kSimJOpt, kTau, kAlpha, gn);
+    bench::EfficiencyRow row = bench::RunEfficiency(
+        data.certain, data.uncertain, data.dict, params);
+    std::printf("%4d %10.3f %14.3f %10.3f %11.3f%%\n", gn,
+                row.pruning_seconds, row.verification_seconds,
+                row.overall_seconds, 100.0 * row.candidate_ratio);
+  }
+  return 0;
+}

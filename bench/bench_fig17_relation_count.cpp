@@ -1,0 +1,74 @@
+// Figure 17: effect of the number of relations k on recognition quality.
+//
+// The paper plots rho = (# correct patterns with k relations) / (# correct
+// patterns) and observes that simple patterns are recognized best. We print
+// rho and, additionally, the per-k recognition rate (fraction of questions
+// with k relations that obtained a correct pair), which isolates the trend
+// from the workload's k distribution.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+
+namespace {
+
+void RunDataset(const char* name, simj::bench::QaDataset& data) {
+  simj::core::SimJParams params = simj::bench::ParamsFor(
+      simj::bench::JoinConfig::kSimJ, /*tau=*/1, /*alpha=*/0.6);
+  simj::core::JoinResult joined = simj::core::SimJoin(
+      data.sides.d, data.sides.u, params, data.kb->dict());
+
+  // Questions with at least one correct pair.
+  std::set<int> correct_questions;
+  for (const simj::core::MatchedPair& pair : joined.pairs) {
+    int question_index = data.sides.u_question_index[pair.g_index];
+    if (simj::workload::SameIntent(
+            *data.kb, data.workload.sparql_queries[pair.q_index],
+            data.workload.questions[question_index].gold_query)) {
+      correct_questions.insert(question_index);
+    }
+  }
+
+  constexpr int kMaxK = 5;
+  int correct_by_k[kMaxK + 1] = {0};
+  int total_by_k[kMaxK + 1] = {0};
+  int total_correct = 0;
+  for (size_t i = 0; i < data.workload.questions.size(); ++i) {
+    int k = std::min(kMaxK, data.workload.questions[i].num_relations);
+    ++total_by_k[k];
+    if (correct_questions.contains(static_cast<int>(i))) {
+      ++correct_by_k[k];
+      ++total_correct;
+    }
+  }
+
+  std::printf("\n%s: %d questions recognized correctly\n", name,
+              total_correct);
+  std::printf("%4s %10s %10s %12s %14s\n", "k", "questions", "correct",
+              "rho(%)", "per-k rate(%)");
+  for (int k = 1; k <= kMaxK; ++k) {
+    if (total_by_k[k] == 0) continue;
+    double rho = total_correct > 0
+                     ? 100.0 * correct_by_k[k] / total_correct
+                     : 0.0;
+    double rate = 100.0 * correct_by_k[k] / total_by_k[k];
+    std::printf("%4d %10d %10d %11.1f%% %13.1f%%\n", k, total_by_k[k],
+                correct_by_k[k], rho, rate);
+  }
+}
+
+}  // namespace
+
+int main() {
+  simj::bench::PrintHeader("Figure 17: effect of the number of relations k");
+  {
+    simj::bench::QaDataset qald = simj::bench::MakeQald3Like();
+    RunDataset("QALD-3-like", qald);
+  }
+  {
+    simj::bench::QaDataset webq = simj::bench::MakeWebQLike();
+    RunDataset("WebQ-like", webq);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 18: failure analysis — why do some questions produce no correct
+// pair?
+//
+// Paper split: incorrect semantic query graph 73%, graph edit distance
+// 21%, others 6%. We classify every failed question:
+//   - "incorrect semantic graph": the NLP pipeline failed outright (parse
+//     or linking error), or no possible world of the uncertain graph is
+//     GED-0 to the gold typed query graph (wrong predicate/class/entity
+//     linking, e.g. "Harold and Maude" style traps);
+//   - "graph edit distance": the semantic graph was fine but the join's
+//     GED/probability thresholds still missed the gold pairing;
+//   - "others": anything else (e.g. gold query dropped from D).
+
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "ged/edit_distance.h"
+
+int main() {
+  using namespace simj;
+  bench::PrintHeader("Figure 18: failure analysis (QALD-3-like)");
+
+  bench::QaDataset data = bench::MakeQald3Like();
+  core::SimJParams params =
+      bench::ParamsFor(bench::JoinConfig::kSimJ, /*tau=*/1, /*alpha=*/0.6);
+  core::JoinResult joined =
+      core::SimJoin(data.sides.d, data.sides.u, params, data.kb->dict());
+
+  std::set<int> correct_questions;
+  for (const core::MatchedPair& pair : joined.pairs) {
+    int question_index = data.sides.u_question_index[pair.g_index];
+    if (workload::SameIntent(
+            *data.kb, data.workload.sparql_queries[pair.q_index],
+            data.workload.questions[question_index].gold_query)) {
+      correct_questions.insert(question_index);
+    }
+  }
+
+  // Map question index -> u index (questions missing from u failed NLP).
+  std::vector<int> u_of_question(data.workload.questions.size(), -1);
+  for (size_t ui = 0; ui < data.sides.u_question_index.size(); ++ui) {
+    u_of_question[data.sides.u_question_index[ui]] = static_cast<int>(ui);
+  }
+
+  int failures = 0;
+  int bad_semantic_graph = 0;
+  int ged_miss = 0;
+  int others = 0;
+  std::function<graph::LabelId(rdf::TermId)> resolver =
+      data.kb->TypeResolver();
+  for (size_t qi = 0; qi < data.workload.questions.size(); ++qi) {
+    if (correct_questions.contains(static_cast<int>(qi))) continue;
+    ++failures;
+    int ui = u_of_question[qi];
+    if (ui < 0) {
+      ++bad_semantic_graph;  // parse or linking failure
+      continue;
+    }
+    // Does any possible world reproduce the gold typed graph exactly?
+    sparql::QueryGraph gold = sparql::BuildQueryGraph(
+        data.workload.questions[qi].gold_query, data.kb->dict(), &resolver);
+    const graph::UncertainGraph& g = data.sides.u[ui];
+    bool exact_world = false;
+    for (graph::PossibleWorldIterator it(g); !it.Done() && !exact_world;
+         it.Next()) {
+      graph::LabeledGraph world = g.Materialize(it.choice());
+      if (ged::BoundedGed(gold.graph, world, /*tau=*/0, data.kb->dict())
+              .has_value()) {
+        exact_world = true;
+      }
+    }
+    if (!exact_world) {
+      ++bad_semantic_graph;  // uncertain graph does not contain the intent
+    } else if (data.workload.questions[qi].gold_sparql_index >= 0) {
+      ++ged_miss;  // intent present, join thresholds missed it
+    } else {
+      ++others;
+    }
+  }
+
+  std::printf("questions: %zu, correctly recognized: %zu, failures: %d\n\n",
+              data.workload.questions.size(), correct_questions.size(),
+              failures);
+  std::printf("%-32s %8s %8s\n", "Reason", "count", "ratio");
+  auto ratio = [&](int count) {
+    return failures > 0 ? 100.0 * count / failures : 0.0;
+  };
+  std::printf("%-32s %8d %7.1f%%\n", "Incorrect semantic query graph",
+              bad_semantic_graph, ratio(bad_semantic_graph));
+  std::printf("%-32s %8d %7.1f%%\n", "Graph edit distance", ged_miss,
+              ratio(ged_miss));
+  std::printf("%-32s %8d %7.1f%%\n", "Others", others, ratio(others));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: effect of the similarity probability threshold alpha on (a)
+// precision and (b) the number of correct answers |C| (tau = 1).
+//
+// Paper shape: precision grows with alpha on all three datasets (QALD3,
+// WebQ, MM; MM highest because it is closed-domain); |C| shrinks as alpha
+// grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace simj;
+  bench::PrintHeader(
+      "Figure 9: precision and correct answers vs alpha (tau = 1)");
+
+  bench::QaDataset qald = bench::MakeQald3Like();
+  bench::QaDataset webq = bench::MakeWebQLike();
+  bench::QaDataset mm = bench::MakeMmLike();
+  struct Entry {
+    const char* name;
+    bench::QaDataset* data;
+  };
+  Entry datasets[] = {{"QALD3", &qald}, {"WebQ", &webq}, {"MM", &mm}};
+
+  std::printf("%6s", "alpha");
+  for (const Entry& entry : datasets) {
+    std::printf(" %10s-p %10s-C", entry.name, entry.name);
+  }
+  std::printf("\n");
+
+  for (int step = 1; step <= 9; ++step) {
+    double alpha = 0.1 * step;
+    std::printf("%6.1f", alpha);
+    for (const Entry& entry : datasets) {
+      core::SimJParams params =
+          bench::ParamsFor(bench::JoinConfig::kSimJ, /*tau=*/1, alpha);
+      bench::QualityResult result =
+          bench::RunQualityJoin(*entry.data, params);
+      std::printf(" %11.2f%% %12lld", 100.0 * result.Precision(),
+                  static_cast<long long>(result.correct));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Microbenchmarks (google-benchmark) for the computational kernels: exact
+// GED, the lower bounds, the probabilistic bound, bipartite matching,
+// assignment, tree edit distance and BGP evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/similarity.h"
+#include "ged/edit_distance.h"
+#include "ged/lower_bounds.h"
+#include "matching/bipartite.h"
+#include "matching/hungarian.h"
+#include "nlp/dependency.h"
+#include "rdf/triple_store.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace simj;
+
+struct PairFixture {
+  graph::LabelDictionary dict;
+  std::vector<graph::LabeledGraph> certain;
+  std::vector<graph::UncertainGraph> uncertain;
+
+  explicit PairFixture(int vertices, int edges) {
+    workload::SyntheticConfig config;
+    config.seed = 500;
+    config.num_certain = 32;
+    config.num_uncertain = 32;
+    config.num_vertices = vertices;
+    config.num_edges = edges;
+    config.labels_per_vertex = 3;
+    workload::SyntheticDataset data = workload::MakeErDataset(config);
+    dict = std::move(data.dict);
+    certain = std::move(data.certain);
+    uncertain = std::move(data.uncertain);
+  }
+};
+
+void BM_ExactGed(benchmark::State& state) {
+  PairFixture fixture(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)) * 3 / 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = fixture.certain[i % fixture.certain.size()];
+    const auto& b = fixture.certain[(i + 1) % fixture.certain.size()];
+    benchmark::DoNotOptimize(ged::ExactGed(a, b, fixture.dict).distance);
+    ++i;
+  }
+}
+BENCHMARK(BM_ExactGed)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_BoundedGed(benchmark::State& state) {
+  PairFixture fixture(10, 15);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = fixture.certain[i % fixture.certain.size()];
+    const auto& b = fixture.certain[(i + 1) % fixture.certain.size()];
+    benchmark::DoNotOptimize(
+        ged::BoundedGed(a, b, static_cast<int>(state.range(0)), fixture.dict)
+            .has_value());
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedGed)->Arg(1)->Arg(3);
+
+void BM_CssLowerBoundCertain(benchmark::State& state) {
+  PairFixture fixture(12, 18);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = fixture.certain[i % fixture.certain.size()];
+    const auto& b = fixture.certain[(i + 1) % fixture.certain.size()];
+    benchmark::DoNotOptimize(ged::CssLowerBound(a, b, fixture.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_CssLowerBoundCertain);
+
+void BM_CssLowerBoundUncertain(benchmark::State& state) {
+  PairFixture fixture(12, 18);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = fixture.certain[i % fixture.certain.size()];
+    const auto& g = fixture.uncertain[i % fixture.uncertain.size()];
+    benchmark::DoNotOptimize(ged::CssLowerBoundUncertain(q, g, fixture.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_CssLowerBoundUncertain);
+
+void BM_UpperBoundSimP(benchmark::State& state) {
+  PairFixture fixture(12, 18);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = fixture.certain[i % fixture.certain.size()];
+    const auto& g = fixture.uncertain[i % fixture.uncertain.size()];
+    benchmark::DoNotOptimize(core::UpperBoundSimP(q, g, 2, fixture.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_UpperBoundSimP);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  Rng rng(501);
+  int n = static_cast<int>(state.range(0));
+  matching::BipartiteGraph bipartite(n, n);
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.Bernoulli(0.3)) bipartite.AddEdge(l, r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bipartite.MaxMatching());
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(502);
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.UniformDouble() * 10;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::MinCostAssignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_TreeEditDistance(benchmark::State& state) {
+  Rng rng(503);
+  auto random_tree = [&](int n) {
+    nlp::DepTree tree;
+    for (int i = 0; i < n; ++i) {
+      tree.nodes.push_back(
+          {std::string(1, static_cast<char>('a' + rng.Uniform(0, 5))), {}});
+      if (i > 0) {
+        tree.nodes[rng.Uniform(0, i - 1)].children.push_back(i);
+      }
+    }
+    tree.root = 0;
+    return tree;
+  };
+  nlp::DepTree a = random_tree(static_cast<int>(state.range(0)));
+  nlp::DepTree b = random_tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nlp::TreeEditDistance(a, b));
+  }
+}
+BENCHMARK(BM_TreeEditDistance)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_BgpEvaluate(benchmark::State& state) {
+  graph::LabelDictionary dict;
+  rdf::TripleStore store;
+  Rng rng(504);
+  rdf::TermId knows = dict.Intern("knows");
+  rdf::TermId type = dict.Intern("type");
+  rdf::TermId person = dict.Intern("Person");
+  std::vector<rdf::TermId> people;
+  for (int i = 0; i < 500; ++i) {
+    people.push_back(dict.Intern("P" + std::to_string(i)));
+    store.Add(people.back(), type, person);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    store.Add(people[rng.Uniform(0, people.size() - 1)], knows,
+              people[rng.Uniform(0, people.size() - 1)]);
+  }
+  rdf::TermId x = dict.Intern("?x");
+  rdf::TermId y = dict.Intern("?y");
+  rdf::TermId z = dict.Intern("?z");
+  rdf::BgpQuery query;
+  query.select_vars = {x, z};
+  query.patterns = {rdf::TriplePattern{x, knows, y},
+                    rdf::TriplePattern{y, knows, z},
+                    rdf::TriplePattern{x, type, person}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Evaluate(query, dict, 2000));
+  }
+}
+BENCHMARK(BM_BgpEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 3: effect of the GED threshold tau on the quality of the returned
+// pairs (alpha fixed at 0.9).
+//
+// Paper values:
+//   QALD-3: tau=0 |R|=3 p=100% t=1.45s; tau=1 |R|=86 p=97.67% t=1.86s;
+//           tau=2 |R|=2421 p=52.33% t=2.11s
+//   WebQ  : tau=0 |R|=55 p=100% t=76.9s; tau=1 |R|=8351 p=86.54% t=100.3s;
+//           tau=2 |R|=179227 p=37.69% t=652.9s
+// Expected shape: |R| grows sharply with tau while precision collapses.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+void RunDataset(const char* name, simj::bench::QaDataset& data) {
+  std::printf("\n%s (|U|=%zu, |D|=%zu)\n", name, data.sides.u.size(),
+              data.sides.d.size());
+  std::printf("%4s %8s %10s %10s\n", "tau", "|R|", "precision", "time(s)");
+  for (int tau = 0; tau <= 2; ++tau) {
+    simj::core::SimJParams params =
+        simj::bench::ParamsFor(simj::bench::JoinConfig::kSimJ, tau,
+                               /*alpha=*/0.9);
+    simj::bench::QualityResult result =
+        simj::bench::RunQualityJoin(data, params);
+    std::printf("%4d %8lld %9.2f%% %10.3f\n", tau,
+                static_cast<long long>(result.returned),
+                100.0 * result.Precision(), result.seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  simj::bench::PrintHeader(
+      "Table 3: effect of GED threshold tau (alpha = 0.9)");
+  {
+    simj::bench::QaDataset qald = simj::bench::MakeQald3Like();
+    RunDataset("QALD-3-like", qald);
+  }
+  {
+    simj::bench::QaDataset webq = simj::bench::MakeWebQLike();
+    RunDataset("WebQ-like", webq);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 5: effect of the matching proportion threshold phi on template
+// Q/A quality.
+//
+// Paper values: phi=0.5 P=0.69 R=0.73; ... phi=1.0 P=0.65 R=0.65.
+// Expected shape: lowering phi lets partial template matches answer more
+// questions (recall rises) without hurting the fully-matched ones much.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "templates/qa.h"
+#include "templates/template.h"
+
+int main() {
+  using namespace simj;
+  bench::PrintHeader("Table 5: effect of matching proportion phi");
+
+  workload::KnowledgeBase kb(workload::KbConfig{.seed = 88});
+
+  // Train templates on simple (k<=2) questions so the more complex held-out
+  // questions require partial matches.
+  workload::WorkloadConfig train_config;
+  train_config.seed = 89;
+  train_config.num_questions = 300;
+  train_config.distractor_queries = 100;
+  train_config.relation_count_weights = {0.7, 0.3};
+  workload::Workload train = workload::GenerateWorkload(kb, train_config);
+  workload::JoinSides sides = workload::BuildJoinSides(kb, train);
+
+  core::SimJParams params =
+      bench::ParamsFor(bench::JoinConfig::kSimJ, /*tau=*/1, /*alpha=*/0.6);
+  core::JoinResult joined = core::SimJoin(sides.d, sides.u, params, kb.dict());
+  tmpl::TemplateStore store;
+  for (const core::MatchedPair& pair : joined.pairs) {
+    StatusOr<tmpl::Template> t = tmpl::GenerateTemplate(
+        train.sparql_queries[pair.q_index], sides.d_graphs[pair.q_index],
+        sides.u_parsed[pair.g_index], sides.u_graphs[pair.g_index],
+        pair.mapping, kb.dict());
+    if (t.ok()) store.Add(*std::move(t), kb.dict());
+  }
+
+  workload::WorkloadConfig test_config;
+  test_config.seed = 90;
+  test_config.num_questions = 150;
+  test_config.relation_count_weights = {0.4, 0.3, 0.2, 0.1};
+  workload::Workload test = workload::GenerateWorkload(kb, test_config);
+
+  tmpl::TemplateQa qa(&store, &kb.lexicon(), &kb.store(), &kb.dict());
+  std::printf("templates: %d; held-out questions: %zu\n\n", store.size(),
+              test.questions.size());
+  std::printf("%6s %10s %10s %10s %10s\n", "phi", "answered", "P", "R", "F1");
+  for (double phi : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    tmpl::QaOptions options;
+    options.min_matching_proportion = phi;
+    double precision = 0.0;
+    double recall = 0.0;
+    int answered = 0;
+    for (const workload::QuestionInstance& question : test.questions) {
+      std::vector<std::vector<rdf::TermId>> gold =
+          kb.store().Evaluate(question.gold_query.ToBgp(), kb.dict());
+      StatusOr<tmpl::QaAnswer> answer = qa.Answer(question.text, options);
+      if (answer.ok()) ++answered;
+      tmpl::PrfScore score = tmpl::ScoreAnswer(
+          gold, answer.ok() ? answer->rows
+                            : std::vector<std::vector<rdf::TermId>>{});
+      precision += score.precision;
+      recall += score.recall;
+    }
+    int n = static_cast<int>(test.questions.size());
+    double p = precision / n;
+    double r = recall / n;
+    double f1 = p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    std::printf("%6.1f %10d %10.2f %10.2f %10.2f\n", phi, answered, p, r, f1);
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Shared helpers for the experiment harnesses: standard dataset recipes
+// (scaled-down versions of the paper's workloads — see DESIGN.md for the
+// scaling rationale), join-configuration runners, and quality accounting.
+
+#ifndef SIMJ_BENCH_BENCH_UTIL_H_
+#define SIMJ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/join.h"
+#include "util/timer.h"
+#include "workload/knowledge_base.h"
+#include "workload/question_gen.h"
+#include "workload/synthetic.h"
+
+namespace simj::bench {
+
+// ---------------------------------------------------------------------------
+// Dataset recipes. Paper scales (Table 2) are quoted in comments; defaults
+// here are sized so every harness finishes in at most a few minutes on one
+// core while preserving the relative curves.
+// ---------------------------------------------------------------------------
+
+// A question/SPARQL workload bundle ready for joining.
+struct QaDataset {
+  std::unique_ptr<workload::KnowledgeBase> kb;
+  workload::Workload workload;
+  workload::JoinSides sides;
+};
+
+// QALD-3-like: 200 questions, |D| = 200 (paper: 200/200).
+inline QaDataset MakeQald3Like(uint64_t seed = 42) {
+  QaDataset data;
+  data.kb = std::make_unique<workload::KnowledgeBase>(
+      workload::KbConfig{.seed = seed});
+  workload::WorkloadConfig config;
+  config.seed = seed + 1;
+  config.num_questions = 200;
+  config.distractor_queries = 40;
+  data.workload = workload::GenerateWorkload(*data.kb, config);
+  data.sides = workload::BuildJoinSides(*data.kb, data.workload);
+  return data;
+}
+
+// WebQ-like: paper 5,810 questions vs 73,057 queries; scaled ~20x down,
+// keeping |D| >> |U|.
+inline QaDataset MakeWebQLike(uint64_t seed = 43) {
+  QaDataset data;
+  workload::KbConfig kb_config;
+  kb_config.seed = seed;
+  kb_config.entities_per_class = 60;
+  data.kb = std::make_unique<workload::KnowledgeBase>(kb_config);
+  workload::WorkloadConfig config;
+  config.seed = seed + 1;
+  config.num_questions = 300;
+  config.distractor_queries = 2200;
+  data.workload = workload::GenerateWorkload(*data.kb, config);
+  data.sides = workload::BuildJoinSides(*data.kb, data.workload);
+  return data;
+}
+
+// MM-like: closed domain (music & movies), |U| > |D| (paper: 23,250/2,500).
+inline QaDataset MakeMmLike(uint64_t seed = 44) {
+  QaDataset data;
+  workload::KbConfig kb_config;
+  kb_config.seed = seed;
+  kb_config.closed_domain = true;
+  // A focused domain links more reliably (the paper credits MM's higher
+  // precision to questions and queries sharing similar topics).
+  kb_config.entity_phrase_ambiguity = 0.25;
+  kb_config.relation_top1_accuracy = 0.85;
+  data.kb = std::make_unique<workload::KnowledgeBase>(kb_config);
+  workload::WorkloadConfig config;
+  config.seed = seed + 1;
+  config.num_questions = 400;
+  config.distractor_queries = 0;
+  data.workload = workload::GenerateWorkload(*data.kb, config);
+  data.sides = workload::BuildJoinSides(*data.kb, data.workload);
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Join configurations (the three curves of Figs. 11-14).
+// ---------------------------------------------------------------------------
+
+enum class JoinConfig { kCssOnly, kSimJ, kSimJOpt };
+
+inline const char* ConfigName(JoinConfig config) {
+  switch (config) {
+    case JoinConfig::kCssOnly:
+      return "CSS only";
+    case JoinConfig::kSimJ:
+      return "SimJ";
+    case JoinConfig::kSimJOpt:
+      return "SimJ+opt";
+  }
+  return "?";
+}
+
+inline core::SimJParams ParamsFor(JoinConfig config, int tau, double alpha,
+                                  int group_count = 8) {
+  core::SimJParams params;
+  params.tau = tau;
+  params.alpha = alpha;
+  params.structural_pruning = true;
+  params.probabilistic_pruning = config != JoinConfig::kCssOnly;
+  params.group_count = config == JoinConfig::kSimJOpt ? group_count : 1;
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Quality accounting for workload joins.
+// ---------------------------------------------------------------------------
+
+struct QualityResult {
+  int64_t returned = 0;
+  int64_t correct = 0;
+  double seconds = 0.0;
+
+  double Precision() const {
+    return returned == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(returned);
+  }
+};
+
+// Runs the join over a QA dataset and scores each returned pair against the
+// paper's correctness criterion (typed query graphs match except entities).
+inline QualityResult RunQualityJoin(QaDataset& data,
+                                    const core::SimJParams& params,
+                                    core::JoinResult* out = nullptr) {
+  QualityResult result;
+  WallTimer timer;
+  core::JoinResult joined =
+      core::SimJoin(data.sides.d, data.sides.u, params, data.kb->dict());
+  result.seconds = timer.ElapsedSeconds();
+  result.returned = static_cast<int64_t>(joined.pairs.size());
+  for (const core::MatchedPair& pair : joined.pairs) {
+    int question_index = data.sides.u_question_index[pair.g_index];
+    if (workload::SameIntent(
+            *data.kb, data.workload.sparql_queries[pair.q_index],
+            data.workload.questions[question_index].gold_query)) {
+      ++result.correct;
+    }
+  }
+  if (out != nullptr) *out = std::move(joined);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Efficiency accounting (Figs. 11-14).
+// ---------------------------------------------------------------------------
+
+struct EfficiencyRow {
+  double pruning_seconds = 0.0;
+  double verification_seconds = 0.0;
+  double overall_seconds = 0.0;
+  double candidate_ratio = 0.0;  // candidates / (|D| * |U|)
+  double real_ratio = 0.0;       // actual results / (|D| * |U|)
+  int64_t results = 0;
+};
+
+inline EfficiencyRow RunEfficiency(
+    const std::vector<graph::LabeledGraph>& d,
+    const std::vector<graph::UncertainGraph>& u,
+    const graph::LabelDictionary& dict, const core::SimJParams& params) {
+  core::JoinResult joined = core::SimJoin(d, u, params, dict);
+  EfficiencyRow row;
+  row.pruning_seconds = joined.stats.pruning_seconds;
+  row.verification_seconds = joined.stats.verification_seconds;
+  row.overall_seconds = joined.stats.TotalSeconds();
+  row.candidate_ratio = joined.stats.CandidateRatio();
+  row.results = joined.stats.results;
+  if (joined.stats.total_pairs > 0) {
+    row.real_ratio = static_cast<double>(joined.stats.results) /
+                     static_cast<double>(joined.stats.total_pairs);
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers.
+// ---------------------------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace simj::bench
+
+#endif  // SIMJ_BENCH_BENCH_UTIL_H_

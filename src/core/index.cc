@@ -1,0 +1,62 @@
+#include "core/index.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace simj::core {
+
+CertainGraphIndex::CertainGraphIndex(
+    const std::vector<graph::LabeledGraph>* d)
+    : d_(d), num_graphs_(static_cast<int64_t>(d->size())) {
+  for (int i = 0; i < static_cast<int>(d->size()); ++i) {
+    const graph::LabeledGraph& g = (*d)[i];
+    buckets_[{g.num_vertices(), g.num_edges()}].push_back(i);
+  }
+}
+
+std::vector<int> CertainGraphIndex::Candidates(
+    const graph::UncertainGraph& g, int tau) const {
+  std::vector<int> out;
+  const int v = g.num_vertices();
+  const int e = g.num_edges();
+  // Buckets are sorted by (|V|, |E|); scan the |V| window and filter on
+  // the combined count bound.
+  auto begin = buckets_.lower_bound({v - tau, 0});
+  for (auto it = begin; it != buckets_.end(); ++it) {
+    int dv = std::abs(it->first.first - v);
+    if (it->first.first > v + tau) break;
+    int de = std::abs(it->first.second - e);
+    if (dv + de > tau) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+JoinResult IndexedSimJoin(const std::vector<graph::LabeledGraph>& d,
+                          const std::vector<graph::UncertainGraph>& u,
+                          const SimJParams& params,
+                          const graph::LabelDictionary& dict) {
+  CertainGraphIndex index(&d);
+  JoinResult result;
+  for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
+    std::vector<int> candidates = index.Candidates(u[gi], params.tau);
+    // Pairs skipped by the index never reach EvaluatePair; account for
+    // them as structurally pruned.
+    int64_t skipped = static_cast<int64_t>(d.size()) -
+                      static_cast<int64_t>(candidates.size());
+    result.stats.total_pairs += skipped;
+    result.stats.pruned_structural += skipped;
+    for (int qi : candidates) {
+      MatchedPair pair;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &result.stats, &pair)) {
+        pair.q_index = qi;
+        pair.g_index = gi;
+        result.pairs.push_back(std::move(pair));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simj::core

@@ -1,0 +1,120 @@
+#include "core/join.h"
+
+#include <algorithm>
+
+#include "ged/lower_bounds.h"
+#include "util/timer.h"
+
+namespace simj::core {
+
+namespace {
+
+using graph::LabeledGraph;
+using graph::UncertainGraph;
+
+}  // namespace
+
+bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
+                  const SimJParams& params,
+                  const graph::LabelDictionary& dict, JoinStats* stats,
+                  MatchedPair* pair) {
+  ++stats->total_pairs;
+  WallTimer timer;
+
+  // --- Pruning phase ---
+  if (params.structural_pruning) {
+    if (ged::CssLowerBoundUncertain(q, g, dict) > params.tau) {
+      ++stats->pruned_structural;
+      stats->pruning_seconds += timer.ElapsedSeconds();
+      return false;
+    }
+  }
+
+  GroupingResult grouping;
+  bool grouped = false;
+  if (params.probabilistic_pruning) {
+    GroupingOptions group_options;
+    group_options.group_count = params.group_count;
+    group_options.heuristic = params.split_heuristic;
+    grouping = PartitionPossibleWorlds(q, g, params.tau, dict, group_options);
+    grouped = true;
+    if (grouping.simp_upper_bound < params.alpha - kSimPEpsilon) {
+      ++stats->pruned_probabilistic;
+      stats->pruning_seconds += timer.ElapsedSeconds();
+      return false;
+    }
+  }
+  stats->pruning_seconds += timer.ElapsedSeconds();
+
+  // --- Refinement phase ---
+  timer.Restart();
+  ++stats->candidates;
+
+  std::vector<UncertainGraph> groups;
+  double live_mass = 0.0;
+  if (grouped) {
+    // Heavier groups first: they decide more of the mass, so the
+    // verification early-exits trigger sooner.
+    std::sort(grouping.live_groups.begin(), grouping.live_groups.end(),
+              [](const ScoredGroup& a, const ScoredGroup& b) {
+                return a.mass > b.mass;
+              });
+    groups.reserve(grouping.live_groups.size());
+    for (ScoredGroup& group : grouping.live_groups) {
+      groups.push_back(std::move(group.graph));
+    }
+    live_mass = grouping.live_mass;
+  } else {
+    groups.push_back(g);
+    live_mass = g.TotalMass();
+  }
+
+  SimPResult simp;
+  if (params.early_exit_verification) {
+    simp = VerifySimP(q, groups, live_mass, params.tau, params.alpha, dict,
+                      params.ged_options, &stats->verify);
+  } else {
+    for (const UncertainGraph& group : groups) {
+      SimPResult partial = ComputeSimP(q, group, params.tau, dict,
+                                       params.ged_options, &stats->verify);
+      simp.probability += partial.probability;
+      if (partial.best_world_prob > simp.best_world_prob) {
+        simp.best_world_prob = partial.best_world_prob;
+        simp.best_world_ged = partial.best_world_ged;
+        simp.best_mapping = partial.best_mapping;
+      }
+    }
+  }
+  stats->verification_seconds += timer.ElapsedSeconds();
+
+  if (!simp.early_accept && simp.probability < params.alpha - kSimPEpsilon) {
+    return false;
+  }
+  ++stats->results;
+  if (pair != nullptr) {
+    pair->similarity_probability = simp.probability;
+    pair->mapping = simp.best_mapping;
+    pair->best_world_ged = simp.best_world_ged;
+  }
+  return true;
+}
+
+JoinResult SimJoin(const std::vector<LabeledGraph>& d,
+                   const std::vector<UncertainGraph>& u,
+                   const SimJParams& params,
+                   const graph::LabelDictionary& dict) {
+  JoinResult result;
+  for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
+    for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
+      MatchedPair pair;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &result.stats, &pair)) {
+        pair.q_index = qi;
+        pair.g_index = gi;
+        result.pairs.push_back(std::move(pair));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simj::core

@@ -1,0 +1,100 @@
+// The SimJ similarity join (paper Def. 7, Algorithm 1).
+//
+// Given certain graphs D (SPARQL query graphs) and uncertain graphs U
+// (natural-language question graphs), returns every pair <q, g> with
+// SimP_tau(q, g) >= alpha using filter-and-refine:
+//
+//   1. structural pruning   : CSS lower bound (Thm. 3) > tau  => prune
+//   2. probabilistic pruning: Markov upper bound (Thm. 4) < alpha => prune
+//      (optionally over possible-world groups, Section 6.2)
+//   3. verification         : possible-world enumeration with per-world
+//      CSS bound, bounded A* GED, and alpha early accept/reject.
+//
+// Three configurations reproduce the paper's curves: CSS only
+// (probabilistic pruning off), SimJ (both prunings, one group), SimJ+opt
+// (group optimization on).
+
+#ifndef SIMJ_CORE_JOIN_H_
+#define SIMJ_CORE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/groups.h"
+#include "core/similarity.h"
+#include "ged/edit_distance.h"
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::core {
+
+struct SimJParams {
+  // GED threshold tau (Def. 7).
+  int tau = 1;
+  // Similarity probability threshold alpha in (0, 1].
+  double alpha = 0.5;
+  // Enable the CSS structural pruning.
+  bool structural_pruning = true;
+  // Enable the probabilistic pruning.
+  bool probabilistic_pruning = true;
+  // Number of possible-world groups (1 = no group optimization).
+  int group_count = 1;
+  // Vertex-selection principle for group splits (Section 6.2).
+  SplitHeuristic split_heuristic = SplitHeuristic::kCostModel;
+  // Stop verification as soon as alpha is provably reached/unreachable.
+  bool early_exit_verification = true;
+  ged::GedOptions ged_options;
+};
+
+struct JoinStats {
+  int64_t total_pairs = 0;
+  int64_t pruned_structural = 0;
+  int64_t pruned_probabilistic = 0;
+  int64_t candidates = 0;  // pairs that reached verification
+  int64_t results = 0;
+  VerifyStats verify;
+  double pruning_seconds = 0.0;
+  double verification_seconds = 0.0;
+
+  double TotalSeconds() const { return pruning_seconds + verification_seconds; }
+  // Fraction of the |D| x |U| cross product that survived pruning.
+  double CandidateRatio() const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(candidates) / static_cast<double>(total_pairs);
+  }
+};
+
+struct MatchedPair {
+  int q_index = -1;  // index into D
+  int g_index = -1;  // index into U
+  // SimP_tau (exact, or a lower bound >= alpha under early accept).
+  double similarity_probability = 0.0;
+  // q-vertex -> g-vertex mapping of the most probable qualifying world;
+  // feeds template generation.
+  std::vector<int> mapping;
+  int best_world_ged = -1;
+};
+
+struct JoinResult {
+  std::vector<MatchedPair> pairs;
+  JoinStats stats;
+};
+
+// Evaluates a single pair through the full filter-and-refine pipeline.
+// Returns true (and fills *pair) when SimP_tau(q, g) >= alpha.
+bool EvaluatePair(const graph::LabeledGraph& q,
+                  const graph::UncertainGraph& g, const SimJParams& params,
+                  const graph::LabelDictionary& dict, JoinStats* stats,
+                  MatchedPair* pair);
+
+// Algorithm 1: nested-loop join of D with U under the configured prunings.
+JoinResult SimJoin(const std::vector<graph::LabeledGraph>& d,
+                   const std::vector<graph::UncertainGraph>& u,
+                   const SimJParams& params,
+                   const graph::LabelDictionary& dict);
+
+}  // namespace simj::core
+
+#endif  // SIMJ_CORE_JOIN_H_

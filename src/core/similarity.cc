@@ -1,0 +1,218 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+#include "ged/lower_bounds.h"
+#include "util/check.h"
+
+namespace simj::core {
+
+namespace {
+
+using graph::LabeledGraph;
+using graph::LabelDictionary;
+using graph::PossibleWorldIterator;
+using graph::UncertainGraph;
+
+// Evaluates one possible world: bound check, then bounded A*. Updates the
+// accumulator and best-world tracking in `result`.
+void EvaluateWorld(const LabeledGraph& q, const UncertainGraph& g,
+                   const std::vector<int>& choice, double world_prob, int tau,
+                   const LabelDictionary& dict, const ged::GedOptions& options,
+                   VerifyStats* stats, SimPResult* result) {
+  ++stats->worlds_enumerated;
+  LabeledGraph world = g.Materialize(choice);
+  if (ged::CssLowerBound(q, world, dict) > tau) {
+    ++stats->worlds_pruned_by_bound;
+    return;
+  }
+  // Cheap accept: when the greedy upper bound already fits within tau and
+  // this world cannot improve the best mapping, skip the exact search. The
+  // exact A* still runs for would-be-best worlds so template generation
+  // sees an optimal mapping.
+  if (world_prob <= result->best_world_prob &&
+      ged::GreedyGedUpperBound(q, world, dict) <= tau) {
+    ++stats->worlds_accepted_by_upper_bound;
+    result->probability += world_prob;
+    return;
+  }
+  ++stats->ged_calls;
+  bool aborted = false;
+  std::optional<ged::GedResult> ged_result =
+      ged::BoundedGed(q, world, tau, dict, options, &aborted);
+  if (aborted) ++stats->ged_aborted;
+  if (!ged_result.has_value()) return;
+  result->probability += world_prob;
+  if (world_prob > result->best_world_prob) {
+    result->best_world_prob = world_prob;
+    result->best_world_ged = ged_result->distance;
+    result->best_mapping = ged_result->mapping;
+  }
+}
+
+}  // namespace
+
+SimPResult ComputeSimP(const LabeledGraph& q, const UncertainGraph& g,
+                       int tau, const LabelDictionary& dict,
+                       const ged::GedOptions& options, VerifyStats* stats) {
+  VerifyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  SimPResult result;
+  for (PossibleWorldIterator it(g); !it.Done(); it.Next()) {
+    EvaluateWorld(q, g, it.choice(), it.probability(), tau, dict, options,
+                  stats, &result);
+  }
+  return result;
+}
+
+namespace {
+
+// Worlds sorted by descending probability reach both early exits sooner
+// (the most probable worlds decide most of the mass). Enumeration order
+// never changes the decision, only how early it is reached. Groups beyond
+// this many worlds are processed in odometer order to avoid materializing
+// a huge list.
+constexpr int64_t kMaxSortedWorlds = 4096;
+
+struct OrderedWorld {
+  std::vector<int> choice;
+  double probability;
+};
+
+std::vector<OrderedWorld> SortedWorlds(const UncertainGraph& g) {
+  std::vector<OrderedWorld> worlds;
+  worlds.reserve(static_cast<size_t>(g.NumPossibleWorlds()));
+  for (PossibleWorldIterator it(g); !it.Done(); it.Next()) {
+    worlds.push_back(OrderedWorld{it.choice(), it.probability()});
+  }
+  std::sort(worlds.begin(), worlds.end(),
+            [](const OrderedWorld& a, const OrderedWorld& b) {
+              return a.probability > b.probability;
+            });
+  return worlds;
+}
+
+}  // namespace
+
+SimPResult VerifySimP(const LabeledGraph& q,
+                      const std::vector<UncertainGraph>& groups,
+                      double total_mass, int tau, double alpha,
+                      const LabelDictionary& dict,
+                      const ged::GedOptions& options, VerifyStats* stats) {
+  VerifyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  SimPResult result;
+  double remaining = total_mass;
+
+  auto process = [&](const UncertainGraph& group,
+                     const std::vector<int>& choice,
+                     double world_prob) -> bool {
+    EvaluateWorld(q, group, choice, world_prob, tau, dict, options, stats,
+                  &result);
+    remaining -= world_prob;
+    if (result.probability >= alpha - kSimPEpsilon) {
+      result.early_accept = true;
+      return true;
+    }
+    if (result.probability + remaining < alpha - kSimPEpsilon) {
+      result.early_reject = true;
+      return true;
+    }
+    return false;
+  };
+
+  for (const UncertainGraph& group : groups) {
+    if (group.NumPossibleWorlds() <= kMaxSortedWorlds) {
+      for (const OrderedWorld& world : SortedWorlds(group)) {
+        if (process(group, world.choice, world.probability)) return result;
+      }
+    } else {
+      for (PossibleWorldIterator it(group); !it.Done(); it.Next()) {
+        if (process(group, it.choice(), it.probability())) return result;
+      }
+    }
+  }
+  return result;
+}
+
+double UpperBoundSimPWithConstant(const LabeledGraph& q,
+                                  const UncertainGraph& g, int tau,
+                                  int structural_constant,
+                                  const LabelDictionary& dict) {
+  double mass = g.TotalMass();
+  int need = structural_constant - tau;
+  if (need <= 0) return mass;
+
+  // E[Y * 1_group] = mass * sum_v (match_v / mass_v), with match_v the
+  // probability mass of v's alternatives whose label matches some vertex
+  // label of q (wildcard-aware).
+  double expectation_ratio = 0.0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    double vertex_mass = 0.0;
+    double match_mass = 0.0;
+    for (const graph::LabelAlternative& alt : g.alternatives(v)) {
+      vertex_mass += alt.prob;
+      bool matches = false;
+      for (int u = 0; u < q.num_vertices(); ++u) {
+        if (dict.Matches(alt.label, q.vertex_label(u))) {
+          matches = true;
+          break;
+        }
+      }
+      if (matches) match_mass += alt.prob;
+    }
+    SIMJ_CHECK_GT(vertex_mass, 0.0);
+    expectation_ratio += match_mass / vertex_mass;
+  }
+  double markov = mass * expectation_ratio / need;
+  return std::min(mass, markov);
+}
+
+double UpperBoundSimP(const LabeledGraph& q, const UncertainGraph& g,
+                      int tau, const LabelDictionary& dict) {
+  return UpperBoundSimPWithConstant(
+      q, g, tau, ged::CssStructuralConstant(q, g, dict), dict);
+}
+
+namespace {
+
+double TotalProbabilityBound(const LabeledGraph& q, const UncertainGraph& g,
+                             int tau, int structural_constant,
+                             const LabelDictionary& dict, int depth) {
+  // Condition on the vertex with the most alternatives.
+  int pivot = -1;
+  size_t most = 1;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.alternatives(v).size() > most) {
+      most = g.alternatives(v).size();
+      pivot = v;
+    }
+  }
+  if (depth <= 0 || pivot < 0) {
+    if (structural_constant -
+            ged::MaxCommonVertexLabels(q, g, dict) > tau) {
+      return 0.0;
+    }
+    return UpperBoundSimPWithConstant(q, g, tau, structural_constant, dict);
+  }
+  double total = 0.0;
+  for (int alt = 0; alt < static_cast<int>(g.alternatives(pivot).size());
+       ++alt) {
+    UncertainGraph restricted = g.RestrictVertex(pivot, {alt});
+    total += TotalProbabilityBound(q, restricted, tau, structural_constant,
+                                   dict, depth - 1);
+  }
+  return total;
+}
+
+}  // namespace
+
+double UpperBoundSimPTotalProbability(const LabeledGraph& q,
+                                      const UncertainGraph& g, int tau,
+                                      const LabelDictionary& dict,
+                                      int depth) {
+  return TotalProbabilityBound(
+      q, g, tau, ged::CssStructuralConstant(q, g, dict), dict, depth);
+}
+
+}  // namespace simj::core

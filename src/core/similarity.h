@@ -1,0 +1,109 @@
+// Similarity probability between a certain graph and an uncertain graph
+// (paper Def. 6) and its probabilistic upper bound (Thm. 4).
+//
+//   SimP_tau(q, g) = sum of Pr{pw(g)} over possible worlds pw(g)
+//                    with ged(q, pw(g)) <= tau.
+//
+// ComputeSimP enumerates the possible worlds exactly (skipping worlds whose
+// certain CSS bound already exceeds tau). VerifySimP adds the two early
+// exits used by the join's refinement phase: stop as soon as the
+// accumulated probability reaches alpha, or as soon as the remaining mass
+// cannot reach alpha.
+
+#ifndef SIMJ_CORE_SIMILARITY_H_
+#define SIMJ_CORE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ged/edit_distance.h"
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::core {
+
+// Comparison slack for probability thresholds: SimP values are products and
+// sums of doubles, so "SimP >= alpha" is evaluated as
+// "SimP >= alpha - kSimPEpsilon" everywhere (early exits and final
+// decisions must agree, or results would not be monotone in alpha).
+inline constexpr double kSimPEpsilon = 1e-9;
+
+// Counters shared by similarity evaluation; the join aggregates them.
+struct VerifyStats {
+  int64_t worlds_enumerated = 0;
+  int64_t worlds_pruned_by_bound = 0;  // per-world certain CSS bound > tau
+  int64_t worlds_accepted_by_upper_bound = 0;  // greedy GED bound <= tau
+  int64_t ged_calls = 0;
+  int64_t ged_aborted = 0;  // A* expansion cap hit (counted as non-match)
+};
+
+struct SimPResult {
+  // Accumulated probability of qualifying worlds. Exact for ComputeSimP;
+  // for VerifySimP it is exact unless `early_accept` is set, in which case
+  // it is a lower bound that already reaches alpha.
+  double probability = 0.0;
+  bool early_accept = false;
+  bool early_reject = false;
+  // Vertex mapping q -> g of the most probable qualifying world (-1 for
+  // deleted q-vertices); empty when no world qualified. This is the
+  // matching that template generation consumes.
+  std::vector<int> best_mapping;
+  // GED and probability of that world.
+  int best_world_ged = -1;
+  double best_world_prob = 0.0;
+};
+
+// Exact SimP_tau(q, g). Enumerates every possible world of g.
+SimPResult ComputeSimP(const graph::LabeledGraph& q,
+                       const graph::UncertainGraph& g, int tau,
+                       const graph::LabelDictionary& dict,
+                       const ged::GedOptions& options = ged::GedOptions(),
+                       VerifyStats* stats = nullptr);
+
+// SimP evaluation with early accept/reject against `alpha`, over a list of
+// possible-world groups (pass {g} for the ungrouped case). Groups must be
+// disjoint restrictions of one uncertain graph; `total_mass` is the sum of
+// their masses (the probability not yet ruled out by group-level pruning).
+SimPResult VerifySimP(const graph::LabeledGraph& q,
+                      const std::vector<graph::UncertainGraph>& groups,
+                      double total_mass, int tau, double alpha,
+                      const graph::LabelDictionary& dict,
+                      const ged::GedOptions& options = ged::GedOptions(),
+                      VerifyStats* stats = nullptr);
+
+// Probabilistic upper bound on the contribution of (a restriction of) g to
+// SimP_tau(q, g) (Thm. 4, generalized to possible-world groups):
+//
+//   ub = min(mass(g), E[Y * 1_group] / (C(q, g) - tau))
+//
+// where E(y_v) is the probability mass of v's label alternatives that match
+// some vertex label of q. When C - tau <= 0 the Markov bound is vacuous and
+// mass(g) is returned.
+double UpperBoundSimP(const graph::LabeledGraph& q,
+                      const graph::UncertainGraph& g, int tau,
+                      const graph::LabelDictionary& dict);
+
+// Same, reusing a precomputed structural constant C(q, g) (identical for
+// every group of one uncertain graph).
+double UpperBoundSimPWithConstant(const graph::LabeledGraph& q,
+                                  const graph::UncertainGraph& g, int tau,
+                                  int structural_constant,
+                                  const graph::LabelDictionary& dict);
+
+// Tighter upper bound via the law of total probability (the extension the
+// paper sketches at the end of Section 5): condition on the label of the
+// `depth` most uncertain vertices and sum the per-restriction bounds
+//   SimP(q, g) = sum_l Pr{l(v) = l} SimP(q, g | l(v) = l)
+//             <= sum_l ub_SimP(q, g restricted to l(v) = l).
+// Each restriction also gets its own CSS lower bound (restrictions whose
+// bound exceeds tau contribute zero). depth = 0 degenerates to Thm. 4.
+double UpperBoundSimPTotalProbability(const graph::LabeledGraph& q,
+                                      const graph::UncertainGraph& g,
+                                      int tau,
+                                      const graph::LabelDictionary& dict,
+                                      int depth = 1);
+
+}  // namespace simj::core
+
+#endif  // SIMJ_CORE_SIMILARITY_H_

@@ -1,0 +1,56 @@
+// Top-k similarity join: for every uncertain graph, the k certain graphs
+// with the highest similarity probability SimP_tau.
+//
+// A natural companion to the thresholded SimJ of Def. 7: instead of a fixed
+// alpha, template generation often wants "the best few SPARQL matches per
+// question". The evaluator keeps the running k-th best probability as an
+// adaptive threshold and reuses the SimJ machinery:
+//   - the CSS bound discards pairs with SimP = 0 outright,
+//   - the Markov/grouped upper bound discards pairs that provably cannot
+//     beat the current k-th best,
+//   - survivors get an exact SimP computation (no alpha early exit — the
+//     rank needs the value).
+
+#ifndef SIMJ_CORE_TOPK_H_
+#define SIMJ_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/join.h"
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::core {
+
+struct TopKParams {
+  int tau = 1;
+  int k = 3;
+  // Possible-world groups for the adaptive upper bound (1 = plain Thm. 4).
+  int group_count = 1;
+  ged::GedOptions ged_options;
+};
+
+struct TopKStats {
+  int64_t total_pairs = 0;
+  int64_t pruned_structural = 0;
+  int64_t pruned_by_threshold = 0;  // upper bound below current k-th best
+  int64_t evaluated = 0;
+  VerifyStats verify;
+};
+
+struct TopKResult {
+  // matches[g] = up to k pairs for uncertain graph g, sorted by descending
+  // SimP (ties by ascending q_index). Pairs with SimP = 0 never appear.
+  std::vector<std::vector<MatchedPair>> matches;
+  TopKStats stats;
+};
+
+TopKResult TopKJoin(const std::vector<graph::LabeledGraph>& d,
+                    const std::vector<graph::UncertainGraph>& u,
+                    const TopKParams& params,
+                    const graph::LabelDictionary& dict);
+
+}  // namespace simj::core
+
+#endif  // SIMJ_CORE_TOPK_H_

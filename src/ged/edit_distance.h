@@ -1,0 +1,95 @@
+// Exact minimum graph edit distance (GED) between certain graphs.
+//
+// Edit operations and unit costs (paper Section 3.1.2):
+//   - insert/delete an isolated labeled vertex          cost 1
+//   - insert/delete a labeled edge                      cost 1
+//   - substitute a vertex or edge label                 cost 1
+// Wildcard labels ("?x") substitute against anything at cost 0.
+//
+// The solver is the standard A* search over prefix vertex mappings with an
+// admissible label-multiset heuristic (a relaxation of the bipartite
+// heuristic of Riesen & Bunke). BoundedGed stops as soon as the optimum
+// provably exceeds the threshold, which is what the join's verification
+// phase needs. The optimal vertex mapping is returned because template
+// generation (paper Section 2.1 Step 3) is built from it.
+
+#ifndef SIMJ_GED_EDIT_DISTANCE_H_
+#define SIMJ_GED_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+
+namespace simj::ged {
+
+struct GedResult {
+  // The minimum edit distance.
+  int distance = 0;
+  // mapping[u] = vertex of `b` that vertex u of `a` maps to, or -1 when u
+  // is deleted. Unmapped vertices of `b` are insertions.
+  std::vector<int> mapping;
+};
+
+struct GedOptions {
+  // Safety valve for pathological searches. When the A* search expands more
+  // states than this, BoundedGed gives up and reports "above threshold"
+  // while setting *aborted (callers track this in their statistics; the
+  // join treats it as a non-match, which the benchmarks document).
+  int64_t max_expansions = 5'000'000;
+};
+
+// Computes ged(a, b) if it is <= tau, returning std::nullopt otherwise.
+// Requires tau >= 0 and |V(b)| <= 64.
+std::optional<GedResult> BoundedGed(const graph::LabeledGraph& a,
+                                    const graph::LabeledGraph& b, int tau,
+                                    const graph::LabelDictionary& dict,
+                                    const GedOptions& options = GedOptions(),
+                                    bool* aborted = nullptr);
+
+// Computes the exact ged(a, b) with no threshold.
+GedResult ExactGed(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+                   const graph::LabelDictionary& dict,
+                   const GedOptions& options = GedOptions());
+
+// Cost of substituting label `from` by label `to`: 0 when they match
+// (equal or wildcard), else 1.
+inline int SubstitutionCost(const graph::LabelDictionary& dict,
+                            graph::LabelId from, graph::LabelId to) {
+  return dict.Matches(from, to) ? 0 : 1;
+}
+
+// Edit cost of transforming the multiset of parallel edge labels `from`
+// into `to`: max(|from|, |to|) minus the zero-cost matchable pairs.
+int EdgeSetCost(const std::vector<graph::LabelId>& from,
+                const std::vector<graph::LabelId>& to,
+                const graph::LabelDictionary& dict);
+
+// A trivially valid upper bound on ged(a, b): delete everything in `a`,
+// insert everything in `b`. Used as the open threshold for ExactGed.
+int TrivialUpperBound(const graph::LabeledGraph& a,
+                      const graph::LabeledGraph& b);
+
+// Exact edit cost induced by a *given* vertex mapping (mapping[u] = vertex
+// of `b`, or -1 to delete u; b-vertices not covered are insertions). Every
+// mapping's cost upper-bounds the true GED; the optimal mapping attains it.
+int MappingCost(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+                const std::vector<int>& mapping,
+                const graph::LabelDictionary& dict);
+
+// Fast upper bound on ged(a, b): the cost of the assignment that minimizes
+// per-vertex substitution + local edge-degree costs (the bipartite
+// approximation of Riesen & Bunke), evaluated exactly via MappingCost.
+// Verification uses it to accept worlds without running A*:
+//   lower bound > tau  -> world fails;  upper bound <= tau -> world passes.
+// When `mapping` is non-null it receives the witnessing vertex map.
+int GreedyGedUpperBound(const graph::LabeledGraph& a,
+                        const graph::LabeledGraph& b,
+                        const graph::LabelDictionary& dict,
+                        std::vector<int>* mapping = nullptr);
+
+}  // namespace simj::ged
+
+#endif  // SIMJ_GED_EDIT_DISTANCE_H_

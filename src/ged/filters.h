@@ -1,0 +1,69 @@
+// Pruning filters compared in the paper's Fig. 15.
+//
+// A GedFilter produces a lower bound on ged(q, pw(g)) valid for every
+// possible world of the uncertain graph g; the pair is pruned when the
+// bound exceeds tau.
+//
+// The competitors (Path [31], SEGOS/star [22, 29], Pars [30]) were designed
+// for deterministic labels. As in the paper's evaluation, we run them
+// *structure-only* (the alternative — enumerating all possible worlds — is
+// exponential), which keeps them valid for uncertain graphs but weakens
+// their pruning power. The CSS filter (the paper's contribution) exploits
+// labels and uncertainty together via the vertex-label bipartite matching.
+
+#ifndef SIMJ_GED_FILTERS_H_
+#define SIMJ_GED_FILTERS_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::ged {
+
+class GedFilter {
+ public:
+  virtual ~GedFilter() = default;
+
+  virtual std::string name() const = 0;
+
+  // Lower bound on ged(q, pw(g)) over all possible worlds pw(g); the pair
+  // is a candidate iff the bound is <= tau.
+  virtual int LowerBound(const graph::LabeledGraph& q,
+                         const graph::UncertainGraph& g,
+                         const graph::LabelDictionary& dict,
+                         int tau) const = 0;
+};
+
+// The paper's CSS bound (Thm. 3).
+std::unique_ptr<GedFilter> MakeCssFilter();
+
+// Structure-only path-count filter in the spirit of [31]: compares the
+// number of length-1 and length-2 directed paths, normalized by how many
+// paths one edit operation can affect.
+std::unique_ptr<GedFilter> MakePathFilter();
+
+// Structure-only star filter in the spirit of SEGOS [22] / c-star [29]:
+// minimum-cost assignment between degree-stars, normalized by
+// max(4, max_degree + 1).
+std::unique_ptr<GedFilter> MakeStarFilter();
+
+// Structure-only partition filter in the spirit of Pars [30]: q is split
+// into tau+1 edge-disjoint parts; the bound is the number of parts that are
+// not structurally subgraph-isomorphic to g.
+std::unique_ptr<GedFilter> MakeParsFilter();
+
+// True iff `pattern` is structurally (labels ignored, non-induced)
+// subgraph-isomorphic to `host`. Exposed for tests.
+bool StructurallySubgraphIsomorphic(const graph::LabeledGraph& pattern,
+                                    const graph::LabeledGraph& host);
+
+// Number of directed 2-edge paths u -> v -> w with u != w. Exposed for
+// tests.
+int64_t CountTwoPaths(const graph::LabeledGraph& g);
+
+}  // namespace simj::ged
+
+#endif  // SIMJ_GED_FILTERS_H_

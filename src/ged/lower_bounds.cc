@@ -1,0 +1,184 @@
+#include "ged/lower_bounds.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include <vector>
+
+#include "matching/bipartite.h"
+#include "matching/hungarian.h"
+
+namespace simj::ged {
+
+namespace {
+
+using graph::LabelCounts;
+using graph::LabeledGraph;
+using graph::LabelDictionary;
+using graph::UncertainGraph;
+
+// ceil(dif / 2): DelEdge is an integer and DelEdge >= dif/2 (Lemma 4), so
+// rounding up keeps the bound valid and slightly tightens it.
+int HalfRoundedUp(int dif) { return (dif + 1) / 2; }
+
+// One orientation of Thm. 1 with `small` having at most as many vertices
+// as `big`.
+int CssOriented(const LabeledGraph& small, const LabeledGraph& big,
+                const LabelDictionary& dict) {
+  int lambda_v = MatchableLabelCount(small.VertexLabelCounts(),
+                                     big.VertexLabelCounts(), dict);
+  int lambda_e = MatchableLabelCount(small.EdgeLabelCounts(),
+                                     big.EdgeLabelCounts(), dict);
+  int dif = graph::DegreeDistanceFromSorted(small.SortedDegrees(),
+                                            big.SortedDegrees());
+  return std::max(0, big.num_vertices() + big.num_edges() - lambda_e +
+                         HalfRoundedUp(dif) - lambda_v);
+}
+
+}  // namespace
+
+int CountLowerBound(const LabeledGraph& a, const LabeledGraph& b) {
+  return std::abs(a.num_vertices() - b.num_vertices()) +
+         std::abs(a.num_edges() - b.num_edges());
+}
+
+int LabelMultisetLowerBound(const LabeledGraph& a, const LabeledGraph& b,
+                            const LabelDictionary& dict) {
+  int lambda_v =
+      MatchableLabelCount(a.VertexLabelCounts(), b.VertexLabelCounts(), dict);
+  int lambda_e =
+      MatchableLabelCount(a.EdgeLabelCounts(), b.EdgeLabelCounts(), dict);
+  return std::max(a.num_vertices(), b.num_vertices()) - lambda_v +
+         std::max(a.num_edges(), b.num_edges()) - lambda_e;
+}
+
+namespace {
+
+// Labeled star of a vertex: its label plus the multisets of incident edge
+// labels and neighbor labels.
+struct Star {
+  graph::LabelId center = graph::kInvalidLabel;
+  LabelCounts edge_labels;
+  LabelCounts leaf_labels;
+  int degree = 0;
+};
+
+std::vector<Star> BuildStars(const LabeledGraph& g,
+                             const LabelDictionary& /*dict*/) {
+  std::vector<Star> stars(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    stars[v].center = g.vertex_label(v);
+    stars[v].degree = g.degree(v);
+  }
+  for (const graph::Edge& e : g.edges()) {
+    ++stars[e.src].edge_labels[e.label];
+    ++stars[e.src].leaf_labels[g.vertex_label(e.dst)];
+    ++stars[e.dst].edge_labels[e.label];
+    ++stars[e.dst].leaf_labels[g.vertex_label(e.src)];
+  }
+  return stars;
+}
+
+// Star edit distance lambda(s1, s2) in the spirit of [29]: center
+// substitution + edge label multiset difference + leaf label multiset
+// difference. (Our wildcard-aware matchable count can only lower the
+// distance relative to the original definition, which keeps the normalized
+// bound valid.)
+int StarEditDistance(const Star& s1, const Star& s2,
+                     const LabelDictionary& dict) {
+  int cost = dict.Matches(s1.center, s2.center) ? 0 : 1;
+  cost += std::max(s1.degree, s2.degree) -
+          MatchableLabelCount(s1.edge_labels, s2.edge_labels, dict);
+  cost += std::max(s1.degree, s2.degree) -
+          MatchableLabelCount(s1.leaf_labels, s2.leaf_labels, dict);
+  return cost;
+}
+
+}  // namespace
+
+int CStarLowerBound(const LabeledGraph& a, const LabeledGraph& b,
+                    const LabelDictionary& dict) {
+  std::vector<Star> stars_a = BuildStars(a, dict);
+  std::vector<Star> stars_b = BuildStars(b, dict);
+  size_t n = std::max(stars_a.size(), stars_b.size());
+  if (n == 0) return 0;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i < stars_a.size() && j < stars_b.size()) {
+        cost[i][j] = StarEditDistance(stars_a[i], stars_b[j], dict);
+      } else if (i < stars_a.size()) {
+        cost[i][j] = 1.0 + 2.0 * stars_a[i].degree;
+      } else if (j < stars_b.size()) {
+        cost[i][j] = 1.0 + 2.0 * stars_b[j].degree;
+      }
+    }
+  }
+  double mu = matching::MinCostAssignment(cost);
+  int max_degree = 0;
+  for (const Star& s : stars_a) max_degree = std::max(max_degree, s.degree);
+  for (const Star& s : stars_b) max_degree = std::max(max_degree, s.degree);
+  int delta = std::max(4, max_degree + 1);
+  return static_cast<int>(mu) / delta;
+}
+
+int CssLowerBound(const LabeledGraph& a, const LabeledGraph& b,
+                  const LabelDictionary& dict) {
+  if (a.num_vertices() < b.num_vertices()) return CssOriented(a, b, dict);
+  if (b.num_vertices() < a.num_vertices()) return CssOriented(b, a, dict);
+  // Tie: both orientations are valid; keep the tighter one.
+  return std::max(CssOriented(a, b, dict), CssOriented(b, a, dict));
+}
+
+int MaxCommonVertexLabels(const LabeledGraph& q, const UncertainGraph& g,
+                          const LabelDictionary& dict) {
+  matching::BipartiteGraph bipartite(g.num_vertices(), q.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int u = 0; u < q.num_vertices(); ++u) {
+      bool linkable = false;
+      for (const graph::LabelAlternative& alt : g.alternatives(v)) {
+        if (dict.Matches(alt.label, q.vertex_label(u))) {
+          linkable = true;
+          break;
+        }
+      }
+      if (linkable) bipartite.AddEdge(v, u);
+    }
+  }
+  return bipartite.MaxMatching();
+}
+
+int CssStructuralConstant(const LabeledGraph& q, const UncertainGraph& g,
+                          const LabelDictionary& dict) {
+  LabelCounts q_edges = q.EdgeLabelCounts();
+  LabelCounts g_edges = g.EdgeLabelCounts();
+  int lambda_e = MatchableLabelCount(q_edges, g_edges, dict);
+
+  std::vector<int> q_degrees = q.SortedDegrees();
+  std::vector<int> g_degrees = g.SortedDegrees();
+
+  auto oriented = [&](const std::vector<int>& small_deg, int big_v,
+                      int big_e) {
+    const std::vector<int>& big_deg =
+        (&small_deg == &q_degrees) ? g_degrees : q_degrees;
+    int dif = graph::DegreeDistanceFromSorted(small_deg, big_deg);
+    return big_v + big_e - lambda_e + HalfRoundedUp(dif);
+  };
+
+  if (q.num_vertices() < g.num_vertices()) {
+    return oriented(q_degrees, g.num_vertices(), g.num_edges());
+  }
+  if (g.num_vertices() < q.num_vertices()) {
+    return oriented(g_degrees, q.num_vertices(), q.num_edges());
+  }
+  return std::max(oriented(q_degrees, g.num_vertices(), g.num_edges()),
+                  oriented(g_degrees, q.num_vertices(), q.num_edges()));
+}
+
+int CssLowerBoundUncertain(const LabeledGraph& q, const UncertainGraph& g,
+                           const LabelDictionary& dict) {
+  return std::max(0, CssStructuralConstant(q, g, dict) -
+                         MaxCommonVertexLabels(q, g, dict));
+}
+
+}  // namespace simj::ged

@@ -1,0 +1,72 @@
+// Lower bounds on graph edit distance.
+//
+// For certain graphs:
+//   - CountLowerBound: vertex/edge count difference (Zeng et al. [29]).
+//   - LabelMultisetLowerBound: label multiset difference (Zhao et al. [31]).
+//   - CssLowerBound: the paper's common-structural-subgraph bound (Thm. 1),
+//     provably at least as tight as the other two global filters (Thm. 2).
+//
+// For uncertain graphs:
+//   - CssLowerBoundUncertain (Thm. 3): one bound valid for *every* possible
+//     world, built from the maximum matching in the vertex-label bipartite
+//     graph (Def. 10). This is the structural pruning rule of the join: if
+//     the bound exceeds tau, SimP_tau(q, g) = 0 and the pair is pruned.
+
+#ifndef SIMJ_GED_LOWER_BOUNDS_H_
+#define SIMJ_GED_LOWER_BOUNDS_H_
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::ged {
+
+// | |V(a)| - |V(b)| | + | |E(a)| - |E(b)| |.
+int CountLowerBound(const graph::LabeledGraph& a,
+                    const graph::LabeledGraph& b);
+
+// max(|V(a)|,|V(b)|) - lambda_V + max(|E(a)|,|E(b)|) - lambda_E, where
+// lambda are the wildcard-aware common label counts.
+int LabelMultisetLowerBound(const graph::LabeledGraph& a,
+                            const graph::LabeledGraph& b,
+                            const graph::LabelDictionary& dict);
+
+// The c-star bound of Zeng et al. [29] for certain graphs: minimum-cost
+// assignment between the graphs' stars (a vertex with its incident edge
+// labels and neighbor labels), normalized by max(4, max_degree + 1). An
+// n-gram-style filter, provided for the related-work ablations.
+int CStarLowerBound(const graph::LabeledGraph& a,
+                    const graph::LabeledGraph& b,
+                    const graph::LabelDictionary& dict);
+
+// The CSS bound for certain graphs (Thm. 1):
+//   |V(big)| + |E(big)| - lambda_E + ceil(dif/2) - lambda_V
+// where `big` is the graph with more vertices (when the vertex counts tie,
+// both orientations are valid and the larger bound is returned).
+int CssLowerBound(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+                  const graph::LabelDictionary& dict);
+
+// Number of common vertex labels lambda_V(q, g) maximized over all possible
+// worlds of g: maximum matching of the vertex-label bipartite graph
+// (Def. 10). Exposed for tests and for the probabilistic bound.
+int MaxCommonVertexLabels(const graph::LabeledGraph& q,
+                          const graph::UncertainGraph& g,
+                          const graph::LabelDictionary& dict);
+
+// The label-independent part of the uncertain CSS bound:
+//   C(q, g) = |V| + |E| - lambda_E + ceil(dif/2)
+// with |V| = max vertex count and |E| the edge count of the graph with more
+// vertices (Thm. 3/4). The uncertain CSS bound is C(q, g) - lambda_V(q, g).
+int CssStructuralConstant(const graph::LabeledGraph& q,
+                          const graph::UncertainGraph& g,
+                          const graph::LabelDictionary& dict);
+
+// The CSS bound for an uncertain graph (Thm. 3): valid lower bound on
+// ged(q, pw(g)) for every possible world pw(g).
+int CssLowerBoundUncertain(const graph::LabeledGraph& q,
+                           const graph::UncertainGraph& g,
+                           const graph::LabelDictionary& dict);
+
+}  // namespace simj::ged
+
+#endif  // SIMJ_GED_LOWER_BOUNDS_H_

@@ -1,0 +1,62 @@
+#include "graph/label.h"
+
+#include <algorithm>
+
+namespace simj::graph {
+
+LabelId LabelDictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  is_wildcard_.push_back(!name.empty() && name.front() == '?');
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+int MatchableLabelCount(const LabelCounts& a, const LabelCounts& b,
+                        const LabelDictionary& dict) {
+  // Exact matches between identical non-wildcard labels, then wildcards
+  // soak up the leftovers. Greedily matching wildcards against leftover
+  // non-wildcards first is optimal: wildcard-wildcard pairs consume two
+  // flexible items for one match.
+  int exact = 0;
+  int rem_a_nonwild = 0;
+  int wild_a = 0;
+  for (const auto& [label, count] : a) {
+    if (dict.IsWildcard(label)) {
+      wild_a += count;
+      continue;
+    }
+    auto it = b.find(label);
+    int matched = 0;
+    if (it != b.end() && !dict.IsWildcard(it->first)) {
+      matched = std::min(count, it->second);
+    }
+    exact += matched;
+    rem_a_nonwild += count - matched;
+  }
+  int rem_b_nonwild = 0;
+  int wild_b = 0;
+  for (const auto& [label, count] : b) {
+    if (dict.IsWildcard(label)) {
+      wild_b += count;
+      continue;
+    }
+    auto it = a.find(label);
+    int matched = 0;
+    if (it != a.end()) matched = std::min(count, it->second);
+    rem_b_nonwild += count - matched;
+  }
+  int m1 = std::min(wild_a, rem_b_nonwild);
+  int m2 = std::min(wild_b, rem_a_nonwild);
+  int m3 = std::min(wild_a - m1, wild_b - m2);
+  return exact + m1 + m2 + m3;
+}
+
+}  // namespace simj::graph

@@ -1,0 +1,77 @@
+// Label interning shared by every graph in a join.
+//
+// Vertex and edge labels are interned strings. Labels whose name starts with
+// '?' are *wildcards* (the paper's variable vertices): a wildcard substitutes
+// against any label at zero cost, both in graph edit distance and in common
+// label counting.
+
+#ifndef SIMJ_GRAPH_LABEL_H_
+#define SIMJ_GRAPH_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace simj::graph {
+
+using LabelId = int32_t;
+inline constexpr LabelId kInvalidLabel = -1;
+
+// Bidirectional string <-> LabelId map. One dictionary must be shared by all
+// graphs that participate in the same join. Not thread-safe for interning.
+class LabelDictionary {
+ public:
+  LabelDictionary() = default;
+  LabelDictionary(const LabelDictionary&) = delete;
+  LabelDictionary& operator=(const LabelDictionary&) = delete;
+  LabelDictionary(LabelDictionary&&) = default;
+  LabelDictionary& operator=(LabelDictionary&&) = default;
+
+  // Returns the id for `name`, interning it on first use.
+  LabelId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidLabel if never interned.
+  LabelId Find(std::string_view name) const;
+
+  const std::string& Name(LabelId id) const {
+    SIMJ_CHECK(id >= 0 && id < static_cast<LabelId>(names_.size()));
+    return names_[id];
+  }
+
+  // True when the label is a variable/wildcard ("?x", "?person", ...).
+  bool IsWildcard(LabelId id) const {
+    SIMJ_CHECK(id >= 0 && id < static_cast<LabelId>(is_wildcard_.size()));
+    return is_wildcard_[id];
+  }
+
+  // True when `a` can substitute for `b` at zero cost: equal ids or either
+  // side is a wildcard.
+  bool Matches(LabelId a, LabelId b) const {
+    return a == b || IsWildcard(a) || IsWildcard(b);
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, LabelId> index_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_wildcard_;
+};
+
+// Multiset of labels, used for the label-multiset and CSS bounds.
+using LabelCounts = std::unordered_map<LabelId, int>;
+
+// Size of a maximum matching between two label multisets where a pair
+// matches iff the labels are equal or at least one side is a wildcard.
+// This generalizes |multiset intersection| to wildcard labels and is what
+// the paper's lambda_V / lambda_E quantities become in our setting.
+int MatchableLabelCount(const LabelCounts& a, const LabelCounts& b,
+                        const LabelDictionary& dict);
+
+}  // namespace simj::graph
+
+#endif  // SIMJ_GRAPH_LABEL_H_

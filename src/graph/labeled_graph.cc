@@ -1,0 +1,82 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simj::graph {
+
+int LabeledGraph::AddVertex(LabelId label) {
+  vertex_labels_.push_back(label);
+  out_.emplace_back();
+  in_.emplace_back();
+  return num_vertices() - 1;
+}
+
+void LabeledGraph::AddEdge(int src, int dst, LabelId label) {
+  SIMJ_CHECK(src >= 0 && src < num_vertices());
+  SIMJ_CHECK(dst >= 0 && dst < num_vertices());
+  SIMJ_CHECK_NE(src, dst);
+  int e = num_edges();
+  edges_.push_back(Edge{src, dst, label});
+  out_[src].push_back(e);
+  in_[dst].push_back(e);
+}
+
+std::vector<LabelId> LabeledGraph::EdgeLabelsBetween(int src, int dst) const {
+  std::vector<LabelId> labels;
+  for (int e : out_[src]) {
+    if (edges_[e].dst == dst) labels.push_back(edges_[e].label);
+  }
+  return labels;
+}
+
+std::vector<int> LabeledGraph::SortedDegrees() const {
+  std::vector<int> degrees(num_vertices());
+  for (int v = 0; v < num_vertices(); ++v) degrees[v] = degree(v);
+  std::sort(degrees.begin(), degrees.end(), std::greater<int>());
+  return degrees;
+}
+
+LabelCounts LabeledGraph::VertexLabelCounts() const {
+  LabelCounts counts;
+  for (LabelId label : vertex_labels_) ++counts[label];
+  return counts;
+}
+
+LabelCounts LabeledGraph::EdgeLabelCounts() const {
+  LabelCounts counts;
+  for (const Edge& e : edges_) ++counts[e.label];
+  return counts;
+}
+
+std::string LabeledGraph::DebugString(const LabelDictionary& dict) const {
+  std::ostringstream out;
+  out << "graph(|V|=" << num_vertices() << ", |E|=" << num_edges() << ")\n";
+  for (int v = 0; v < num_vertices(); ++v) {
+    out << "  v" << v << ": " << dict.Name(vertex_labels_[v]) << "\n";
+  }
+  for (const Edge& e : edges_) {
+    out << "  v" << e.src << " -[" << dict.Name(e.label) << "]-> v" << e.dst
+        << "\n";
+  }
+  return out.str();
+}
+
+int DegreeDistanceFromSorted(const std::vector<int>& small_sorted,
+                             const std::vector<int>& big_sorted) {
+  SIMJ_CHECK_LE(small_sorted.size(), big_sorted.size());
+  int total = 0;
+  for (size_t i = 0; i < small_sorted.size(); ++i) {
+    int diff = small_sorted[i] - big_sorted[i];
+    if (diff > 0) total += diff;
+  }
+  return total;
+}
+
+int DegreeDistance(const LabeledGraph& a, const LabeledGraph& b) {
+  const LabeledGraph& small = a.num_vertices() <= b.num_vertices() ? a : b;
+  const LabeledGraph& big = a.num_vertices() <= b.num_vertices() ? b : a;
+  return DegreeDistanceFromSorted(small.SortedDegrees(), big.SortedDegrees());
+}
+
+}  // namespace simj::graph

@@ -1,0 +1,91 @@
+#include "matching/bipartite.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace simj::matching {
+
+namespace {
+constexpr int kInfinity = std::numeric_limits<int>::max();
+}  // namespace
+
+BipartiteGraph::BipartiteGraph(int num_left, int num_right)
+    : adj_(num_left), num_right_(num_right) {
+  SIMJ_CHECK_GE(num_left, 0);
+  SIMJ_CHECK_GE(num_right, 0);
+}
+
+void BipartiteGraph::AddEdge(int left, int right) {
+  SIMJ_CHECK(left >= 0 && left < num_left());
+  SIMJ_CHECK(right >= 0 && right < num_right_);
+  adj_[left].push_back(right);
+}
+
+int BipartiteGraph::MaxMatching() const {
+  std::vector<int> unused;
+  return MaxMatching(&unused);
+}
+
+int BipartiteGraph::MaxMatching(std::vector<int>* match_of_left) const {
+  const int n = num_left();
+  const int m = num_right_;
+  std::vector<int>& match_l = *match_of_left;
+  match_l.assign(n, -1);
+  std::vector<int> match_r(m, -1);
+  std::vector<int> dist(n, 0);
+
+  // Hopcroft-Karp: repeatedly find a maximal set of shortest augmenting
+  // paths via BFS layering + DFS augmentation.
+  auto bfs = [&]() -> bool {
+    std::queue<int> queue;
+    for (int l = 0; l < n; ++l) {
+      if (match_l[l] == -1) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInfinity;
+      }
+    }
+    bool found_free = false;
+    while (!queue.empty()) {
+      int l = queue.front();
+      queue.pop();
+      for (int r : adj_[l]) {
+        int next = match_r[r];
+        if (next == -1) {
+          found_free = true;
+        } else if (dist[next] == kInfinity) {
+          dist[next] = dist[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_free;
+  };
+
+  std::function<bool(int)> dfs = [&](int l) -> bool {
+    for (int r : adj_[l]) {
+      int next = match_r[r];
+      if (next == -1 || (dist[next] == dist[l] + 1 && dfs(next))) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInfinity;
+    return false;
+  };
+
+  int matching = 0;
+  while (bfs()) {
+    for (int l = 0; l < n; ++l) {
+      if (match_l[l] == -1 && dfs(l)) ++matching;
+    }
+  }
+  return matching;
+}
+
+}  // namespace simj::matching

@@ -1,0 +1,40 @@
+// Maximum-cardinality bipartite matching (Hopcroft-Karp).
+//
+// Used to evaluate lambda_V(q, g) for uncertain graphs: the size of a
+// maximum matching in the vertex-label bipartite graph (paper Def. 10),
+// which upper-bounds the number of common vertex labels across all possible
+// worlds.
+
+#ifndef SIMJ_MATCHING_BIPARTITE_H_
+#define SIMJ_MATCHING_BIPARTITE_H_
+
+#include <vector>
+
+namespace simj::matching {
+
+// Bipartite graph with `num_left` and `num_right` vertices; edges are added
+// explicitly. MaxMatching() returns the size of a maximum matching.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_left, int num_right);
+
+  void AddEdge(int left, int right);
+
+  int num_left() const { return static_cast<int>(adj_.size()); }
+  int num_right() const { return num_right_; }
+
+  // Size of a maximum-cardinality matching (Hopcroft-Karp, O(E sqrt(V))).
+  int MaxMatching() const;
+
+  // As MaxMatching(), and fills match_of_left[l] with the matched right
+  // vertex of l or -1.
+  int MaxMatching(std::vector<int>* match_of_left) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  int num_right_;
+};
+
+}  // namespace simj::matching
+
+#endif  // SIMJ_MATCHING_BIPARTITE_H_

@@ -1,0 +1,80 @@
+#include "matching/hungarian.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace simj::matching {
+
+double MinCostAssignment(const std::vector<std::vector<double>>& cost,
+                         std::vector<int>* assignment) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) {
+    if (assignment != nullptr) assignment->clear();
+    return 0.0;
+  }
+  const int m = static_cast<int>(cost[0].size());
+  SIMJ_CHECK_LE(n, m);
+  for (const auto& row : cost) {
+    SIMJ_CHECK_EQ(static_cast<int>(row.size()), m);
+  }
+
+  // Classic O(n^2 m) potentials formulation (1-indexed internals).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0);      // p[j] = row matched to column j
+  std::vector<int> way(m + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  if (assignment != nullptr) {
+    assignment->assign(n, -1);
+    for (int j = 1; j <= m; ++j) {
+      if (p[j] > 0) (*assignment)[p[j] - 1] = j - 1;
+    }
+  }
+  double total = 0.0;
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) total += cost[p[j] - 1][j - 1];
+  }
+  return total;
+}
+
+}  // namespace simj::matching

@@ -1,0 +1,25 @@
+// Minimum-cost assignment (Hungarian algorithm / Kuhn-Munkres).
+//
+// Used by the A* GED heuristic and by the star-based competitor filter:
+// both need the cheapest one-to-one assignment between two sets of items
+// under an arbitrary non-negative cost matrix.
+
+#ifndef SIMJ_MATCHING_HUNGARIAN_H_
+#define SIMJ_MATCHING_HUNGARIAN_H_
+
+#include <vector>
+
+namespace simj::matching {
+
+// Solves min-cost assignment on an n x m cost matrix (rows assigned to
+// distinct columns). Requires n <= m; pad the matrix with dummy columns
+// beforehand if needed. Returns the optimal total cost and, if `assignment`
+// is non-null, fills assignment[row] = column.
+//
+// Costs may be any finite doubles (negative allowed). O(n^2 m).
+double MinCostAssignment(const std::vector<std::vector<double>>& cost,
+                         std::vector<int>* assignment = nullptr);
+
+}  // namespace simj::matching
+
+#endif  // SIMJ_MATCHING_HUNGARIAN_H_

@@ -1,0 +1,271 @@
+#include "nlp/dependency.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace simj::nlp {
+
+namespace {
+
+bool IsSlotToken(const std::string& token) {
+  return StartsWith(token, "<slot") && EndsWith(token, ">");
+}
+
+int RenameCost(const std::string& a, const std::string& b) {
+  if (a == b) return 0;
+  if (a == kSlotMarker || b == kSlotMarker) return 0;
+  if (IsSlotToken(a) || IsSlotToken(b)) return 0;
+  return 1;
+}
+
+// Zhang-Shasha preprocessing: postorder labels, leftmost-leaf indices and
+// keyroots (all 1-based).
+struct ZsTree {
+  std::vector<std::string> labels;  // [1..n]
+  std::vector<int> lml;             // [1..n]
+  std::vector<int> keyroots;
+};
+
+void ZsDfs(const DepTree& tree, int node, ZsTree& out, int& counter,
+           std::vector<int>& lml_of_node) {
+  int leftmost = -1;
+  for (int child : tree.nodes[node].children) {
+    ZsDfs(tree, child, out, counter, lml_of_node);
+    if (leftmost == -1) leftmost = lml_of_node[child];
+  }
+  ++counter;
+  lml_of_node[node] = leftmost == -1 ? counter : leftmost;
+  out.labels[counter] = tree.nodes[node].label;
+  out.lml[counter] = lml_of_node[node];
+}
+
+ZsTree BuildZsTree(const DepTree& tree) {
+  ZsTree out;
+  int n = tree.size();
+  out.labels.resize(n + 1);
+  out.lml.resize(n + 1);
+  if (n == 0) return out;
+  std::vector<int> lml_of_node(n, 0);
+  int counter = 0;
+  ZsDfs(tree, tree.root, out, counter, lml_of_node);
+  SIMJ_CHECK_EQ(counter, n);
+  // Keyroots: for each distinct leftmost-leaf value, the largest postorder
+  // index carrying it.
+  std::vector<int> last_with_lml(n + 1, 0);
+  for (int i = 1; i <= n; ++i) last_with_lml[out.lml[i]] = i;
+  for (int i = 1; i <= n; ++i) {
+    if (last_with_lml[out.lml[i]] == i) out.keyroots.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+DepTree BuildQuestionTree(const ParsedQuestion& question) {
+  const SemanticQueryGraph& sq = question.graph;
+  DepTree tree;
+  // One node per argument, one per relation.
+  std::vector<int> arg_node(sq.arguments.size());
+  for (size_t i = 0; i < sq.arguments.size(); ++i) {
+    std::string label = sq.arguments[i].phrase;
+    if (label.empty()) label = "wh";
+    arg_node[i] = tree.size();
+    tree.nodes.push_back(DepTree::Node{label, {}});
+  }
+  for (const SemanticQueryGraph::Relation& rel : sq.relations) {
+    int rel_node = tree.size();
+    tree.nodes.push_back(DepTree::Node{rel.phrase, {}});
+    tree.nodes[arg_node[rel.arg1]].children.push_back(rel_node);
+    tree.nodes[rel_node].children.push_back(arg_node[rel.arg2]);
+  }
+  tree.root = question.wh_argument >= 0 ? arg_node[question.wh_argument] : 0;
+  return tree;
+}
+
+DepTree SlottedTree(const DepTree& tree,
+                    const std::vector<std::string>& slot_phrases) {
+  DepTree out = tree;
+  for (DepTree::Node& node : out.nodes) {
+    for (const std::string& phrase : slot_phrases) {
+      if (node.label == phrase) {
+        node.label = kSlotMarker;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int TreeEditDistance(const DepTree& a, const DepTree& b) {
+  const int n = a.size();
+  const int m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  ZsTree ta = BuildZsTree(a);
+  ZsTree tb = BuildZsTree(b);
+
+  std::vector<std::vector<int>> td(n + 1, std::vector<int>(m + 1, 0));
+
+  for (int k1 : ta.keyroots) {
+    for (int k2 : tb.keyroots) {
+      int l1 = ta.lml[k1];
+      int l2 = tb.lml[k2];
+      int rows = k1 - l1 + 2;
+      int cols = k2 - l2 + 2;
+      std::vector<std::vector<int>> fd(rows, std::vector<int>(cols, 0));
+      for (int di = 1; di < rows; ++di) fd[di][0] = fd[di - 1][0] + 1;
+      for (int dj = 1; dj < cols; ++dj) fd[0][dj] = fd[0][dj - 1] + 1;
+      for (int di = 1; di < rows; ++di) {
+        int i = l1 + di - 1;
+        for (int dj = 1; dj < cols; ++dj) {
+          int j = l2 + dj - 1;
+          if (ta.lml[i] == l1 && tb.lml[j] == l2) {
+            fd[di][dj] = std::min(
+                {fd[di - 1][dj] + 1, fd[di][dj - 1] + 1,
+                 fd[di - 1][dj - 1] + RenameCost(ta.labels[i], tb.labels[j])});
+            td[i][j] = fd[di][dj];
+          } else {
+            int pi = ta.lml[i] - l1;  // forest prefix before subtree of i
+            int pj = tb.lml[j] - l2;
+            fd[di][dj] = std::min(
+                {fd[di - 1][dj] + 1, fd[di][dj - 1] + 1,
+                 fd[pi][pj] + td[i][j]});
+          }
+        }
+      }
+    }
+  }
+  return td[n][m];
+}
+
+std::optional<TokenAlignment> AlignTokens(
+    const std::vector<std::string>& template_tokens, int num_slots,
+    const std::vector<std::string>& question_tokens,
+    const std::function<bool(const std::string&)>* slot_validator) {
+  const int t = static_cast<int>(template_tokens.size());
+  const int q = static_cast<int>(question_tokens.size());
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+  // Moves, in preference order on full ties.
+  enum Move : uint8_t { kNone, kMatch, kSlot, kSubst, kDelete, kInsert };
+  struct Cell {
+    int cost = kInf;
+    int matches = -1;  // exact token matches along the best path
+    Move move = kNone;
+    int consumed = 0;  // for kSlot: question tokens consumed
+  };
+  std::vector<std::vector<Cell>> dp(t + 1, std::vector<Cell>(q + 1));
+  dp[0][0].cost = 0;
+  dp[0][0].matches = 0;
+
+  // Lower cost wins; on ties, more exact matches (tighter slot spans and
+  // better phi); on full ties, the earlier move in the enum.
+  auto relax = [](Cell& cell, int cost, int matches, Move move,
+                  int consumed) {
+    if (cost < cell.cost ||
+        (cost == cell.cost && matches > cell.matches) ||
+        (cost == cell.cost && matches == cell.matches && move < cell.move)) {
+      cell.cost = cost;
+      cell.matches = matches;
+      cell.move = move;
+      cell.consumed = consumed;
+    }
+  };
+
+  for (int i = 0; i <= t; ++i) {
+    for (int j = 0; j <= q; ++j) {
+      if (dp[i][j].cost >= kInf) continue;
+      int cost = dp[i][j].cost;
+      int matches = dp[i][j].matches;
+      if (i < t) {
+        if (IsSlotToken(template_tokens[i])) {
+          // A slot captures a short phrase (entity phrases are at most a
+          // few tokens); longer spans must pay as insertions, so partial
+          // matches genuinely lower phi. With a validator, only linkable
+          // spans qualify.
+          constexpr int kMaxSlotTokens = 3;
+          std::string span;
+          for (int consume = 1;
+               consume <= kMaxSlotTokens && j + consume <= q; ++consume) {
+            if (!span.empty()) span += ' ';
+            span += question_tokens[j + consume - 1];
+            if (slot_validator != nullptr && !(*slot_validator)(span)) {
+              continue;
+            }
+            relax(dp[i + 1][j + consume], cost, matches, kSlot, consume);
+          }
+        } else if (j < q) {
+          if (template_tokens[i] == question_tokens[j]) {
+            relax(dp[i + 1][j + 1], cost, matches + 1, kMatch, 0);
+          } else {
+            relax(dp[i + 1][j + 1], cost + 1, matches, kSubst, 0);
+          }
+        }
+        relax(dp[i + 1][j], cost + 1, matches, kDelete, 0);
+      }
+      if (j < q) relax(dp[i][j + 1], cost + 1, matches, kInsert, 0);
+    }
+  }
+
+  if (dp[t][q].cost >= kInf) return std::nullopt;
+
+  // Backtrack: collect slot phrases and coverage.
+  TokenAlignment result;
+  result.cost = dp[t][q].cost;
+  result.slot_phrases.assign(num_slots, "");
+  int covered = 0;
+  int i = t;
+  int j = q;
+  while (i > 0 || j > 0) {
+    const Cell& cell = dp[i][j];
+    switch (cell.move) {
+      case kMatch:
+        ++covered;
+        --i;
+        --j;
+        break;
+      case kSubst:
+        --i;
+        --j;
+        break;
+      case kSlot: {
+        std::string phrase;
+        for (int k = j - cell.consumed; k < j; ++k) {
+          if (!phrase.empty()) phrase += ' ';
+          phrase += question_tokens[k];
+        }
+        covered += cell.consumed;
+        // Slot index from the marker "<slotK>".
+        const std::string& marker = template_tokens[i - 1];
+        int slot_index =
+            std::atoi(marker.substr(5, marker.size() - 6).c_str());
+        if (slot_index >= 0 && slot_index < num_slots) {
+          result.slot_phrases[slot_index] = phrase;
+        }
+        j -= cell.consumed;
+        --i;
+        break;
+      }
+      case kDelete:
+        --i;
+        break;
+      case kInsert:
+        --j;
+        break;
+      case kNone:
+        SIMJ_CHECK(false);
+    }
+  }
+  for (const std::string& phrase : result.slot_phrases) {
+    if (phrase.empty()) return std::nullopt;  // a slot captured nothing
+  }
+  result.matching_proportion =
+      q == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(q);
+  return result;
+}
+
+}  // namespace simj::nlp

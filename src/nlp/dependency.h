@@ -1,0 +1,75 @@
+// Syntactic dependency trees and tree edit distance (paper Section 2.2).
+//
+// The paper aligns a new question to a template's natural-language part by
+// parsing both into dependency trees (Stanford parser in the paper, a
+// deterministic shallow parser here — the tree shape is derived from the
+// semantic relations) and finding the template with minimum tree edit
+// distance. Slot filling then maps question phrases onto the template's
+// slots; we do that with a token-level alignment DP that also yields the
+// paper's matching proportion phi.
+
+#ifndef SIMJ_NLP_DEPENDENCY_H_
+#define SIMJ_NLP_DEPENDENCY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nlp/semantic_graph.h"
+
+namespace simj::nlp {
+
+// Token that matches any label/token at zero cost in trees and alignments.
+inline constexpr const char* kSlotMarker = "<slot>";
+
+struct DepTree {
+  struct Node {
+    std::string label;
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+// Deterministic dependency tree over the parsed question: the wh-argument
+// is the root; each relation phrase depends on its first argument and
+// governs its second.
+DepTree BuildQuestionTree(const ParsedQuestion& question);
+
+// Copy of `tree` with every node whose label appears in `slot_phrases`
+// relabeled to kSlotMarker (the template side of the alignment).
+DepTree SlottedTree(const DepTree& tree,
+                    const std::vector<std::string>& slot_phrases);
+
+// Zhang-Shasha ordered tree edit distance with unit costs; relabeling to or
+// from kSlotMarker is free.
+int TreeEditDistance(const DepTree& a, const DepTree& b);
+
+struct TokenAlignment {
+  // Edit cost outside slots (substitutions + insertions + deletions).
+  int cost = 0;
+  // phi: fraction of question tokens covered by the template (exact
+  // matches plus slot-consumed tokens).
+  double matching_proportion = 0.0;
+  // Question phrase captured by each slot, indexed by slot number.
+  std::vector<std::string> slot_phrases;
+};
+
+// Aligns template tokens (containing "<slot0>", "<slot1>", ... markers;
+// each slot consumes one to three question tokens at zero cost) against
+// question tokens. Ties in edit cost are broken toward more exact token
+// matches, which keeps slot spans tight. When `slot_validator` is provided,
+// a slot may only capture a span the validator accepts (TemplateQa passes a
+// lexicon lookup, so slots only capture linkable phrases). Returns
+// std::nullopt when no valid alignment exists.
+std::optional<TokenAlignment> AlignTokens(
+    const std::vector<std::string>& template_tokens, int num_slots,
+    const std::vector<std::string>& question_tokens,
+    const std::function<bool(const std::string&)>* slot_validator = nullptr);
+
+}  // namespace simj::nlp
+
+#endif  // SIMJ_NLP_DEPENDENCY_H_

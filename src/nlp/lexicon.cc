@@ -1,0 +1,64 @@
+#include "nlp/lexicon.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace simj::nlp {
+
+void Lexicon::AddEntityPhrase(const std::string& phrase, EntityLink link) {
+  std::vector<EntityLink>& links = entities_[ToLower(phrase)];
+  links.push_back(link);
+  std::stable_sort(links.begin(), links.end(),
+                   [](const EntityLink& a, const EntityLink& b) {
+                     return a.confidence > b.confidence;
+                   });
+}
+
+void Lexicon::AddRelationPhrase(const std::string& phrase,
+                                PredicateLink link) {
+  std::string key = ToLower(phrase);
+  std::vector<PredicateLink>& links = relations_[key];
+  links.push_back(link);
+  std::stable_sort(links.begin(), links.end(),
+                   [](const PredicateLink& a, const PredicateLink& b) {
+                     return a.confidence > b.confidence;
+                   });
+  int tokens = static_cast<int>(SplitWhitespace(key).size());
+  max_relation_tokens_ = std::max(max_relation_tokens_, tokens);
+}
+
+void Lexicon::AddClassPhrase(const std::string& phrase, ClassLink link) {
+  classes_[ToLower(phrase)] = link;
+}
+
+const std::vector<EntityLink>* Lexicon::FindEntity(
+    const std::string& phrase) const {
+  auto it = entities_.find(ToLower(phrase));
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+const std::vector<PredicateLink>* Lexicon::FindRelation(
+    const std::string& phrase) const {
+  auto it = relations_.find(ToLower(phrase));
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const ClassLink* Lexicon::FindClass(const std::string& phrase) const {
+  std::string key = ToLower(phrase);
+  auto it = classes_.find(key);
+  if (it != classes_.end()) return &it->second;
+  // Naive plural fallback: "politicians" -> "politician",
+  // "universities" -> "university".
+  if (key.size() > 3 && EndsWith(key, "ies")) {
+    it = classes_.find(key.substr(0, key.size() - 3) + "y");
+    if (it != classes_.end()) return &it->second;
+  }
+  if (key.size() > 1 && key.back() == 's') {
+    it = classes_.find(key.substr(0, key.size() - 1));
+    if (it != classes_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace simj::nlp

@@ -1,0 +1,79 @@
+// Phrase lexicon: the entity-linking and relation-paraphrasing substrate.
+//
+// The paper consumes off-the-shelf entity linking [4] and the relation
+// paraphrase dictionary of gAnswer [33]; both produce *confidence-scored
+// candidates*, which is exactly where the uncertainty in the uncertain
+// graphs comes from. We reproduce that interface: a phrase maps to one or
+// more candidate entities (each with its class and a confidence) or to one
+// or more candidate predicates. The synthetic knowledge base populates the
+// lexicon with controlled ambiguity.
+
+#ifndef SIMJ_NLP_LEXICON_H_
+#define SIMJ_NLP_LEXICON_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/label.h"
+#include "rdf/triple_store.h"
+
+namespace simj::nlp {
+
+struct EntityLink {
+  rdf::TermId entity = graph::kInvalidLabel;
+  // Class label of the entity (the uncertain vertex label, Section 2.1).
+  graph::LabelId type_label = graph::kInvalidLabel;
+  double confidence = 0.0;
+};
+
+struct PredicateLink {
+  rdf::TermId predicate = graph::kInvalidLabel;
+  double confidence = 0.0;
+};
+
+struct ClassLink {
+  rdf::TermId class_term = graph::kInvalidLabel;
+  graph::LabelId label = graph::kInvalidLabel;
+};
+
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  // Registers a candidate entity for `phrase`. Candidates are kept sorted
+  // by descending confidence.
+  void AddEntityPhrase(const std::string& phrase, EntityLink link);
+  // Registers a candidate predicate for a relation phrase.
+  void AddRelationPhrase(const std::string& phrase, PredicateLink link);
+  // Registers a class phrase ("politician" -> class Politician).
+  void AddClassPhrase(const std::string& phrase, ClassLink link);
+
+  // Lookup; nullptr when the phrase is unknown.
+  const std::vector<EntityLink>* FindEntity(const std::string& phrase) const;
+  const std::vector<PredicateLink>* FindRelation(
+      const std::string& phrase) const;
+  const ClassLink* FindClass(const std::string& phrase) const;
+
+  // Longest relation phrase, in tokens (parsers scan windows up to this).
+  int max_relation_tokens() const { return max_relation_tokens_; }
+
+  int num_entity_phrases() const {
+    return static_cast<int>(entities_.size());
+  }
+  int num_relation_phrases() const {
+    return static_cast<int>(relations_.size());
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<EntityLink>> entities_;
+  std::unordered_map<std::string, std::vector<PredicateLink>> relations_;
+  std::unordered_map<std::string, ClassLink> classes_;
+  int max_relation_tokens_ = 0;
+};
+
+}  // namespace simj::nlp
+
+#endif  // SIMJ_NLP_LEXICON_H_

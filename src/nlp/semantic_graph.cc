@@ -1,0 +1,183 @@
+#include "nlp/semantic_graph.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace simj::nlp {
+
+namespace {
+
+bool IsConnector(const std::string& token) {
+  return token == "and" || token == "that";
+}
+
+bool IsFiller(const std::string& token) {
+  return token == "the" || token == "a" || token == "an";
+}
+
+std::string JoinRange(const std::vector<std::string>& tokens, int begin,
+                      int end) {
+  std::string out;
+  for (int i = begin; i < end; ++i) {
+    if (!out.empty()) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+// Strips leading articles from an argument phrase span.
+std::pair<int, int> StripArticles(const std::vector<std::string>& tokens,
+                                  int begin, int end) {
+  while (begin < end && IsFiller(tokens[begin])) ++begin;
+  return {begin, end};
+}
+
+}  // namespace
+
+std::vector<std::string> NormalizeQuestion(const std::string& question) {
+  std::string cleaned;
+  cleaned.reserve(question.size());
+  for (char c : question) {
+    if (c == '?' || c == '.' || c == ',' || c == '!') continue;
+    cleaned.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return SplitWhitespace(cleaned);
+}
+
+StatusOr<ParsedQuestion> ParseQuestion(const std::string& question,
+                                       const Lexicon& lexicon) {
+  ParsedQuestion parsed;
+  parsed.tokens = NormalizeQuestion(question);
+  const std::vector<std::string>& tokens = parsed.tokens;
+  const int n = static_cast<int>(tokens.size());
+  if (n == 0) return InvalidArgumentError("empty question");
+
+  // Tries to match the longest relation phrase starting at `pos`; returns
+  // its token length, or 0.
+  auto match_relation = [&](int pos) -> int {
+    int max_len = std::min(lexicon.max_relation_tokens(), n - pos);
+    for (int len = max_len; len >= 1; --len) {
+      if (lexicon.FindRelation(JoinRange(tokens, pos, pos + len)) !=
+          nullptr) {
+        return len;
+      }
+    }
+    return 0;
+  };
+
+  // --- Head: the wh-argument ---
+  int pos = 0;
+  bool head_has_class = false;
+  if (tokens[0] == "which") {
+    pos = 1;
+    head_has_class = true;
+  } else if (tokens[0] == "who" || tokens[0] == "what") {
+    pos = 1;
+  } else if (n >= 3 && tokens[0] == "give" && tokens[1] == "me" &&
+             tokens[2] == "all") {
+    pos = 3;
+    head_has_class = true;
+  } else if (n >= 2 && tokens[0] == "list" && tokens[1] == "all") {
+    pos = 2;
+    head_has_class = true;
+  } else {
+    return InvalidArgumentError("unrecognized question head: '" + tokens[0] +
+                                "'");
+  }
+
+  std::string wh_class;
+  if (head_has_class) {
+    int begin = pos;
+    auto is_copula = [](const std::string& token) {
+      return token == "is" || token == "are" || token == "was" ||
+             token == "were";
+    };
+    while (pos < n && match_relation(pos) == 0 && !IsConnector(tokens[pos]) &&
+           !is_copula(tokens[pos])) {
+      ++pos;
+    }
+    wh_class = JoinRange(tokens, begin, pos);
+    if (wh_class.empty()) {
+      return InvalidArgumentError("missing class phrase after wh-word");
+    }
+    if (lexicon.FindClass(wh_class) == nullptr) {
+      return InvalidArgumentError("unknown class phrase: '" + wh_class + "'");
+    }
+  }
+
+  SemanticQueryGraph& graph = parsed.graph;
+  graph.arguments.push_back(SemanticArgument{wh_class, /*is_variable=*/true});
+  parsed.wh_argument = 0;
+
+  // --- Relation clauses ---
+  int attach = parsed.wh_argument;
+  bool expect_relation = true;
+  while (pos < n) {
+    if (!expect_relation) break;
+    // Tolerate copulas before the relation phrase ("is", "was") when the
+    // phrase itself does not start with them.
+    if (match_relation(pos) == 0 &&
+        (tokens[pos] == "is" || tokens[pos] == "are" || tokens[pos] == "was" ||
+         tokens[pos] == "were")) {
+      ++pos;
+    }
+    int rel_len = match_relation(pos);
+    if (rel_len == 0) {
+      return InvalidArgumentError("no relation phrase at: '" +
+                                  JoinRange(tokens, pos, std::min(n, pos + 3)) +
+                                  "'");
+    }
+    std::string rel_phrase = JoinRange(tokens, pos, pos + rel_len);
+    pos += rel_len;
+
+    // Argument span: up to a connector or end of question.
+    int arg_begin = pos;
+    while (pos < n && !IsConnector(tokens[pos])) ++pos;
+    auto [stripped_begin, stripped_end] = StripArticles(tokens, arg_begin, pos);
+    std::string arg_phrase = JoinRange(tokens, stripped_begin, stripped_end);
+    if (arg_phrase.empty()) {
+      return InvalidArgumentError("relation '" + rel_phrase +
+                                  "' has no argument");
+    }
+
+    std::string connector = pos < n ? tokens[pos] : "";
+    if (pos < n) ++pos;
+
+    // Classify the argument: entity phrase, or class phrase (a chain
+    // intermediate variable, normally followed by "that").
+    bool is_variable = false;
+    if (lexicon.FindEntity(arg_phrase) != nullptr) {
+      is_variable = false;
+    } else if (lexicon.FindClass(arg_phrase) != nullptr) {
+      is_variable = true;
+    } else {
+      return InvalidArgumentError("cannot link argument phrase: '" +
+                                  arg_phrase + "'");
+    }
+
+    int arg_index = static_cast<int>(graph.arguments.size());
+    graph.arguments.push_back(SemanticArgument{arg_phrase, is_variable});
+    graph.relations.push_back(
+        SemanticQueryGraph::Relation{attach, arg_index, rel_phrase});
+
+    if (connector == "and") {
+      attach = parsed.wh_argument;  // star: next constraint on the wh-var
+      expect_relation = true;
+    } else if (connector == "that") {
+      attach = arg_index;  // chain: next relation hangs off this argument
+      expect_relation = true;
+    } else {
+      expect_relation = false;
+    }
+  }
+
+  if (graph.relations.empty()) {
+    return InvalidArgumentError("no relations extracted");
+  }
+  return parsed;
+}
+
+}  // namespace simj::nlp

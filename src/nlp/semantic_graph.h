@@ -1,0 +1,66 @@
+// Semantic query graphs (paper Def. 1) and the rule-based question parser
+// that extracts them.
+//
+// A semantic relation is a triple <rel, arg1, arg2> of phrases; the
+// semantic query graph has one vertex per distinct argument phrase and one
+// edge per relation. The parser handles the question grammar the workload
+// generator emits (and some of what it doesn't — entity phrases containing
+// connector words genuinely confuse it, which is the dominant failure mode
+// the paper reports in its Fig. 18 analysis):
+//
+//   "which <class> <rel> <entity>?"                          single relation
+//   "... <rel1> <e1> and <rel2> <e2>"                        star
+//   "... <rel1> the <class2> that <rel2> <e2>"               chain
+//   "who/what <rel> <entity>?", "give me all <class> ..."    variants
+
+#ifndef SIMJ_NLP_SEMANTIC_GRAPH_H_
+#define SIMJ_NLP_SEMANTIC_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "util/status.h"
+
+namespace simj::nlp {
+
+struct SemanticRelation {
+  std::string rel_phrase;
+  std::string arg1;
+  std::string arg2;
+};
+
+struct SemanticArgument {
+  std::string phrase;       // entity phrase, or class phrase for variables
+  bool is_variable = false; // wh-target or chain-intermediate
+};
+
+struct SemanticQueryGraph {
+  std::vector<SemanticArgument> arguments;
+  struct Relation {
+    int arg1 = -1;
+    int arg2 = -1;
+    std::string phrase;
+  };
+  std::vector<Relation> relations;
+};
+
+struct ParsedQuestion {
+  SemanticQueryGraph graph;
+  // Index of the wh-argument in graph.arguments (-1 if none detected).
+  int wh_argument = -1;
+  // Normalized tokens of the question (lowercased, punctuation stripped).
+  std::vector<std::string> tokens;
+};
+
+// Normalizes a question: lowercase, strip trailing '?'/'.', tokenize.
+std::vector<std::string> NormalizeQuestion(const std::string& question);
+
+// Extracts the semantic query graph from a question using the lexicon's
+// relation phrase inventory (longest-match) and connector words.
+StatusOr<ParsedQuestion> ParseQuestion(const std::string& question,
+                                       const Lexicon& lexicon);
+
+}  // namespace simj::nlp
+
+#endif  // SIMJ_NLP_SEMANTIC_GRAPH_H_

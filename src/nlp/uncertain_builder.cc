@@ -1,0 +1,111 @@
+#include "nlp/uncertain_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace simj::nlp {
+
+namespace {
+
+// Fresh variable names "?x", "?y", "?z", "?v3", ... so distinct variables
+// stay distinct wildcards.
+std::string VariableName(int index) {
+  static const char* kNames[] = {"?x", "?y", "?z"};
+  if (index < 3) return kNames[index];
+  return "?v" + std::to_string(index);
+}
+
+}  // namespace
+
+StatusOr<UncertainQuestionGraph> BuildUncertainGraph(
+    const ParsedQuestion& question, const Lexicon& lexicon,
+    graph::LabelDictionary& dict, const UncertainBuilderOptions& options) {
+  UncertainQuestionGraph out;
+  const SemanticQueryGraph& sq = question.graph;
+  graph::LabelId type_label = dict.Intern(options.type_predicate);
+
+  int next_variable = 0;
+  std::vector<int> vertex_of_argument(sq.arguments.size(), -1);
+
+  for (size_t i = 0; i < sq.arguments.size(); ++i) {
+    const SemanticArgument& arg = sq.arguments[i];
+    if (arg.is_variable) {
+      // Wildcard vertex, optionally anchored to a class vertex by `type`.
+      graph::LabelId var_label = dict.Intern(VariableName(next_variable++));
+      int v = out.graph.AddCertainVertex(var_label);
+      out.vertex_phrases.push_back(arg.phrase);
+      out.vertex_is_variable.push_back(true);
+      out.vertex_entities.emplace_back();
+      vertex_of_argument[i] = v;
+      if (static_cast<int>(i) == question.wh_argument) out.wh_vertex = v;
+      if (!arg.phrase.empty()) {
+        const ClassLink* link = lexicon.FindClass(arg.phrase);
+        if (link == nullptr) {
+          return NotFoundError("no class link for phrase: '" + arg.phrase +
+                               "'");
+        }
+        int class_vertex = out.graph.AddCertainVertex(link->label);
+        out.vertex_phrases.push_back(arg.phrase);
+        out.vertex_is_variable.push_back(false);
+        out.vertex_entities.emplace_back();
+        out.graph.AddEdge(v, class_vertex, type_label);
+      }
+      continue;
+    }
+    // Entity argument: alternatives are candidate classes with confidences.
+    const std::vector<EntityLink>* links = lexicon.FindEntity(arg.phrase);
+    if (links == nullptr || links->empty()) {
+      return NotFoundError("no entity link for phrase: '" + arg.phrase + "'");
+    }
+    std::vector<graph::LabelAlternative> alternatives;
+    std::vector<EntityLink> kept;
+    double mass = 0.0;
+    for (const EntityLink& link : *links) {
+      if (static_cast<int>(kept.size()) >= options.max_alternatives) break;
+      // Merge candidates that share a class label (mutually exclusive
+      // labels must be distinct).
+      bool merged = false;
+      for (size_t k = 0; k < alternatives.size(); ++k) {
+        if (alternatives[k].label == link.type_label) {
+          alternatives[k].prob += link.confidence;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        alternatives.push_back(
+            graph::LabelAlternative{link.type_label, link.confidence});
+        kept.push_back(link);
+      }
+      mass += link.confidence;
+    }
+    // Guard against confidence lists that sum above 1 (defensive: the
+    // lexicon normally normalizes).
+    if (mass > 1.0) {
+      for (auto& alt : alternatives) alt.prob /= mass;
+    }
+    int v = out.graph.AddVertex(std::move(alternatives));
+    out.vertex_phrases.push_back(arg.phrase);
+    out.vertex_is_variable.push_back(false);
+    out.vertex_entities.push_back(std::move(kept));
+    vertex_of_argument[i] = v;
+  }
+
+  for (const SemanticQueryGraph::Relation& rel : sq.relations) {
+    const std::vector<PredicateLink>* links = lexicon.FindRelation(rel.phrase);
+    if (links == nullptr || links->empty()) {
+      return NotFoundError("no predicate for relation phrase: '" +
+                           rel.phrase + "'");
+    }
+    graph::LabelId predicate = links->front().predicate;
+    int src = vertex_of_argument[rel.arg1];
+    int dst = vertex_of_argument[rel.arg2];
+    SIMJ_CHECK_GE(src, 0);
+    SIMJ_CHECK_GE(dst, 0);
+    if (src != dst) out.graph.AddEdge(src, dst, predicate);
+  }
+  return out;
+}
+
+}  // namespace simj::nlp

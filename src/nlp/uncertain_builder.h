@@ -1,0 +1,59 @@
+// Uncertain graph generation from parsed questions (paper Section 2.1,
+// Step 1).
+//
+// Vertex construction:
+//   - the wh-argument becomes a wildcard vertex "?x"; when it carries a
+//     class phrase ("which politician"), a certain class vertex is attached
+//     via a `type` edge — mirroring how SPARQL query graphs render
+//     `?x type Politician`;
+//   - entity arguments become uncertain vertices whose alternatives are the
+//     *classes* of the linked candidate entities with their confidences;
+//   - chain intermediates become wildcard vertices with their class vertex.
+//
+// Edge labels take the top-confidence predicate of the relation phrase (the
+// paper defers edge-label uncertainty; LiftUncertainEdges covers the
+// general case).
+
+#ifndef SIMJ_NLP_UNCERTAIN_BUILDER_H_
+#define SIMJ_NLP_UNCERTAIN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/uncertain_graph.h"
+#include "nlp/lexicon.h"
+#include "nlp/semantic_graph.h"
+#include "util/status.h"
+
+namespace simj::nlp {
+
+struct UncertainQuestionGraph {
+  graph::UncertainGraph graph;
+  // Argument phrase that produced each vertex ("" for class vertices and
+  // variables introduced structurally).
+  std::vector<std::string> vertex_phrases;
+  std::vector<bool> vertex_is_variable;
+  int wh_vertex = -1;
+  // Candidate entities per vertex (empty for non-entity vertices), aligned
+  // with the vertex's label alternatives.
+  std::vector<std::vector<EntityLink>> vertex_entities;
+};
+
+struct UncertainBuilderOptions {
+  // Keep at most this many entity-link alternatives per vertex.
+  int max_alternatives = 5;
+  // Name of the type predicate edge label.
+  std::string type_predicate = "type";
+};
+
+// Builds the uncertain graph for a parsed question. Fails when a relation
+// phrase has no predicate candidate or an entity phrase has no link.
+StatusOr<UncertainQuestionGraph> BuildUncertainGraph(
+    const ParsedQuestion& question, const Lexicon& lexicon,
+    graph::LabelDictionary& dict,
+    const UncertainBuilderOptions& options = UncertainBuilderOptions());
+
+}  // namespace simj::nlp
+
+#endif  // SIMJ_NLP_UNCERTAIN_BUILDER_H_

@@ -1,0 +1,132 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace simj::rdf {
+
+namespace {
+
+// Reads one term starting at text[pos]; advances pos past it.
+StatusOr<std::string> ReadTerm(std::string_view line, size_t& pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos >= line.size()) return InvalidArgumentError("missing term");
+  char c = line[pos];
+  if (c == '<') {
+    size_t end = line.find('>', pos);
+    if (end == std::string_view::npos) {
+      return InvalidArgumentError("unterminated IRI");
+    }
+    std::string term(line.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    if (term.empty()) return InvalidArgumentError("empty IRI");
+    return term;
+  }
+  if (c == '"') {
+    size_t end = line.find('"', pos + 1);
+    if (end == std::string_view::npos) {
+      return InvalidArgumentError("unterminated literal");
+    }
+    std::string term(line.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    return term;
+  }
+  size_t begin = pos;
+  while (pos < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  std::string term(line.substr(begin, pos - begin));
+  // A lone '.' terminator is not a term.
+  if (term == ".") return InvalidArgumentError("missing term before '.'");
+  return term;
+}
+
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':' || c == '.' || c == '-' || c == '?')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseNTriples(std::string_view text,
+                                graph::LabelDictionary& dict,
+                                TripleStore* store) {
+  int64_t added = 0;
+  int line_number = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = StripWhitespace(text.substr(begin, end - begin));
+    begin = end + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+
+    size_t pos = 0;
+    StatusOr<std::string> subject = ReadTerm(line, pos);
+    if (!subject.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": " + subject.status().message());
+    }
+    StatusOr<std::string> predicate = ReadTerm(line, pos);
+    if (!predicate.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": " + predicate.status().message());
+    }
+    StatusOr<std::string> object = ReadTerm(line, pos);
+    if (!object.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": " + object.status().message());
+    }
+    std::string_view rest = StripWhitespace(line.substr(pos));
+    if (!rest.empty() && rest != ".") {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": trailing content '" + std::string(rest) +
+                                  "'");
+    }
+    store->Add(dict.Intern(*subject), dict.Intern(*predicate),
+               dict.Intern(*object));
+    ++added;
+  }
+  return added;
+}
+
+std::string ToNTriples(const TripleStore& store,
+                       const graph::LabelDictionary& dict) {
+  std::string out;
+  auto append_term = [&](TermId term) {
+    const std::string& name = dict.Name(term);
+    if (NeedsQuoting(name)) {
+      out += '"';
+      out += name;
+      out += '"';
+    } else {
+      out += '<';
+      out += name;
+      out += '>';
+    }
+  };
+  for (const Triple& triple : store.triples()) {
+    append_term(triple.subject);
+    out += ' ';
+    append_term(triple.predicate);
+    out += ' ';
+    append_term(triple.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace simj::rdf

@@ -1,0 +1,36 @@
+// N-Triples-style serialization for TripleStore: load a knowledge graph
+// from text and write one back, so stores can be persisted and exchanged.
+//
+// Accepted line grammar (a pragmatic subset of W3C N-Triples):
+//   <subject> <predicate> <object> .
+//   subject predicate object .          (bare names allowed)
+//   "literal object"                    (quoted literals keep spaces)
+//   # comment lines and blank lines are skipped
+// Terms are interned into the shared LabelDictionary.
+
+#ifndef SIMJ_RDF_NTRIPLES_H_
+#define SIMJ_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/label.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace simj::rdf {
+
+// Parses N-Triples `text` into `store`. Returns the number of triples
+// added, or an error naming the first offending line.
+StatusOr<int64_t> ParseNTriples(std::string_view text,
+                                graph::LabelDictionary& dict,
+                                TripleStore* store);
+
+// Serializes the store; terms containing characters outside [A-Za-z0-9_:.-]
+// are written as quoted literals, everything else in angle brackets.
+std::string ToNTriples(const TripleStore& store,
+                       const graph::LabelDictionary& dict);
+
+}  // namespace simj::rdf
+
+#endif  // SIMJ_RDF_NTRIPLES_H_

@@ -1,0 +1,211 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace simj::rdf {
+
+namespace {
+
+const std::vector<int>& EmptyIndex() {
+  static const std::vector<int>* kEmpty = new std::vector<int>();
+  return *kEmpty;
+}
+
+int64_t PairKey(TermId a, TermId b) {
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+const std::vector<int>& Lookup(
+    const std::unordered_map<TermId, std::vector<int>>& index, TermId key) {
+  auto it = index.find(key);
+  return it == index.end() ? EmptyIndex() : it->second;
+}
+
+const std::vector<int>& LookupPair(
+    const std::unordered_map<int64_t, std::vector<int>>& index, TermId a,
+    TermId b) {
+  auto it = index.find(PairKey(a, b));
+  return it == index.end() ? EmptyIndex() : it->second;
+}
+
+}  // namespace
+
+void TripleStore::Add(TermId subject, TermId predicate, TermId object) {
+  int id = static_cast<int>(triples_.size());
+  triples_.push_back(Triple{subject, predicate, object});
+  by_subject_[subject].push_back(id);
+  by_predicate_[predicate].push_back(id);
+  by_object_[object].push_back(id);
+  by_sp_[PairKey(subject, predicate)].push_back(id);
+  by_po_[PairKey(predicate, object)].push_back(id);
+}
+
+bool TripleStore::Contains(TermId subject, TermId predicate,
+                           TermId object) const {
+  for (int id : BySubjectPredicate(subject, predicate)) {
+    if (triples_[id].object == object) return true;
+  }
+  return false;
+}
+
+const std::vector<int>& TripleStore::BySubject(TermId subject) const {
+  return Lookup(by_subject_, subject);
+}
+const std::vector<int>& TripleStore::ByPredicate(TermId predicate) const {
+  return Lookup(by_predicate_, predicate);
+}
+const std::vector<int>& TripleStore::ByObject(TermId object) const {
+  return Lookup(by_object_, object);
+}
+const std::vector<int>& TripleStore::BySubjectPredicate(TermId s,
+                                                        TermId p) const {
+  return LookupPair(by_sp_, s, p);
+}
+const std::vector<int>& TripleStore::ByPredicateObject(TermId p,
+                                                       TermId o) const {
+  return LookupPair(by_po_, p, o);
+}
+
+namespace {
+
+// Backtracking BGP evaluation.
+class BgpEvaluator {
+ public:
+  BgpEvaluator(const TripleStore& store, const BgpQuery& query,
+               const graph::LabelDictionary& dict, int64_t max_rows)
+      : store_(store), query_(query), dict_(dict), max_rows_(max_rows) {}
+
+  std::vector<std::vector<TermId>> Run() {
+    done_.assign(query_.patterns.size(), false);
+    Recurse(0);
+    return std::vector<std::vector<TermId>>(rows_.begin(), rows_.end());
+  }
+
+ private:
+  bool IsVar(TermId term) const { return dict_.IsWildcard(term); }
+
+  TermId Resolve(TermId term) const {
+    if (!IsVar(term)) return term;
+    auto it = binding_.find(term);
+    return it == binding_.end() ? graph::kInvalidLabel : it->second;
+  }
+
+  // Estimated number of candidate triples for a pattern under the current
+  // binding; used to pick the most selective pattern next.
+  int64_t Selectivity(const TriplePattern& pattern) const {
+    TermId s = Resolve(pattern.subject);
+    TermId p = Resolve(pattern.predicate);
+    TermId o = Resolve(pattern.object);
+    if (s != graph::kInvalidLabel && p != graph::kInvalidLabel) {
+      return static_cast<int64_t>(store_.BySubjectPredicate(s, p).size());
+    }
+    if (p != graph::kInvalidLabel && o != graph::kInvalidLabel) {
+      return static_cast<int64_t>(store_.ByPredicateObject(p, o).size());
+    }
+    if (s != graph::kInvalidLabel) {
+      return static_cast<int64_t>(store_.BySubject(s).size());
+    }
+    if (o != graph::kInvalidLabel) {
+      return static_cast<int64_t>(store_.ByObject(o).size());
+    }
+    if (p != graph::kInvalidLabel) {
+      return static_cast<int64_t>(store_.ByPredicate(p).size());
+    }
+    return store_.size();
+  }
+
+  const std::vector<int>& Candidates(const TriplePattern& pattern) const {
+    TermId s = Resolve(pattern.subject);
+    TermId p = Resolve(pattern.predicate);
+    TermId o = Resolve(pattern.object);
+    if (s != graph::kInvalidLabel && p != graph::kInvalidLabel) {
+      return store_.BySubjectPredicate(s, p);
+    }
+    if (p != graph::kInvalidLabel && o != graph::kInvalidLabel) {
+      return store_.ByPredicateObject(p, o);
+    }
+    if (s != graph::kInvalidLabel) return store_.BySubject(s);
+    if (o != graph::kInvalidLabel) return store_.ByObject(o);
+    if (p != graph::kInvalidLabel) return store_.ByPredicate(p);
+    all_ids_.resize(store_.size());
+    for (int i = 0; i < store_.size(); ++i) all_ids_[i] = i;
+    return all_ids_;
+  }
+
+  // Tries to unify `term` of a pattern against a concrete `value`,
+  // recording new bindings in `added`.
+  bool Unify(TermId term, TermId value, std::vector<TermId>* added) {
+    if (!IsVar(term)) return term == value;
+    auto it = binding_.find(term);
+    if (it != binding_.end()) return it->second == value;
+    binding_[term] = value;
+    added->push_back(term);
+    return true;
+  }
+
+  void Recurse(size_t bound_count) {
+    if (static_cast<int64_t>(rows_.size()) >= max_rows_) return;
+    if (bound_count == query_.patterns.size()) {
+      std::vector<TermId> row;
+      row.reserve(query_.select_vars.size());
+      for (TermId var : query_.select_vars) {
+        row.push_back(Resolve(var));
+      }
+      rows_.insert(std::move(row));
+      return;
+    }
+    // Pick the most selective unprocessed pattern.
+    int best = -1;
+    int64_t best_count = 0;
+    for (size_t i = 0; i < query_.patterns.size(); ++i) {
+      if (done_[i]) continue;
+      int64_t count = Selectivity(query_.patterns[i]);
+      if (best == -1 || count < best_count) {
+        best = static_cast<int>(i);
+        best_count = count;
+      }
+    }
+    SIMJ_CHECK_GE(best, 0);
+    done_[best] = true;
+    const TriplePattern& pattern = query_.patterns[best];
+    // Candidates may be invalidated by recursive calls reusing all_ids_;
+    // copy the ids.
+    std::vector<int> candidates = Candidates(pattern);
+    for (int id : candidates) {
+      const Triple& t = store_.triples()[id];
+      std::vector<TermId> added;
+      if (Unify(pattern.subject, t.subject, &added) &&
+          Unify(pattern.predicate, t.predicate, &added) &&
+          Unify(pattern.object, t.object, &added)) {
+        Recurse(bound_count + 1);
+      }
+      for (TermId var : added) binding_.erase(var);
+      if (static_cast<int64_t>(rows_.size()) >= max_rows_) break;
+    }
+    done_[best] = false;
+  }
+
+  const TripleStore& store_;
+  const BgpQuery& query_;
+  const graph::LabelDictionary& dict_;
+  int64_t max_rows_;
+  std::unordered_map<TermId, TermId> binding_;
+  std::vector<bool> done_;
+  std::set<std::vector<TermId>> rows_;
+  mutable std::vector<int> all_ids_;
+};
+
+}  // namespace
+
+std::vector<std::vector<TermId>> TripleStore::Evaluate(
+    const BgpQuery& query, const graph::LabelDictionary& dict,
+    int64_t max_rows) const {
+  if (query.patterns.empty()) return {};
+  BgpEvaluator evaluator(*this, query, dict, max_rows);
+  return evaluator.Run();
+}
+
+}  // namespace simj::rdf

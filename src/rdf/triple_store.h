@@ -1,0 +1,85 @@
+// In-memory RDF triple store with a basic-graph-pattern evaluator.
+//
+// Terms (IRIs, literals, variables) are interned in the project-wide
+// graph::LabelDictionary so SPARQL queries, knowledge-base entities and
+// graph labels all share one symbol table. Variables are terms whose name
+// starts with '?'.
+//
+// The store answers OPT-free basic graph patterns — exactly the SPARQL
+// fragment the paper's templates produce — via backtracking joins ordered
+// by selectivity. This is the substrate used to execute generated SPARQL
+// for the Q/A evaluation (Tables 4 and 5).
+
+#ifndef SIMJ_RDF_TRIPLE_STORE_H_
+#define SIMJ_RDF_TRIPLE_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/label.h"
+
+namespace simj::rdf {
+
+using TermId = graph::LabelId;
+
+struct Triple {
+  TermId subject = graph::kInvalidLabel;
+  TermId predicate = graph::kInvalidLabel;
+  TermId object = graph::kInvalidLabel;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+// A triple pattern: any position may hold a variable term.
+struct TriplePattern {
+  TermId subject = graph::kInvalidLabel;
+  TermId predicate = graph::kInvalidLabel;
+  TermId object = graph::kInvalidLabel;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+struct BgpQuery {
+  std::vector<TermId> select_vars;
+  std::vector<TriplePattern> patterns;
+};
+
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  // Adds a triple (duplicates are kept; Contains de-duplicates logically).
+  void Add(TermId subject, TermId predicate, TermId object);
+
+  int64_t size() const { return static_cast<int64_t>(triples_.size()); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  bool Contains(TermId subject, TermId predicate, TermId object) const;
+
+  // Triple indexes (ids into triples()) by field value; empty vector when
+  // the value never occurs.
+  const std::vector<int>& BySubject(TermId subject) const;
+  const std::vector<int>& ByPredicate(TermId predicate) const;
+  const std::vector<int>& ByObject(TermId object) const;
+  const std::vector<int>& BySubjectPredicate(TermId s, TermId p) const;
+  const std::vector<int>& ByPredicateObject(TermId p, TermId o) const;
+
+  // Evaluates a basic graph pattern. Returns distinct rows of bindings for
+  // the query's select variables, capped at `max_rows`. Variables are
+  // detected via dict.IsWildcard.
+  std::vector<std::vector<TermId>> Evaluate(
+      const BgpQuery& query, const graph::LabelDictionary& dict,
+      int64_t max_rows = 100000) const;
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_map<TermId, std::vector<int>> by_subject_;
+  std::unordered_map<TermId, std::vector<int>> by_predicate_;
+  std::unordered_map<TermId, std::vector<int>> by_object_;
+  std::unordered_map<int64_t, std::vector<int>> by_sp_;
+  std::unordered_map<int64_t, std::vector<int>> by_po_;
+};
+
+}  // namespace simj::rdf
+
+#endif  // SIMJ_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,230 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace simj::sparql {
+
+namespace {
+
+struct Tokenizer {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Done() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  // Returns the next token: punctuation '{' '}' '.' as single chars, '<iri>'
+  // as one token, otherwise a run of non-space non-punctuation characters.
+  StatusOr<std::string> Next() {
+    SkipSpace();
+    if (pos >= text.size()) return InvalidArgumentError("unexpected end of query");
+    char c = text[pos];
+    if (c == '{' || c == '}' || c == '.') {
+      ++pos;
+      return std::string(1, c);
+    }
+    if (c == '<') {
+      size_t end = text.find('>', pos);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated IRI");
+      }
+      std::string token(text.substr(pos, end - pos + 1));
+      pos = end + 1;
+      return token;
+    }
+    size_t begin = pos;
+    while (pos < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[pos])) &&
+           text[pos] != '{' && text[pos] != '}' && text[pos] != '.') {
+      ++pos;
+    }
+    return std::string(text.substr(begin, pos - begin));
+  }
+
+  StatusOr<std::string> Peek() {
+    size_t saved = pos;
+    StatusOr<std::string> token = Next();
+    pos = saved;
+    return token;
+  }
+};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  return ToLower(a) == ToLower(b);
+}
+
+// Strips angle brackets from IRIs; leaves variables and bare names alone.
+std::string NormalizeTerm(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '<' && token.back() == '>') {
+    return token.substr(1, token.size() - 2);
+  }
+  return token;
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseSparql(std::string_view text,
+                                  graph::LabelDictionary& dict) {
+  Tokenizer tok{text};
+  std::unordered_map<std::string, std::string> prefixes;
+
+  // PREFIX declarations.
+  StatusOr<std::string> keyword = tok.Next();
+  if (!keyword.ok()) return keyword.status();
+  while (EqualsIgnoreCase(*keyword, "PREFIX")) {
+    StatusOr<std::string> name = tok.Next();
+    if (!name.ok()) return name.status();
+    if (name->empty() || name->back() != ':') {
+      return InvalidArgumentError("prefix name must end in ':', got '" +
+                                  *name + "'");
+    }
+    StatusOr<std::string> iri = tok.Next();
+    if (!iri.ok()) return iri.status();
+    if (iri->size() < 2 || iri->front() != '<' || iri->back() != '>') {
+      return InvalidArgumentError("prefix IRI must use angle brackets");
+    }
+    prefixes[name->substr(0, name->size() - 1)] =
+        iri->substr(1, iri->size() - 2);
+    keyword = tok.Next();
+    if (!keyword.ok()) return keyword.status();
+  }
+
+  if (!EqualsIgnoreCase(*keyword, "SELECT")) {
+    return InvalidArgumentError("expected SELECT, got '" + *keyword + "'");
+  }
+
+  // Expands "pre:name" using declared prefixes; leaves other terms alone.
+  auto expand = [&](const std::string& term) {
+    if (!term.empty() && term[0] == '?') return term;
+    size_t colon = term.find(':');
+    if (colon == std::string::npos) return term;
+    auto it = prefixes.find(term.substr(0, colon));
+    if (it == prefixes.end()) return term;
+    return it->second + term.substr(colon + 1);
+  };
+
+  ParsedQuery query;
+  bool first_select_token = true;
+  while (true) {
+    StatusOr<std::string> token = tok.Next();
+    if (!token.ok()) return token.status();
+    if (EqualsIgnoreCase(*token, "WHERE")) break;
+    if (first_select_token && EqualsIgnoreCase(*token, "DISTINCT")) {
+      query.distinct = true;
+      first_select_token = false;
+      continue;
+    }
+    first_select_token = false;
+    if (token->empty() || (*token)[0] != '?') {
+      return InvalidArgumentError("expected variable or WHERE, got '" +
+                                  *token + "'");
+    }
+    query.select_vars.push_back(dict.Intern(*token));
+  }
+  if (query.select_vars.empty()) {
+    return InvalidArgumentError("SELECT clause has no variables");
+  }
+
+  StatusOr<std::string> brace = tok.Next();
+  if (!brace.ok()) return brace.status();
+  if (*brace != "{") return InvalidArgumentError("expected '{'");
+
+  while (true) {
+    StatusOr<std::string> first = tok.Next();
+    if (!first.ok()) return first.status();
+    if (*first == "}") break;
+    if (*first == ".") continue;  // tolerate stray separators
+    StatusOr<std::string> second = tok.Next();
+    if (!second.ok()) return second.status();
+    StatusOr<std::string> third = tok.Next();
+    if (!third.ok()) return third.status();
+    if (*second == "}" || *second == "." || *third == "}" || *third == ".") {
+      return InvalidArgumentError("incomplete triple pattern");
+    }
+    rdf::TriplePattern pattern;
+    pattern.subject = dict.Intern(expand(NormalizeTerm(*first)));
+    pattern.predicate = dict.Intern(expand(NormalizeTerm(*second)));
+    pattern.object = dict.Intern(expand(NormalizeTerm(*third)));
+    query.patterns.push_back(pattern);
+  }
+  if (query.patterns.empty()) {
+    return InvalidArgumentError("empty WHERE clause");
+  }
+  if (!tok.Done()) {
+    StatusOr<std::string> token = tok.Next();
+    if (!token.ok()) return token.status();
+    if (!EqualsIgnoreCase(*token, "LIMIT")) {
+      return InvalidArgumentError("trailing tokens after '}'");
+    }
+    StatusOr<std::string> number = tok.Next();
+    if (!number.ok()) return number.status();
+    char* end = nullptr;
+    long value = std::strtol(number->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value < 0) {
+      return InvalidArgumentError("invalid LIMIT value '" + *number + "'");
+    }
+    query.limit = value;
+    if (!tok.Done()) return InvalidArgumentError("trailing tokens after LIMIT");
+  }
+  return query;
+}
+
+std::string ToSparqlText(const ParsedQuery& query,
+                         const graph::LabelDictionary& dict) {
+  std::string out = "SELECT";
+  if (query.distinct) out += " DISTINCT";
+  for (rdf::TermId var : query.select_vars) {
+    out += " " + dict.Name(var);
+  }
+  out += " WHERE { ";
+  for (const rdf::TriplePattern& pattern : query.patterns) {
+    out += dict.Name(pattern.subject) + " " + dict.Name(pattern.predicate) +
+           " " + dict.Name(pattern.object) + " . ";
+  }
+  out += "}";
+  if (query.limit >= 0) out += " LIMIT " + std::to_string(query.limit);
+  return out;
+}
+
+QueryGraph BuildQueryGraph(
+    const ParsedQuery& query, const graph::LabelDictionary& dict,
+    const std::function<graph::LabelId(rdf::TermId)>* type_of) {
+  QueryGraph out;
+  std::unordered_map<rdf::TermId, int> vertex_of;
+  auto vertex_for = [&](rdf::TermId term) {
+    auto it = vertex_of.find(term);
+    if (it != vertex_of.end()) return it->second;
+    graph::LabelId label = term;
+    if (!dict.IsWildcard(term) && type_of != nullptr) {
+      graph::LabelId type = (*type_of)(term);
+      if (type != graph::kInvalidLabel) label = type;
+    }
+    int v = out.graph.AddVertex(label);
+    out.vertex_terms.push_back(term);
+    vertex_of.emplace(term, v);
+    return v;
+  };
+  for (const rdf::TriplePattern& pattern : query.patterns) {
+    int src = vertex_for(pattern.subject);
+    int dst = vertex_for(pattern.object);
+    // Reflexive patterns (?x p ?x) have no graph-edit-distance meaning in
+    // the paper's model; the vertex is kept, the self loop dropped.
+    if (src != dst) out.graph.AddEdge(src, dst, pattern.predicate);
+  }
+  return out;
+}
+
+}  // namespace simj::sparql

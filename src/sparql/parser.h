@@ -1,0 +1,74 @@
+// Parser for the OPT-free SPARQL fragment the paper works with (basic graph
+// patterns of SELECT queries) and conversion to query graphs.
+//
+// Accepted grammar (keywords case-insensitive):
+//
+//   query   := prefix* SELECT DISTINCT? var+ WHERE
+//              '{' triple ( '.' triple )* '.'? '}' (LIMIT number)?
+//   prefix  := PREFIX name ':' '<' iri '>'
+//   triple  := term term term
+//   term    := '?'name | '<' iri '>' | prefixed name | name
+//
+// Prefixed names ("dbo:Artist") are expanded against the declared
+// prefixes. Terms are interned into the shared LabelDictionary; variables
+// keep their leading '?', which makes them wildcards throughout the
+// system.
+
+#ifndef SIMJ_SPARQL_PARSER_H_
+#define SIMJ_SPARQL_PARSER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace simj::sparql {
+
+struct ParsedQuery {
+  std::vector<rdf::TermId> select_vars;
+  std::vector<rdf::TriplePattern> patterns;
+  bool distinct = false;
+  // Row cap from a LIMIT clause; -1 means unlimited. (The BGP evaluator
+  // always returns distinct rows, so `distinct` only documents intent.)
+  int64_t limit = -1;
+
+  rdf::BgpQuery ToBgp() const { return rdf::BgpQuery{select_vars, patterns}; }
+};
+
+// Parses `text` into a query, interning all terms into `dict`.
+StatusOr<ParsedQuery> ParseSparql(std::string_view text,
+                                  graph::LabelDictionary& dict);
+
+// Serializes a query back to SPARQL text.
+std::string ToSparqlText(const ParsedQuery& query,
+                         const graph::LabelDictionary& dict);
+
+// A SPARQL query as a certain labeled graph (paper Section 2.1 Step 2) plus
+// the provenance needed by template generation.
+struct QueryGraph {
+  graph::LabeledGraph graph;
+  // Original term of each vertex (the entity, class, or variable).
+  std::vector<rdf::TermId> vertex_terms;
+};
+
+// Builds the query graph: one vertex per distinct subject/object term, one
+// directed edge per triple labeled with the predicate.
+//
+// `type_of` optionally rewrites a vertex's *display label*: the paper joins
+// on the class of an entity rather than its identity ("Harvard_University"
+// is labeled "University"), so callers pass a resolver backed by the
+// knowledge base. Terms for which the resolver returns kInvalidLabel (and
+// all variables) keep their own name as label. vertex_terms always keeps
+// the original term.
+QueryGraph BuildQueryGraph(
+    const ParsedQuery& query, const graph::LabelDictionary& dict,
+    const std::function<graph::LabelId(rdf::TermId)>* type_of = nullptr);
+
+}  // namespace simj::sparql
+
+#endif  // SIMJ_SPARQL_PARSER_H_

@@ -1,0 +1,87 @@
+#include "templates/baselines.h"
+
+#include <string>
+#include <vector>
+
+#include "nlp/semantic_graph.h"
+
+namespace simj::tmpl {
+
+namespace {
+
+// Shared translation: semantic query graph -> SPARQL with top-1 links.
+StatusOr<QaAnswer> TranslateAndRun(const std::string& question,
+                                   const nlp::Lexicon& lexicon,
+                                   const rdf::TripleStore& store,
+                                   graph::LabelDictionary& dict,
+                                   bool use_class_constraints) {
+  StatusOr<nlp::ParsedQuestion> parsed = nlp::ParseQuestion(question, lexicon);
+  if (!parsed.ok()) return parsed.status();
+  const nlp::SemanticQueryGraph& sq = parsed->graph;
+
+  graph::LabelId type_predicate = dict.Intern("type");
+  QaAnswer answer;
+
+  // Assign a term to every argument.
+  std::vector<rdf::TermId> term_of(sq.arguments.size(),
+                                   graph::kInvalidLabel);
+  int next_variable = 0;
+  for (size_t i = 0; i < sq.arguments.size(); ++i) {
+    const nlp::SemanticArgument& arg = sq.arguments[i];
+    if (arg.is_variable) {
+      std::string name = "?v" + std::to_string(next_variable++);
+      term_of[i] = dict.Intern(name);
+      if (use_class_constraints && !arg.phrase.empty()) {
+        const nlp::ClassLink* link = lexicon.FindClass(arg.phrase);
+        if (link != nullptr) {
+          answer.executed.patterns.push_back(
+              rdf::TriplePattern{term_of[i], type_predicate,
+                                 link->class_term});
+        }
+      }
+      continue;
+    }
+    const std::vector<nlp::EntityLink>* links = lexicon.FindEntity(arg.phrase);
+    if (links == nullptr || links->empty()) {
+      return NotFoundError("no entity link for '" + arg.phrase + "'");
+    }
+    term_of[i] = links->front().entity;  // top-1 linking
+  }
+
+  for (const nlp::SemanticQueryGraph::Relation& rel : sq.relations) {
+    const std::vector<nlp::PredicateLink>* links =
+        lexicon.FindRelation(rel.phrase);
+    if (links == nullptr || links->empty()) {
+      return NotFoundError("no predicate for '" + rel.phrase + "'");
+    }
+    answer.executed.patterns.push_back(rdf::TriplePattern{
+        term_of[rel.arg1], links->front().predicate, term_of[rel.arg2]});
+  }
+
+  if (parsed->wh_argument < 0) {
+    return InvalidArgumentError("no answer variable");
+  }
+  answer.executed.select_vars.push_back(term_of[parsed->wh_argument]);
+  answer.rows = store.Evaluate(answer.executed.ToBgp(), dict);
+  return answer;
+}
+
+}  // namespace
+
+StatusOr<QaAnswer> DirectGraphQa(const std::string& question,
+                                 const nlp::Lexicon& lexicon,
+                                 const rdf::TripleStore& store,
+                                 graph::LabelDictionary& dict) {
+  return TranslateAndRun(question, lexicon, store, dict,
+                         /*use_class_constraints=*/true);
+}
+
+StatusOr<QaAnswer> JointGreedyQa(const std::string& question,
+                                 const nlp::Lexicon& lexicon,
+                                 const rdf::TripleStore& store,
+                                 graph::LabelDictionary& dict) {
+  return TranslateAndRun(question, lexicon, store, dict,
+                         /*use_class_constraints=*/false);
+}
+
+}  // namespace simj::tmpl

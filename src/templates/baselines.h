@@ -1,0 +1,41 @@
+// Non-template Q/A baselines for the Table 4 comparison.
+//
+// DirectGraphQa follows the gAnswer [33] recipe: parse the question into a
+// semantic query graph, link every phrase to its top candidate, build the
+// SPARQL query directly and execute it. It keeps the wh-class constraint
+// but is at the mercy of top-1 entity/predicate linking.
+//
+// JointGreedyQa follows the DEANNA [23] flavor of joint disambiguation in a
+// deliberately simplified form: the same greedy top-1 choices, but without
+// the class constraint on the answer variable (DEANNA's ILP optimizes
+// phrase coherence, not answer typing). See DESIGN.md for the substitution
+// rationale.
+
+#ifndef SIMJ_TEMPLATES_BASELINES_H_
+#define SIMJ_TEMPLATES_BASELINES_H_
+
+#include <string>
+
+#include "graph/label.h"
+#include "nlp/lexicon.h"
+#include "rdf/triple_store.h"
+#include "templates/qa.h"
+#include "util/status.h"
+
+namespace simj::tmpl {
+
+// gAnswer-style direct semantic-graph translation.
+StatusOr<QaAnswer> DirectGraphQa(const std::string& question,
+                                 const nlp::Lexicon& lexicon,
+                                 const rdf::TripleStore& store,
+                                 graph::LabelDictionary& dict);
+
+// DEANNA-style greedy joint disambiguation (no answer-type constraint).
+StatusOr<QaAnswer> JointGreedyQa(const std::string& question,
+                                 const nlp::Lexicon& lexicon,
+                                 const rdf::TripleStore& store,
+                                 graph::LabelDictionary& dict);
+
+}  // namespace simj::tmpl
+
+#endif  // SIMJ_TEMPLATES_BASELINES_H_

@@ -1,0 +1,72 @@
+// Template-based question answering (paper Section 2.2) and evaluation
+// metrics.
+//
+// Pipeline for a new question:
+//   1. template matching — dependency-tree edit distance between the
+//      question and each template's slotted tree (token-alignment cost as
+//      tie breaker / fallback when the question does not parse);
+//   2. slot filling — token alignment captures the phrase behind each slot
+//      and yields the matching proportion phi (partial matches allowed);
+//   3. entity linking — slot phrases are resolved to entities (preferring
+//      candidates of the slot's expected class) or class terms;
+//   4. execution — the instantiated SPARQL runs on the triple store.
+
+#ifndef SIMJ_TEMPLATES_QA_H_
+#define SIMJ_TEMPLATES_QA_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "nlp/lexicon.h"
+#include "rdf/triple_store.h"
+#include "sparql/parser.h"
+#include "templates/template.h"
+#include "util/status.h"
+
+namespace simj::tmpl {
+
+struct QaAnswer {
+  std::vector<std::vector<rdf::TermId>> rows;
+  sparql::ParsedQuery executed;
+  int template_index = -1;     // -1 for non-template baselines
+  double matching_proportion = 1.0;
+  int tree_edit_distance = -1; // -1 when tree matching was unavailable
+};
+
+struct QaOptions {
+  // Minimum matching proportion phi for a template to be used (Table 5).
+  double min_matching_proportion = 0.5;
+};
+
+class TemplateQa {
+ public:
+  TemplateQa(const TemplateStore* templates, const nlp::Lexicon* lexicon,
+             const rdf::TripleStore* store, graph::LabelDictionary* dict)
+      : templates_(templates), lexicon_(lexicon), store_(store), dict_(dict) {}
+
+  // Answers `question` with the best matching template; fails when no
+  // template aligns above the phi threshold or slot linking fails.
+  StatusOr<QaAnswer> Answer(const std::string& question,
+                            const QaOptions& options = QaOptions()) const;
+
+ private:
+  const TemplateStore* templates_;
+  const nlp::Lexicon* lexicon_;
+  const rdf::TripleStore* store_;
+  graph::LabelDictionary* dict_;
+};
+
+// Per-question precision/recall/F1 against gold rows; both sides are sets
+// of rows. Empty-vs-empty counts as a perfect match (the QALD convention).
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+PrfScore ScoreAnswer(const std::vector<std::vector<rdf::TermId>>& gold,
+                     const std::vector<std::vector<rdf::TermId>>& answer);
+
+}  // namespace simj::tmpl
+
+#endif  // SIMJ_TEMPLATES_QA_H_

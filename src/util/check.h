@@ -1,0 +1,39 @@
+// Lightweight assertion macros for programmer errors.
+//
+// SIMJ_CHECK(cond) aborts the process with a message when `cond` is false.
+// These are for invariants that indicate a bug, never for recoverable
+// conditions (use Status for those). Enabled in all build types.
+
+#ifndef SIMJ_UTIL_CHECK_H_
+#define SIMJ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace simj {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SIMJ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace simj
+
+#define SIMJ_CHECK(cond)                                            \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::simj::internal_check::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                               \
+  } while (false)
+
+#define SIMJ_CHECK_EQ(a, b) SIMJ_CHECK((a) == (b))
+#define SIMJ_CHECK_NE(a, b) SIMJ_CHECK((a) != (b))
+#define SIMJ_CHECK_LT(a, b) SIMJ_CHECK((a) < (b))
+#define SIMJ_CHECK_LE(a, b) SIMJ_CHECK((a) <= (b))
+#define SIMJ_CHECK_GT(a, b) SIMJ_CHECK((a) > (b))
+#define SIMJ_CHECK_GE(a, b) SIMJ_CHECK((a) >= (b))
+
+#endif  // SIMJ_UTIL_CHECK_H_

@@ -1,0 +1,48 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace simj {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::string lowered = ToLower(it->second);
+  return lowered == "1" || lowered == "true" || lowered == "yes";
+}
+
+}  // namespace simj

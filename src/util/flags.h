@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the benchmark harnesses:
+// --key=value pairs with typed getters and defaults, so every bench can be
+// re-scaled from the command line while running fine with no arguments.
+//
+//   Flags flags(argc, argv);
+//   int n = flags.GetInt("num_questions", 200);
+//   double alpha = flags.GetDouble("alpha", 0.9);
+
+#ifndef SIMJ_UTIL_FLAGS_H_
+#define SIMJ_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace simj {
+
+class Flags {
+ public:
+  // Parses argv; unrecognized arguments (no leading "--" or no '=') are
+  // ignored so harness runners can pass their own options through.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace simj
+
+#endif  // SIMJ_UTIL_FLAGS_H_

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+namespace simj {
+
+int Rng::WeightedIndex(const std::vector<double>& weights) {
+  SIMJ_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SIMJ_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SIMJ_CHECK_GT(total, 0.0);
+  double draw = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (draw < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<double> Rng::RandomSimplex(int n, double concentration) {
+  SIMJ_CHECK_GT(n, 0);
+  std::gamma_distribution<double> gamma(concentration, 1.0);
+  std::vector<double> out(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Clamp away from zero so every label keeps nonzero probability.
+    out[i] = gamma(engine_) + 1e-6;
+    total += out[i];
+  }
+  for (int i = 0; i < n; ++i) out[i] /= total;
+  return out;
+}
+
+}  // namespace simj

@@ -1,0 +1,61 @@
+// Deterministic, explicitly seeded random number generation used by all
+// workload generators and benchmarks. Every generator takes an Rng so runs
+// are reproducible end to end.
+
+#ifndef SIMJ_UTIL_RNG_H_
+#define SIMJ_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace simj {
+
+// Wrapper around std::mt19937_64 with convenience draws.
+// Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    SIMJ_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Index in [0, n) drawn proportionally to `weights` (must be non-empty,
+  // non-negative, with positive sum).
+  int WeightedIndex(const std::vector<double>& weights);
+
+  // Random probability vector of length n (each entry > 0, sums to 1).
+  // `concentration` < 1 skews toward one dominant entry, > 1 flattens.
+  std::vector<double> RandomSimplex(int n, double concentration);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int i = static_cast<int>(items.size()) - 1; i > 0; --i) {
+      int j = static_cast<int>(Uniform(0, i));
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace simj
+
+#endif  // SIMJ_UTIL_RNG_H_

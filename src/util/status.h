@@ -1,0 +1,104 @@
+// Error handling without exceptions: Status carries an error code and
+// message; StatusOr<T> carries either a value or a non-OK Status.
+//
+// Usage:
+//   StatusOr<ParsedQuery> result = ParseSparql(text);
+//   if (!result.ok()) return result.status();
+//   Use(result.value());
+
+#ifndef SIMJ_UTIL_STATUS_H_
+#define SIMJ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace simj {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type result of an operation that can fail. Copyable and movable.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Holds either a T or a non-OK Status. Accessing value() on a non-OK
+// StatusOr is a programmer error and aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` or `return status;`.
+  StatusOr(T value) : rep_(std::move(value)) {}
+  StatusOr(Status status) : rep_(std::move(status)) {
+    SIMJ_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    SIMJ_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    SIMJ_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    SIMJ_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace simj
+
+#endif  // SIMJ_UTIL_STATUS_H_

@@ -1,0 +1,109 @@
+#include "workload/io.h"
+
+#include <unordered_map>
+
+#include "sparql/parser.h"
+#include "util/strings.h"
+
+namespace simj::workload {
+
+namespace {
+
+// k of a question = number of non-type triple patterns (the paper's
+// "relations").
+int CountRelations(const sparql::ParsedQuery& query,
+                   const graph::LabelDictionary& dict) {
+  int relations = 0;
+  graph::LabelId type_term = dict.Find("type");
+  for (const rdf::TriplePattern& pattern : query.patterns) {
+    if (pattern.predicate != type_term) ++relations;
+  }
+  return relations;
+}
+
+}  // namespace
+
+std::string SerializeWorkload(const Workload& workload,
+                              const graph::LabelDictionary& dict) {
+  (void)dict;
+  std::string out;
+  std::vector<bool> has_question(workload.sparql_texts.size(), false);
+  for (const QuestionInstance& question : workload.questions) {
+    out += "Q " + question.text + "\t" + question.gold_query_text + "\n";
+    if (question.gold_sparql_index >= 0) {
+      has_question[question.gold_sparql_index] = true;
+    }
+  }
+  for (size_t i = 0; i < workload.sparql_texts.size(); ++i) {
+    if (!has_question[i]) out += "S " + workload.sparql_texts[i] + "\n";
+  }
+  return out;
+}
+
+StatusOr<Workload> ParseWorkloadText(std::string_view text,
+                                     graph::LabelDictionary& dict) {
+  Workload workload;
+  std::unordered_map<std::string, int> query_index_by_text;
+
+  auto intern_query = [&](sparql::ParsedQuery query,
+                          const std::string& query_text) {
+    auto it = query_index_by_text.find(query_text);
+    if (it != query_index_by_text.end()) return it->second;
+    int index = static_cast<int>(workload.sparql_queries.size());
+    workload.sparql_queries.push_back(std::move(query));
+    workload.sparql_texts.push_back(query_text);
+    query_index_by_text.emplace(query_text, index);
+    return index;
+  };
+
+  size_t begin = 0;
+  int line_number = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string line(StripWhitespace(text.substr(begin, end - begin)));
+    begin = end + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& what) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": " + what);
+    };
+
+    if (StartsWith(line, "Q ")) {
+      size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return fail("Q line needs '<question> \\t <sparql>'");
+      }
+      QuestionInstance question;
+      question.text = std::string(StripWhitespace(line.substr(2, tab - 2)));
+      std::string query_text(StripWhitespace(line.substr(tab + 1)));
+      if (question.text.empty() || query_text.empty()) {
+        return fail("empty question or query");
+      }
+      StatusOr<sparql::ParsedQuery> query =
+          sparql::ParseSparql(query_text, dict);
+      if (!query.ok()) return fail(query.status().message());
+      question.num_relations = CountRelations(*query, dict);
+      // Re-serialize so textual variants of the same query deduplicate.
+      std::string canonical = sparql::ToSparqlText(*query, dict);
+      question.gold_query = *query;
+      question.gold_sparql_index = intern_query(*std::move(query), canonical);
+      question.gold_query_text = canonical;
+      workload.questions.push_back(std::move(question));
+    } else if (StartsWith(line, "S ")) {
+      std::string query_text(StripWhitespace(line.substr(2)));
+      StatusOr<sparql::ParsedQuery> query =
+          sparql::ParseSparql(query_text, dict);
+      if (!query.ok()) return fail(query.status().message());
+      std::string canonical = sparql::ToSparqlText(*query, dict);
+      intern_query(*std::move(query), canonical);
+    } else {
+      return fail("unrecognized line '" + line + "'");
+    }
+  }
+  return workload;
+}
+
+}  // namespace simj::workload

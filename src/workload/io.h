@@ -1,0 +1,32 @@
+// Workload persistence: a line-oriented text format for paired
+// question/SPARQL workloads, the adoption path for real data (QALD-style
+// benchmarks ship exactly this shape: a question and its gold query).
+//
+//   # comment
+//   Q <question text> \t <gold SPARQL>
+//   S <SPARQL with no paired question>        (distractor queries)
+//
+// ParseWorkloadText deduplicates gold queries into the D side exactly as
+// the generator does, so a loaded workload drops into BuildJoinSides
+// unchanged.
+
+#ifndef SIMJ_WORKLOAD_IO_H_
+#define SIMJ_WORKLOAD_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/label.h"
+#include "workload/question_gen.h"
+
+namespace simj::workload {
+
+std::string SerializeWorkload(const Workload& workload,
+                              const graph::LabelDictionary& dict);
+
+StatusOr<Workload> ParseWorkloadText(std::string_view text,
+                                     graph::LabelDictionary& dict);
+
+}  // namespace simj::workload
+
+#endif  // SIMJ_WORKLOAD_IO_H_

@@ -1,0 +1,257 @@
+#include "workload/question_gen.h"
+
+#include <unordered_map>
+
+#include "ged/edit_distance.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace simj::workload {
+
+namespace {
+
+using KbFact = KnowledgeBase::Fact;
+
+// One relation clause of a question under construction.
+struct Clause {
+  int predicate_index = -1;
+  int object_entity = -1;   // entity index, or -1 when the object is a
+  int object_class = -1;    // chain variable of this class
+  bool chains_from_previous = false;
+};
+
+struct Draft {
+  int wh_class = -1;
+  // "Who <rel> <entity>?" questions have no class constraint at all: the
+  // gold query drops the type triple, like the NL side drops the class
+  // phrase.
+  bool who_head = false;
+  std::vector<Clause> clauses;
+};
+
+// Samples a question draft from the knowledge base's facts so the gold
+// query always has at least one answer.
+bool SampleDraft(KnowledgeBase& kb, Rng& rng, int relations,
+                 bool chain_shape, Draft* draft) {
+  const auto& entities = kb.entities();
+  if (entities.empty()) return false;
+  // Seed entity: needs enough facts for a star, or a chainable fact.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    int e0 = static_cast<int>(rng.Uniform(0, entities.size() - 1));
+    const std::vector<KbFact>& facts = kb.FactsOf(e0);
+    if (facts.empty()) continue;
+    draft->wh_class = entities[e0].class_index;
+    draft->clauses.clear();
+
+    if (relations == 1 || !chain_shape) {
+      // Star: k distinct facts of e0.
+      if (static_cast<int>(facts.size()) < relations) continue;
+      std::vector<int> order(facts.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+      rng.Shuffle(order);
+      for (int k = 0; k < relations; ++k) {
+        const KbFact& fact = facts[order[k]];
+        draft->clauses.push_back(
+            Clause{fact.predicate_index, fact.object_entity, -1, false});
+      }
+      return true;
+    }
+
+    // Chain: e0 -p1-> o1 -p2-> o2 ... The first (relations - 1) hops end in
+    // class-constrained variables; only the last object is a concrete
+    // entity.
+    int current = e0;
+    bool ok = true;
+    for (int k = 0; k < relations; ++k) {
+      const std::vector<KbFact>& step_facts = kb.FactsOf(current);
+      if (step_facts.empty()) {
+        ok = false;
+        break;
+      }
+      const KbFact& fact =
+          step_facts[rng.Uniform(0, step_facts.size() - 1)];
+      Clause clause;
+      clause.predicate_index = fact.predicate_index;
+      clause.chains_from_previous = k > 0;
+      if (k + 1 < relations) {
+        clause.object_class = kb.entities()[fact.object_entity].class_index;
+        clause.object_entity = -1;
+      } else {
+        clause.object_entity = fact.object_entity;
+      }
+      draft->clauses.push_back(clause);
+      current = fact.object_entity;
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// Renders the question text.
+std::string RenderQuestion(const KnowledgeBase& kb, Rng& rng,
+                           const Draft& draft) {
+  const auto& classes = kb.classes();
+  const auto& predicates = kb.predicates();
+  std::string text;
+  if (draft.who_head) {
+    text = "Who";
+  } else if (rng.Bernoulli(0.3)) {
+    // "Give me all" heads usually pluralize the class phrase.
+    std::string phrase = classes[draft.wh_class].phrase;
+    if (rng.Bernoulli(0.6)) {
+      if (phrase.size() > 1 && phrase.back() == 'y') {
+        phrase = phrase.substr(0, phrase.size() - 1) + "ies";
+      } else {
+        phrase += "s";
+      }
+    }
+    text = "Give me all " + phrase;
+  } else {
+    text = "Which " + classes[draft.wh_class].phrase;
+  }
+  for (size_t i = 0; i < draft.clauses.size(); ++i) {
+    const Clause& clause = draft.clauses[i];
+    const auto& phrases = predicates[clause.predicate_index].phrases;
+    const std::string& rel_phrase =
+        phrases[rng.Uniform(0, phrases.size() - 1)];
+    if (i > 0) {
+      text += clause.chains_from_previous ? " that" : " and";
+    }
+    text += " " + rel_phrase;
+    if (clause.object_entity >= 0) {
+      text += " " + kb.entities()[clause.object_entity].phrase;
+    } else {
+      text += " the " + classes[clause.object_class].phrase;
+    }
+  }
+  text += "?";
+  return text;
+}
+
+// Builds the gold SPARQL query.
+sparql::ParsedQuery BuildGoldQuery(KnowledgeBase& kb, const Draft& draft) {
+  graph::LabelDictionary& dict = kb.dict();
+  sparql::ParsedQuery query;
+  rdf::TermId wh_var = dict.Intern("?x");
+  query.select_vars.push_back(wh_var);
+  if (!draft.who_head) {
+    query.patterns.push_back(rdf::TriplePattern{
+        wh_var, kb.type_predicate(), kb.classes()[draft.wh_class].term});
+  }
+
+  int next_var = 0;
+  rdf::TermId attach = wh_var;
+  for (const Clause& clause : draft.clauses) {
+    rdf::TermId subject = clause.chains_from_previous ? attach : wh_var;
+    rdf::TermId object;
+    if (clause.object_entity >= 0) {
+      object = kb.entities()[clause.object_entity].term;
+    } else {
+      object = dict.Intern("?c" + std::to_string(next_var++));
+      query.patterns.push_back(rdf::TriplePattern{
+          object, kb.type_predicate(),
+          kb.classes()[clause.object_class].term});
+    }
+    query.patterns.push_back(rdf::TriplePattern{
+        subject, kb.predicates()[clause.predicate_index].term, object});
+    attach = object;
+  }
+  return query;
+}
+
+// A distractor query: a random star pattern with no paired question.
+sparql::ParsedQuery BuildDistractor(KnowledgeBase& kb, Rng& rng) {
+  Draft draft;
+  int relations = static_cast<int>(rng.Uniform(1, 3));
+  while (!SampleDraft(kb, rng, relations, rng.Bernoulli(0.3), &draft)) {
+    relations = 1;
+  }
+  return BuildGoldQuery(kb, draft);
+}
+
+}  // namespace
+
+Workload GenerateWorkload(KnowledgeBase& kb, const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Workload workload;
+  std::unordered_map<std::string, int> query_index_by_text;
+
+  auto intern_query = [&](sparql::ParsedQuery query) {
+    std::string text = sparql::ToSparqlText(query, kb.dict());
+    auto it = query_index_by_text.find(text);
+    if (it != query_index_by_text.end()) return it->second;
+    int index = static_cast<int>(workload.sparql_queries.size());
+    workload.sparql_queries.push_back(std::move(query));
+    workload.sparql_texts.push_back(text);
+    query_index_by_text.emplace(std::move(text), index);
+    return index;
+  };
+
+  while (static_cast<int>(workload.questions.size()) < config.num_questions) {
+    int relations = 1 + rng.WeightedIndex(config.relation_count_weights);
+    bool chain = relations >= 2 && rng.Bernoulli(config.chain_probability);
+    Draft draft;
+    if (!SampleDraft(kb, rng, relations, chain, &draft)) continue;
+    // A slice of single-relation questions uses the class-free "Who" head.
+    if (relations == 1 && rng.Bernoulli(0.12)) draft.who_head = true;
+
+    QuestionInstance question;
+    question.text = RenderQuestion(kb, rng, draft);
+    question.gold_query = BuildGoldQuery(kb, draft);
+    question.num_relations = static_cast<int>(draft.clauses.size());
+    question.gold_sparql_index = intern_query(question.gold_query);
+    question.gold_query_text =
+        workload.sparql_texts[question.gold_sparql_index];
+    workload.questions.push_back(std::move(question));
+  }
+
+  for (int i = 0; i < config.distractor_queries; ++i) {
+    intern_query(BuildDistractor(kb, rng));
+  }
+  return workload;
+}
+
+JoinSides BuildJoinSides(KnowledgeBase& kb, const Workload& workload) {
+  JoinSides sides;
+  std::function<graph::LabelId(rdf::TermId)> resolver = kb.TypeResolver();
+  for (const sparql::ParsedQuery& query : workload.sparql_queries) {
+    sparql::QueryGraph qgraph =
+        sparql::BuildQueryGraph(query, kb.dict(), &resolver);
+    sides.d.push_back(qgraph.graph);
+    sides.d_graphs.push_back(std::move(qgraph));
+  }
+  for (size_t i = 0; i < workload.questions.size(); ++i) {
+    StatusOr<nlp::ParsedQuestion> parsed =
+        nlp::ParseQuestion(workload.questions[i].text, kb.lexicon());
+    if (!parsed.ok()) {
+      ++sides.parse_failures;
+      continue;
+    }
+    StatusOr<nlp::UncertainQuestionGraph> ugraph =
+        nlp::BuildUncertainGraph(*parsed, kb.lexicon(), kb.dict());
+    if (!ugraph.ok()) {
+      ++sides.build_failures;
+      continue;
+    }
+    sides.u.push_back(ugraph->graph);
+    sides.u_question_index.push_back(static_cast<int>(i));
+    sides.u_parsed.push_back(*std::move(parsed));
+    sides.u_graphs.push_back(*std::move(ugraph));
+  }
+  return sides;
+}
+
+bool SameIntent(const KnowledgeBase& kb, const sparql::ParsedQuery& a,
+                const sparql::ParsedQuery& b) {
+  std::function<graph::LabelId(rdf::TermId)> resolver = kb.TypeResolver();
+  sparql::QueryGraph ga = sparql::BuildQueryGraph(a, kb.dict(), &resolver);
+  sparql::QueryGraph gb = sparql::BuildQueryGraph(b, kb.dict(), &resolver);
+  if (ga.graph.num_vertices() != gb.graph.num_vertices() ||
+      ga.graph.num_edges() != gb.graph.num_edges()) {
+    return false;
+  }
+  return ged::BoundedGed(ga.graph, gb.graph, /*tau=*/0, kb.dict())
+      .has_value();
+}
+
+}  // namespace simj::workload

@@ -1,0 +1,78 @@
+// Paired workload generation: natural-language questions with their gold
+// SPARQL queries (the QALD-3-like, WebQ-like and MM-like datasets of the
+// paper's evaluation), and the conversion into the two join sides.
+
+#ifndef SIMJ_WORKLOAD_QUESTION_GEN_H_
+#define SIMJ_WORKLOAD_QUESTION_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+#include "nlp/semantic_graph.h"
+#include "nlp/uncertain_builder.h"
+#include "sparql/parser.h"
+#include "workload/knowledge_base.h"
+
+namespace simj::workload {
+
+struct WorkloadConfig {
+  uint64_t seed = 1;
+  int num_questions = 200;
+  // Additional SPARQL queries in D with no paired question (the DBpedia
+  // query-log effect: |D| >> |N|).
+  int distractor_queries = 0;
+  // Weight of questions with k = 1, 2, 3, ... relations (matching the
+  // paper's Table 2 graph sizes of ~5.7 vertices on average).
+  std::vector<double> relation_count_weights = {0.30, 0.35, 0.25, 0.10};
+  // For k >= 2: probability of a chain shape (vs a star).
+  double chain_probability = 0.4;
+};
+
+struct QuestionInstance {
+  std::string text;
+  sparql::ParsedQuery gold_query;
+  std::string gold_query_text;
+  int num_relations = 0;
+  // Index of the gold query inside Workload::sparql_queries.
+  int gold_sparql_index = -1;
+};
+
+struct Workload {
+  std::vector<QuestionInstance> questions;
+  // The D side: gold queries (deduplicated) plus distractors.
+  std::vector<sparql::ParsedQuery> sparql_queries;
+  std::vector<std::string> sparql_texts;
+};
+
+Workload GenerateWorkload(KnowledgeBase& kb, const WorkloadConfig& config);
+
+// The two graph sets the join consumes, with provenance kept for template
+// generation and quality accounting.
+struct JoinSides {
+  // D: typed SPARQL query graphs, aligned with workload.sparql_queries.
+  std::vector<graph::LabeledGraph> d;
+  std::vector<sparql::QueryGraph> d_graphs;
+
+  // U: uncertain graphs of the questions that survived the NLP pipeline.
+  std::vector<graph::UncertainGraph> u;
+  std::vector<int> u_question_index;  // into workload.questions
+  std::vector<nlp::ParsedQuestion> u_parsed;
+  std::vector<nlp::UncertainQuestionGraph> u_graphs;
+
+  int parse_failures = 0;  // questions the rule-based parser rejected
+  int build_failures = 0;  // questions whose uncertain graph failed linking
+};
+
+JoinSides BuildJoinSides(KnowledgeBase& kb, const Workload& workload);
+
+// Ground truth used by the paper's |C|/precision metrics: a returned pair
+// <q, n> is correct when q matches n's gold query "except for entity
+// phrases", i.e. their typed query graphs are at graph edit distance 0.
+bool SameIntent(const KnowledgeBase& kb, const sparql::ParsedQuery& a,
+                const sparql::ParsedQuery& b);
+
+}  // namespace simj::workload
+
+#endif  // SIMJ_WORKLOAD_QUESTION_GEN_H_

@@ -1,0 +1,280 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace simj::workload {
+
+namespace {
+
+std::vector<graph::LabelId> InternLabels(graph::LabelDictionary& dict,
+                                         const std::string& prefix,
+                                         int count) {
+  std::vector<graph::LabelId> labels;
+  labels.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    labels.push_back(dict.Intern(prefix + std::to_string(i)));
+  }
+  return labels;
+}
+
+graph::LabelId PickLabel(Rng& rng,
+                         const std::vector<graph::LabelId>& labels) {
+  return labels[rng.Uniform(0, labels.size() - 1)];
+}
+
+using GraphFactory = graph::LabeledGraph (*)(
+    Rng&, const std::vector<graph::LabelId>&,
+    const std::vector<graph::LabelId>&, const SyntheticConfig&);
+
+SyntheticDataset MakeDataset(const SyntheticConfig& config,
+                             GraphFactory factory,
+                             const std::string& vertex_prefix,
+                             int vertex_pool, int edge_pool) {
+  SyntheticDataset dataset;
+  Rng rng(config.seed);
+  std::vector<graph::LabelId> vlabels =
+      InternLabels(dataset.dict, vertex_prefix, vertex_pool);
+  std::vector<graph::LabelId> elabels =
+      InternLabels(dataset.dict, "e", edge_pool);
+
+  dataset.certain.reserve(config.num_certain);
+  for (int i = 0; i < config.num_certain; ++i) {
+    dataset.certain.push_back(factory(rng, vlabels, elabels, config));
+  }
+  dataset.uncertain.reserve(config.num_uncertain);
+  for (int i = 0; i < config.num_uncertain; ++i) {
+    graph::LabeledGraph base;
+    if (!dataset.certain.empty() && rng.Bernoulli(config.derived_fraction)) {
+      const graph::LabeledGraph& seed =
+          dataset.certain[rng.Uniform(0, dataset.certain.size() - 1)];
+      base = Perturb(rng, seed, vlabels, elabels, config.perturbation_ops);
+    } else {
+      base = factory(rng, vlabels, elabels, config);
+    }
+    dataset.uncertain.push_back(MakeUncertain(
+        rng, base, vlabels, config.labels_per_vertex,
+        config.uncertain_vertex_fraction));
+  }
+  return dataset;
+}
+
+graph::LabeledGraph ErFactory(Rng& rng,
+                              const std::vector<graph::LabelId>& vlabels,
+                              const std::vector<graph::LabelId>& elabels,
+                              const SyntheticConfig& config) {
+  return RandomErGraph(rng, vlabels, elabels, config.num_vertices,
+                       config.num_edges);
+}
+
+graph::LabeledGraph SfFactory(Rng& rng,
+                              const std::vector<graph::LabelId>& vlabels,
+                              const std::vector<graph::LabelId>& elabels,
+                              const SyntheticConfig& config) {
+  int attachments =
+      std::max(1, config.num_edges / std::max(1, config.num_vertices));
+  return RandomSfGraph(rng, vlabels, elabels, config.num_vertices,
+                       attachments);
+}
+
+graph::LabeledGraph MoleculeFactory(
+    Rng& rng, const std::vector<graph::LabelId>& vlabels,
+    const std::vector<graph::LabelId>& elabels,
+    const SyntheticConfig& config) {
+  return RandomMoleculeGraph(rng, vlabels, elabels, config.num_vertices);
+}
+
+}  // namespace
+
+graph::LabeledGraph RandomErGraph(Rng& rng,
+                                  const std::vector<graph::LabelId>& vlabels,
+                                  const std::vector<graph::LabelId>& elabels,
+                                  int num_vertices, int num_edges) {
+  SIMJ_CHECK_GT(num_vertices, 0);
+  graph::LabeledGraph g;
+  for (int v = 0; v < num_vertices; ++v) g.AddVertex(PickLabel(rng, vlabels));
+  if (num_vertices < 2) return g;
+  for (int e = 0; e < num_edges; ++e) {
+    int src = static_cast<int>(rng.Uniform(0, num_vertices - 1));
+    int dst = static_cast<int>(rng.Uniform(0, num_vertices - 1));
+    if (src == dst) continue;
+    g.AddEdge(src, dst, PickLabel(rng, elabels));
+  }
+  return g;
+}
+
+graph::LabeledGraph RandomSfGraph(Rng& rng,
+                                  const std::vector<graph::LabelId>& vlabels,
+                                  const std::vector<graph::LabelId>& elabels,
+                                  int num_vertices, int attachments) {
+  SIMJ_CHECK_GT(num_vertices, 0);
+  graph::LabeledGraph g;
+  g.AddVertex(PickLabel(rng, vlabels));
+  // Preferential attachment: endpoints are drawn from a list where each
+  // vertex appears once per incident edge (plus once flat, so isolated
+  // vertices stay reachable).
+  std::vector<int> endpoint_pool = {0};
+  for (int v = 1; v < num_vertices; ++v) {
+    g.AddVertex(PickLabel(rng, vlabels));
+    int links = std::min(attachments, v);
+    for (int a = 0; a < links; ++a) {
+      int target = endpoint_pool[rng.Uniform(0, endpoint_pool.size() - 1)];
+      if (target == v) continue;
+      if (rng.Bernoulli(0.5)) {
+        g.AddEdge(v, target, PickLabel(rng, elabels));
+      } else {
+        g.AddEdge(target, v, PickLabel(rng, elabels));
+      }
+      endpoint_pool.push_back(target);
+      endpoint_pool.push_back(v);
+    }
+    endpoint_pool.push_back(v);
+  }
+  return g;
+}
+
+graph::LabeledGraph RandomMoleculeGraph(
+    Rng& rng, const std::vector<graph::LabelId>& atom_labels,
+    const std::vector<graph::LabelId>& bond_labels, int num_vertices) {
+  SIMJ_CHECK_GT(num_vertices, 0);
+  graph::LabeledGraph g;
+  // Skewed atom distribution: the first few labels (carbon/oxygen/nitrogen
+  // stand-ins) dominate, as in AIDS.
+  auto pick_atom = [&]() {
+    double r = rng.UniformDouble();
+    size_t index;
+    if (r < 0.55) {
+      index = 0;
+    } else if (r < 0.75) {
+      index = 1 % atom_labels.size();
+    } else if (r < 0.85) {
+      index = 2 % atom_labels.size();
+    } else {
+      index = static_cast<size_t>(rng.Uniform(0, atom_labels.size() - 1));
+    }
+    return atom_labels[index];
+  };
+  for (int v = 0; v < num_vertices; ++v) g.AddVertex(pick_atom());
+  // Tree backbone.
+  for (int v = 1; v < num_vertices; ++v) {
+    int parent = static_cast<int>(rng.Uniform(0, v - 1));
+    g.AddEdge(parent, v, PickLabel(rng, bond_labels));
+  }
+  // A few ring closures.
+  int rings = static_cast<int>(rng.Uniform(0, 2));
+  for (int r = 0; r < rings && num_vertices >= 3; ++r) {
+    int a = static_cast<int>(rng.Uniform(0, num_vertices - 1));
+    int b = static_cast<int>(rng.Uniform(0, num_vertices - 1));
+    if (a != b) g.AddEdge(a, b, PickLabel(rng, bond_labels));
+  }
+  return g;
+}
+
+graph::LabeledGraph Perturb(Rng& rng, const graph::LabeledGraph& base,
+                            const std::vector<graph::LabelId>& vlabels,
+                            const std::vector<graph::LabelId>& elabels,
+                            int ops) {
+  // Rebuild with mutations: vertex relabels directly; edge deletion by
+  // skipping; edge insertion at the end.
+  std::vector<graph::LabelId> labels(base.num_vertices());
+  for (int v = 0; v < base.num_vertices(); ++v) {
+    labels[v] = base.vertex_label(v);
+  }
+  std::vector<bool> keep_edge(base.num_edges(), true);
+  int added_edges = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    int kind = static_cast<int>(rng.Uniform(0, 2));
+    if (kind == 0 && base.num_vertices() > 0) {
+      int v = static_cast<int>(rng.Uniform(0, base.num_vertices() - 1));
+      labels[v] = PickLabel(rng, vlabels);
+    } else if (kind == 1 && base.num_edges() > 0) {
+      keep_edge[rng.Uniform(0, base.num_edges() - 1)] = false;
+    } else {
+      ++added_edges;
+    }
+  }
+
+  graph::LabeledGraph out;
+  for (graph::LabelId label : labels) out.AddVertex(label);
+  for (int e = 0; e < base.num_edges(); ++e) {
+    if (keep_edge[e]) {
+      const graph::Edge& edge = base.edge(e);
+      out.AddEdge(edge.src, edge.dst, edge.label);
+    }
+  }
+  for (int e = 0; e < added_edges && out.num_vertices() >= 2; ++e) {
+    int src = static_cast<int>(rng.Uniform(0, out.num_vertices() - 1));
+    int dst = static_cast<int>(rng.Uniform(0, out.num_vertices() - 1));
+    if (src != dst) out.AddEdge(src, dst, PickLabel(rng, elabels));
+  }
+  return out;
+}
+
+graph::UncertainGraph MakeUncertain(
+    Rng& rng, const graph::LabeledGraph& base,
+    const std::vector<graph::LabelId>& vlabels, int labels_per_vertex,
+    double uncertain_fraction) {
+  graph::UncertainGraph out;
+  for (int v = 0; v < base.num_vertices(); ++v) {
+    graph::LabelId truth = base.vertex_label(v);
+    int alts = std::min<int>(labels_per_vertex,
+                             static_cast<int>(vlabels.size()));
+    if (alts < 2 || !rng.Bernoulli(uncertain_fraction)) {
+      out.AddCertainVertex(truth);
+      continue;
+    }
+    // Candidate set: the true label plus distinct random others.
+    std::vector<graph::LabelId> candidates = {truth};
+    while (static_cast<int>(candidates.size()) < alts) {
+      graph::LabelId pick = PickLabel(rng, vlabels);
+      if (std::find(candidates.begin(), candidates.end(), pick) ==
+          candidates.end()) {
+        candidates.push_back(pick);
+      }
+    }
+    // Confidences: descending simplex; the true label leads 70% of the
+    // time (entity linking is right more often than not, but not always).
+    std::vector<double> probs = rng.RandomSimplex(alts, 1.2);
+    std::sort(probs.begin(), probs.end(), std::greater<double>());
+    if (!rng.Bernoulli(0.7)) {
+      // Swap the true label away from the top.
+      std::swap(candidates[0],
+                candidates[rng.Uniform(1, candidates.size() - 1)]);
+    }
+    std::vector<graph::LabelAlternative> alternatives;
+    for (int i = 0; i < alts; ++i) {
+      alternatives.push_back(
+          graph::LabelAlternative{candidates[i], probs[i]});
+    }
+    out.AddVertex(std::move(alternatives));
+  }
+  for (const graph::Edge& e : base.edges()) {
+    out.AddEdge(e.src, e.dst, e.label);
+  }
+  return out;
+}
+
+SyntheticDataset MakeErDataset(const SyntheticConfig& config) {
+  return MakeDataset(config, ErFactory, "v", config.vertex_label_pool,
+                     config.edge_label_pool);
+}
+
+SyntheticDataset MakeSfDataset(const SyntheticConfig& config) {
+  return MakeDataset(config, SfFactory, "v", config.vertex_label_pool,
+                     config.edge_label_pool);
+}
+
+SyntheticDataset MakeAidsDataset(const SyntheticConfig& config) {
+  SyntheticConfig molecule_config = config;
+  // AIDS-like alphabet: 62 atom types, 3 bond types.
+  molecule_config.vertex_label_pool = 62;
+  molecule_config.edge_label_pool = 3;
+  return MakeDataset(molecule_config, MoleculeFactory, "atom",
+                     molecule_config.vertex_label_pool,
+                     molecule_config.edge_label_pool);
+}
+
+}  // namespace simj::workload

@@ -1,0 +1,87 @@
+// Synthetic graph datasets for the efficiency and scalability experiments:
+// ER (random) and SF (power-law) graphs as in the paper's Section 7.1.1,
+// plus AIDS-like molecule graphs for the filter comparison (Fig. 15).
+//
+// The uncertain side is generated the way the paper's pipeline would: a
+// base certain graph is lightly perturbed (so the join has real matches and
+// near-misses) and a fraction of its vertices receive extra candidate
+// labels with a confidence simplex.
+
+#ifndef SIMJ_WORKLOAD_SYNTHETIC_H_
+#define SIMJ_WORKLOAD_SYNTHETIC_H_
+
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+#include "util/rng.h"
+
+namespace simj::workload {
+
+struct SyntheticConfig {
+  uint64_t seed = 7;
+  int num_certain = 200;    // |D|
+  int num_uncertain = 200;  // |U|
+  int num_vertices = 12;
+  int num_edges = 18;       // ER edge draws; SF attachments derive from it
+  int vertex_label_pool = 20;
+  int edge_label_pool = 6;
+  // Average number of candidate labels on uncertain vertices (|L(v)|).
+  int labels_per_vertex = 3;
+  // Fraction of vertices that are uncertain.
+  double uncertain_vertex_fraction = 0.5;
+  // Fraction of uncertain graphs derived from a perturbed certain graph
+  // (the rest are independent random graphs).
+  double derived_fraction = 0.6;
+  // Edit operations applied when deriving.
+  int perturbation_ops = 2;
+};
+
+struct SyntheticDataset {
+  graph::LabelDictionary dict;
+  std::vector<graph::LabeledGraph> certain;
+  std::vector<graph::UncertainGraph> uncertain;
+};
+
+SyntheticDataset MakeErDataset(const SyntheticConfig& config);
+SyntheticDataset MakeSfDataset(const SyntheticConfig& config);
+SyntheticDataset MakeAidsDataset(const SyntheticConfig& config);
+
+// Building blocks, exposed for tests and custom benches.
+graph::LabeledGraph RandomErGraph(Rng& rng,
+                                  const std::vector<graph::LabelId>& vlabels,
+                                  const std::vector<graph::LabelId>& elabels,
+                                  int num_vertices, int num_edges);
+
+// Barabasi-Albert style preferential attachment.
+graph::LabeledGraph RandomSfGraph(Rng& rng,
+                                  const std::vector<graph::LabelId>& vlabels,
+                                  const std::vector<graph::LabelId>& elabels,
+                                  int num_vertices, int attachments);
+
+// Molecule-like: tree backbone plus a few ring-closing edges, atom-type
+// labels with a skewed distribution.
+graph::LabeledGraph RandomMoleculeGraph(
+    Rng& rng, const std::vector<graph::LabelId>& atom_labels,
+    const std::vector<graph::LabelId>& bond_labels, int num_vertices);
+
+// Applies `ops` random edit operations (relabel vertex / delete edge / add
+// edge) to a copy of `base`.
+graph::LabeledGraph Perturb(Rng& rng, const graph::LabeledGraph& base,
+                            const std::vector<graph::LabelId>& vlabels,
+                            const std::vector<graph::LabelId>& elabels,
+                            int ops);
+
+// Lifts a certain graph into an uncertain one: each vertex becomes
+// uncertain with probability `uncertain_fraction`, receiving
+// `labels_per_vertex` candidate labels (the original label included, not
+// always on top) with a random confidence simplex.
+graph::UncertainGraph MakeUncertain(
+    Rng& rng, const graph::LabeledGraph& base,
+    const std::vector<graph::LabelId>& vlabels, int labels_per_vertex,
+    double uncertain_fraction);
+
+}  // namespace simj::workload
+
+#endif  // SIMJ_WORKLOAD_SYNTHETIC_H_

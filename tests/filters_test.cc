@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "ged/edit_distance.h"
+#include "ged/filters.h"
+#include "graph/uncertain_graph.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace simj::ged {
+namespace {
+
+using graph::LabelDictionary;
+using graph::LabeledGraph;
+using graph::PossibleWorldIterator;
+using graph::UncertainGraph;
+
+TEST(SubIsoTest, TriangleInSquareWithDiagonal) {
+  LabelDictionary dict;
+  graph::LabelId l = dict.Intern("L");
+  LabeledGraph triangle;
+  for (int i = 0; i < 3; ++i) triangle.AddVertex(l);
+  triangle.AddEdge(0, 1, l);
+  triangle.AddEdge(1, 2, l);
+  triangle.AddEdge(0, 2, l);
+
+  LabeledGraph square;
+  for (int i = 0; i < 4; ++i) square.AddVertex(l);
+  square.AddEdge(0, 1, l);
+  square.AddEdge(1, 2, l);
+  square.AddEdge(2, 3, l);
+  square.AddEdge(0, 3, l);
+
+  EXPECT_FALSE(StructurallySubgraphIsomorphic(triangle, square));
+
+  square.AddEdge(0, 2, l);  // diagonal creates a directed triangle 0->1->2, 0->2
+  EXPECT_TRUE(StructurallySubgraphIsomorphic(triangle, square));
+}
+
+TEST(SubIsoTest, PathInStar) {
+  LabelDictionary dict;
+  graph::LabelId l = dict.Intern("L");
+  LabeledGraph path;  // 0 -> 1 -> 2
+  for (int i = 0; i < 3; ++i) path.AddVertex(l);
+  path.AddEdge(0, 1, l);
+  path.AddEdge(1, 2, l);
+
+  LabeledGraph star;  // center 0 -> 1,2,3
+  for (int i = 0; i < 4; ++i) star.AddVertex(l);
+  star.AddEdge(0, 1, l);
+  star.AddEdge(0, 2, l);
+  star.AddEdge(0, 3, l);
+
+  // No directed 2-path exists in an out-star.
+  EXPECT_FALSE(StructurallySubgraphIsomorphic(path, star));
+  EXPECT_TRUE(StructurallySubgraphIsomorphic(path, path));
+}
+
+TEST(TwoPathTest, CountsDirectedPaths) {
+  LabelDictionary dict;
+  graph::LabelId l = dict.Intern("L");
+  LabeledGraph g;
+  for (int i = 0; i < 3; ++i) g.AddVertex(l);
+  g.AddEdge(0, 1, l);
+  g.AddEdge(1, 2, l);
+  EXPECT_EQ(CountTwoPaths(g), 1);
+  g.AddEdge(2, 0, l);  // cycle: three 2-paths now
+  EXPECT_EQ(CountTwoPaths(g), 3);
+}
+
+TEST(TwoPathTest, ExcludesBackAndForth) {
+  LabelDictionary dict;
+  graph::LabelId l = dict.Intern("L");
+  LabeledGraph g;
+  g.AddVertex(l);
+  g.AddVertex(l);
+  g.AddEdge(0, 1, l);
+  g.AddEdge(1, 0, l);
+  // 0->1->0 and 1->0->1 return to the start, so they do not count.
+  EXPECT_EQ(CountTwoPaths(g), 0);
+}
+
+class FilterValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterValidityTest, EveryFilterIsAValidLowerBound) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 4);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1"),
+                                         dict.Intern("r2")};
+  Rng rng(1100 + GetParam());
+  LabeledGraph q = simj::testing::RandomCertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
+      static_cast<int>(rng.Uniform(0, 6)));
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+      static_cast<int>(rng.Uniform(0, 5)), /*max_alts=*/3);
+  int tau = static_cast<int>(rng.Uniform(0, 4));
+
+  // Minimum GED over all possible worlds: any valid filter bound must not
+  // exceed it.
+  int min_ged = 1 << 20;
+  for (PossibleWorldIterator it(g); !it.Done(); it.Next()) {
+    graph::LabeledGraph world = g.Materialize(it.choice());
+    min_ged = std::min(min_ged, ExactGed(q, world, dict).distance);
+  }
+
+  for (const auto& filter :
+       {MakeCssFilter(), MakePathFilter(), MakeStarFilter(),
+        MakeParsFilter()}) {
+    int bound = filter->LowerBound(q, g, dict, tau);
+    EXPECT_LE(bound, min_ged) << filter->name() << " tau=" << tau;
+    EXPECT_GE(bound, 0) << filter->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FilterValidityTest, ::testing::Range(0, 50));
+
+TEST(FilterTest, CssFilterSeesLabelsOthersDoNot) {
+  // Same structure, completely different labels: structure-only filters
+  // must return 0 while CSS prunes.
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  graph::LabelId c = dict.Intern("C");
+  graph::LabelId d = dict.Intern("D");
+  graph::LabelId r1 = dict.Intern("r1");
+  graph::LabelId r2 = dict.Intern("r2");
+
+  LabeledGraph q;
+  q.AddVertex(a);
+  q.AddVertex(b);
+  q.AddEdge(0, 1, r1);
+
+  UncertainGraph g;
+  g.AddCertainVertex(c);
+  g.AddCertainVertex(d);
+  g.AddEdge(0, 1, r2);
+
+  EXPECT_EQ(MakePathFilter()->LowerBound(q, g, dict, 1), 0);
+  EXPECT_EQ(MakeStarFilter()->LowerBound(q, g, dict, 1), 0);
+  EXPECT_EQ(MakeParsFilter()->LowerBound(q, g, dict, 1), 0);
+  EXPECT_GE(MakeCssFilter()->LowerBound(q, g, dict, 1), 3);
+}
+
+}  // namespace
+}  // namespace simj::ged

@@ -1,0 +1,305 @@
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/join.h"
+#include "core/similarity.h"
+#include "core/topk.h"
+#include "ged/lower_bounds.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace simj::core {
+namespace {
+
+using graph::LabelDictionary;
+using graph::LabeledGraph;
+using graph::UncertainGraph;
+
+// Brute-force reference: exact SimP for every pair, no pruning at all.
+std::set<std::pair<int, int>> BruteForceJoin(
+    const std::vector<LabeledGraph>& d, const std::vector<UncertainGraph>& u,
+    int tau, double alpha, const LabelDictionary& dict) {
+  std::set<std::pair<int, int>> result;
+  for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
+    for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
+      if (ComputeSimP(d[qi], u[gi], tau, dict).probability >= alpha - 1e-9) {
+        result.insert({qi, gi});
+      }
+    }
+  }
+  return result;
+}
+
+std::set<std::pair<int, int>> PairSet(const JoinResult& result) {
+  std::set<std::pair<int, int>> out;
+  for (const MatchedPair& pair : result.pairs) {
+    out.insert({pair.q_index, pair.g_index});
+  }
+  return out;
+}
+
+class JoinEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinEquivalenceTest, AllConfigurationsAgreeWithBruteForce) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 5);
+  vlabels.push_back(dict.Intern("?x"));
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1"),
+                                         dict.Intern("r2")};
+  Rng rng(900 + GetParam());
+
+  std::vector<LabeledGraph> d;
+  for (int i = 0; i < 4; ++i) {
+    d.push_back(simj::testing::RandomCertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 5))));
+  }
+  std::vector<UncertainGraph> u;
+  for (int i = 0; i < 4; ++i) {
+    u.push_back(simj::testing::RandomUncertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
+  }
+
+  int tau = static_cast<int>(rng.Uniform(0, 3));
+  double alpha = 0.2 + 0.6 * rng.UniformDouble();
+  std::set<std::pair<int, int>> reference =
+      BruteForceJoin(d, u, tau, alpha, dict);
+
+  // CSS only / SimJ / SimJ+opt / everything off must all return the same
+  // pair set as the brute force.
+  for (int config = 0; config < 4; ++config) {
+    SimJParams params;
+    params.tau = tau;
+    params.alpha = alpha;
+    params.structural_pruning = config != 3;
+    params.probabilistic_pruning = config == 1 || config == 2;
+    params.group_count = config == 2 ? 6 : 1;
+    JoinResult joined = SimJoin(d, u, params, dict);
+    EXPECT_EQ(PairSet(joined), reference)
+        << "config=" << config << " tau=" << tau << " alpha=" << alpha;
+    // Sanity on statistics bookkeeping.
+    EXPECT_EQ(joined.stats.total_pairs,
+              static_cast<int64_t>(d.size() * u.size()));
+    EXPECT_EQ(joined.stats.results,
+              static_cast<int64_t>(joined.pairs.size()));
+    EXPECT_LE(joined.stats.candidates, joined.stats.total_pairs);
+    EXPECT_EQ(joined.stats.total_pairs - joined.stats.pruned_structural -
+                  joined.stats.pruned_probabilistic,
+              joined.stats.candidates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinEquivalenceTest, ::testing::Range(0, 30));
+
+TEST(JoinTest, MatchedPairCarriesMappingForTemplates) {
+  LabelDictionary dict;
+  graph::LabelId var = dict.Intern("?x");
+  graph::LabelId artist = dict.Intern("Artist");
+  graph::LabelId politician = dict.Intern("Politician");
+  graph::LabelId university = dict.Intern("University");
+  graph::LabelId company = dict.Intern("Company");
+  graph::LabelId type = dict.Intern("type");
+  graph::LabelId grad = dict.Intern("graduatedFrom");
+
+  // q1 from the paper's running example.
+  LabeledGraph q;
+  q.AddVertex(var);
+  q.AddVertex(artist);
+  q.AddVertex(university);
+  q.AddEdge(0, 1, type);
+  q.AddEdge(0, 2, grad);
+
+  // g2: "Which politician graduated from CIT?" (CIT: University 0.8 /
+  // Company 0.2).
+  UncertainGraph g;
+  g.AddCertainVertex(var);
+  g.AddCertainVertex(politician);
+  g.AddVertex({{university, 0.8}, {company, 0.2}});
+  g.AddEdge(0, 1, type);
+  g.AddEdge(0, 2, grad);
+
+  SimJParams params;
+  params.tau = 1;
+  params.alpha = 0.7;
+  JoinResult result = SimJoin({q}, {g}, params, dict);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  const MatchedPair& pair = result.pairs[0];
+  // SimP = 0.8 (world with University qualifies at ged 1; the Company world
+  // has ged 2).
+  EXPECT_NEAR(pair.similarity_probability, 0.8, 1e-9);
+  ASSERT_EQ(pair.mapping.size(), 3u);
+  EXPECT_EQ(pair.mapping[0], 0);  // ?x        <-> ?x
+  EXPECT_EQ(pair.mapping[1], 1);  // Artist    <-> Politician
+  EXPECT_EQ(pair.mapping[2], 2);  // University<-> CIT
+}
+
+// Regression test: the result set must shrink monotonically as alpha grows,
+// including at alphas that exactly hit accumulated world probabilities
+// (0.1 * k arithmetic bit-patterns vs exact confidence sums).
+TEST(JoinTest, ResultsAreMonotoneInAlpha) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 4);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(999);
+  std::vector<LabeledGraph> d;
+  std::vector<UncertainGraph> u;
+  for (int i = 0; i < 6; ++i) {
+    d.push_back(simj::testing::RandomCertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 5))));
+    u.push_back(simj::testing::RandomUncertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
+  }
+  // Mix in a vertex with the exact 0.6/0.4 confidences the workload
+  // generator produces, so some SimP values equal 0.1 * k exactly.
+  UncertainGraph exact_probs;
+  exact_probs.AddVertex({{vlabels[0], 0.6}, {vlabels[1], 0.4}});
+  u.push_back(exact_probs);
+  LabeledGraph single;
+  single.AddVertex(vlabels[0]);
+  d.push_back(single);
+
+  std::set<std::pair<int, int>> previous;
+  bool first = true;
+  for (int step = 9; step >= 1; --step) {
+    SimJParams params;
+    params.tau = 1;
+    params.alpha = 0.1 * step;
+    std::set<std::pair<int, int>> current = PairSet(SimJoin(d, u, params, dict));
+    if (!first) {
+      for (const auto& pair : previous) {
+        EXPECT_TRUE(current.contains(pair))
+            << "pair (" << pair.first << "," << pair.second
+            << ") present at alpha=" << 0.1 * (step + 1)
+            << " but missing at alpha=" << 0.1 * step;
+      }
+    }
+    previous = std::move(current);
+    first = false;
+  }
+}
+
+class IndexedJoinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexedJoinTest, IndexedJoinMatchesNestedLoop) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 4);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(1400 + GetParam());
+  std::vector<LabeledGraph> d;
+  std::vector<UncertainGraph> u;
+  for (int i = 0; i < 8; ++i) {
+    d.push_back(simj::testing::RandomCertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
+        static_cast<int>(rng.Uniform(0, 6))));
+    u.push_back(simj::testing::RandomUncertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 5)), /*max_alts=*/3));
+  }
+  SimJParams params;
+  params.tau = static_cast<int>(rng.Uniform(0, 3));
+  params.alpha = 0.2 + 0.6 * rng.UniformDouble();
+
+  JoinResult nested = SimJoin(d, u, params, dict);
+  JoinResult indexed = IndexedSimJoin(d, u, params, dict);
+  EXPECT_EQ(PairSet(indexed), PairSet(nested));
+  EXPECT_EQ(indexed.stats.total_pairs, nested.stats.total_pairs);
+  // The index only ever *adds* pruning.
+  EXPECT_GE(indexed.stats.pruned_structural,
+            nested.stats.pruned_structural);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IndexedJoinTest, ::testing::Range(0, 25));
+
+TEST(IndexTest, CandidatesRespectCountBound) {
+  LabelDictionary dict;
+  graph::LabelId l = dict.Intern("L");
+  std::vector<LabeledGraph> d;
+  for (int vertices : {1, 2, 3, 5}) {
+    LabeledGraph g;
+    for (int v = 0; v < vertices; ++v) g.AddVertex(l);
+    for (int v = 1; v < vertices; ++v) g.AddEdge(v - 1, v, l);
+    d.push_back(std::move(g));
+  }
+  CertainGraphIndex index(&d);
+  UncertainGraph g;
+  g.AddCertainVertex(l);
+  g.AddCertainVertex(l);
+  g.AddCertainVertex(l);
+  g.AddEdge(0, 1, l);
+  g.AddEdge(1, 2, l);
+  // |V|=3, |E|=2. tau=0: only the exact size bucket.
+  EXPECT_EQ(index.Candidates(g, 0), (std::vector<int>{2}));
+  // tau=2: sizes within combined distance 2: (2,1) and (3,2).
+  EXPECT_EQ(index.Candidates(g, 2), (std::vector<int>{1, 2}));
+  // Large tau: everything.
+  EXPECT_EQ(index.Candidates(g, 10), (std::vector<int>{0, 1, 2, 3}));
+}
+
+class TopKJoinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKJoinTest, MatchesBruteForceRanking) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 4);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(1500 + GetParam());
+  std::vector<LabeledGraph> d;
+  std::vector<UncertainGraph> u;
+  for (int i = 0; i < 7; ++i) {
+    d.push_back(simj::testing::RandomCertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 5))));
+  }
+  for (int i = 0; i < 4; ++i) {
+    u.push_back(simj::testing::RandomUncertainGraph(
+        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
+  }
+  TopKParams params;
+  params.tau = static_cast<int>(rng.Uniform(0, 3));
+  params.k = static_cast<int>(rng.Uniform(1, 4));
+  params.group_count = GetParam() % 2 == 0 ? 1 : 4;
+
+  TopKResult topk = TopKJoin(d, u, params, dict);
+  ASSERT_EQ(topk.matches.size(), u.size());
+  for (size_t gi = 0; gi < u.size(); ++gi) {
+    // Brute force: exact SimP for every q, rank, take k nonzero.
+    std::vector<std::pair<double, int>> all;
+    for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
+      double simp =
+          ComputeSimP(d[qi], u[gi], params.tau, dict).probability;
+      if (simp > kSimPEpsilon) all.push_back({simp, qi});
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (static_cast<int>(all.size()) > params.k) all.resize(params.k);
+
+    const std::vector<MatchedPair>& got = topk.matches[gi];
+    ASSERT_EQ(got.size(), all.size()) << "g=" << gi;
+    for (size_t r = 0; r < all.size(); ++r) {
+      EXPECT_EQ(got[r].q_index, all[r].second) << "g=" << gi << " rank=" << r;
+      EXPECT_NEAR(got[r].similarity_probability, all[r].first, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKJoinTest, ::testing::Range(0, 25));
+
+TEST(JoinTest, EmptyInputs) {
+  LabelDictionary dict;
+  SimJParams params;
+  JoinResult result = SimJoin({}, {}, params, dict);
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.stats.total_pairs, 0);
+  EXPECT_EQ(result.stats.CandidateRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace simj::core

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include "graph/label.h"
+#include "nlp/dependency.h"
+#include "nlp/lexicon.h"
+#include "nlp/semantic_graph.h"
+#include "nlp/uncertain_builder.h"
+#include "util/rng.h"
+
+namespace simj::nlp {
+namespace {
+
+class NlpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    politician = dict.Intern("Politician");
+    actor = dict.Intern("Actor");
+    university = dict.Intern("University");
+    company = dict.Intern("Company");
+    city = dict.Intern("City");
+    grad = dict.Intern("graduatedFrom");
+    born = dict.Intern("birthPlace");
+    located = dict.Intern("locatedIn");
+    cit_u = dict.Intern("CIT_University");
+    cit_c = dict.Intern("CIT_Group");
+    springfield = dict.Intern("Springfield_City");
+
+    lexicon.AddClassPhrase("politician", ClassLink{politician, politician});
+    lexicon.AddClassPhrase("actor", ClassLink{actor, actor});
+    lexicon.AddClassPhrase("city", ClassLink{city, city});
+    lexicon.AddRelationPhrase("graduated from", PredicateLink{grad, 0.9});
+    lexicon.AddRelationPhrase("born in", PredicateLink{born, 0.9});
+    lexicon.AddRelationPhrase("located in", PredicateLink{located, 0.9});
+    lexicon.AddEntityPhrase("cit", EntityLink{cit_u, university, 0.8});
+    lexicon.AddEntityPhrase("cit", EntityLink{cit_c, company, 0.2});
+    lexicon.AddEntityPhrase("springfield", EntityLink{springfield, city, 1.0});
+  }
+
+  graph::LabelDictionary dict;
+  Lexicon lexicon;
+  graph::LabelId politician, actor, university, company, city;
+  graph::LabelId grad, born, located;
+  rdf::TermId cit_u, cit_c, springfield;
+};
+
+TEST_F(NlpFixture, LexiconSortsByConfidence) {
+  const std::vector<EntityLink>* links = lexicon.FindEntity("CIT");
+  ASSERT_NE(links, nullptr);
+  ASSERT_EQ(links->size(), 2u);
+  EXPECT_EQ((*links)[0].entity, cit_u);
+  EXPECT_GT((*links)[0].confidence, (*links)[1].confidence);
+}
+
+TEST_F(NlpFixture, MaxRelationTokensTracksLongestPhrase) {
+  EXPECT_EQ(lexicon.max_relation_tokens(), 2);
+}
+
+TEST(NormalizeTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(NormalizeQuestion("Which Politician graduated from CIT?"),
+            (std::vector<std::string>{"which", "politician", "graduated",
+                                      "from", "cit"}));
+}
+
+TEST_F(NlpFixture, ParsesSimpleQuestion) {
+  auto parsed = ParseQuestion("Which politician graduated from CIT?", lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->wh_argument, 0);
+  ASSERT_EQ(parsed->graph.arguments.size(), 2u);
+  EXPECT_TRUE(parsed->graph.arguments[0].is_variable);
+  EXPECT_EQ(parsed->graph.arguments[0].phrase, "politician");
+  EXPECT_EQ(parsed->graph.arguments[1].phrase, "cit");
+  ASSERT_EQ(parsed->graph.relations.size(), 1u);
+  EXPECT_EQ(parsed->graph.relations[0].phrase, "graduated from");
+}
+
+TEST_F(NlpFixture, ParsesStarQuestion) {
+  auto parsed = ParseQuestion(
+      "Which politician graduated from CIT and born in Springfield?",
+      lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->graph.relations.size(), 2u);
+  // Both relations attach to the wh-argument.
+  EXPECT_EQ(parsed->graph.relations[0].arg1, 0);
+  EXPECT_EQ(parsed->graph.relations[1].arg1, 0);
+}
+
+TEST_F(NlpFixture, ParsesChainQuestion) {
+  auto parsed = ParseQuestion(
+      "Which politician born in the city that located in Springfield?",
+      lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->graph.relations.size(), 2u);
+  // Second relation attaches to the chain intermediate ("city").
+  int intermediate = parsed->graph.relations[0].arg2;
+  EXPECT_TRUE(parsed->graph.arguments[intermediate].is_variable);
+  EXPECT_EQ(parsed->graph.arguments[intermediate].phrase, "city");
+  EXPECT_EQ(parsed->graph.relations[1].arg1, intermediate);
+}
+
+TEST_F(NlpFixture, PluralClassPhrasesResolve) {
+  EXPECT_NE(lexicon.FindClass("politicians"), nullptr);
+  EXPECT_NE(lexicon.FindClass("cities"), nullptr);
+  EXPECT_EQ(lexicon.FindClass("cities")->label, city);
+  EXPECT_EQ(lexicon.FindClass("politicianss"), nullptr);
+
+  auto parsed =
+      ParseQuestion("Give me all politicians born in Springfield?", lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph.arguments[0].phrase, "politicians");
+}
+
+TEST_F(NlpFixture, ParsesGiveMeAllHead) {
+  auto parsed =
+      ParseQuestion("Give me all actor born in Springfield?", lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph.arguments[0].phrase, "actor");
+}
+
+TEST_F(NlpFixture, ParsesWhoHeadWithoutClass) {
+  auto parsed = ParseQuestion("Who graduated from CIT?", lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->graph.arguments[0].phrase.empty());
+}
+
+TEST_F(NlpFixture, ToleratesCopulaBeforeRelation) {
+  lexicon.AddRelationPhrase("married to",
+                            PredicateLink{dict.Intern("spouse"), 0.9});
+  auto parsed =
+      ParseQuestion("Which actor is married to Springfield?", lexicon);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph.relations[0].phrase, "married to");
+}
+
+TEST_F(NlpFixture, FailsOnUnknownRelation) {
+  auto parsed = ParseQuestion("Which politician frobnicated CIT?", lexicon);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(NlpFixture, FailsOnUnlinkableArgument) {
+  auto parsed =
+      ParseQuestion("Which politician graduated from Nowhere?", lexicon);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(NlpFixture, TrapPhraseWithConnectorFailsNaturally) {
+  // "harold and maude" is one entity, but the parser segments at "and" —
+  // the paper's own failure example.
+  lexicon.AddEntityPhrase("harold and maude",
+                          EntityLink{dict.Intern("Harold_and_Maude"),
+                                     dict.Intern("Film"), 1.0});
+  auto parsed =
+      ParseQuestion("Which actor born in harold and maude?", lexicon);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(NlpFixture, BuildsUncertainGraph) {
+  auto parsed = ParseQuestion("Which politician graduated from CIT?", lexicon);
+  ASSERT_TRUE(parsed.ok());
+  auto ugraph = BuildUncertainGraph(*parsed, lexicon, dict);
+  ASSERT_TRUE(ugraph.ok()) << ugraph.status().ToString();
+  // Vertices: ?x, Politician (class), CIT (uncertain). Edges: type, grad.
+  EXPECT_EQ(ugraph->graph.num_vertices(), 3);
+  EXPECT_EQ(ugraph->graph.num_edges(), 2);
+  EXPECT_EQ(ugraph->wh_vertex, 0);
+  EXPECT_TRUE(ugraph->vertex_is_variable[0]);
+  const auto& alts = ugraph->graph.alternatives(2);
+  ASSERT_EQ(alts.size(), 2u);
+  EXPECT_EQ(alts[0].label, university);
+  EXPECT_NEAR(alts[0].prob, 0.8, 1e-9);
+  EXPECT_EQ(ugraph->graph.NumPossibleWorlds(), 2);
+}
+
+TEST_F(NlpFixture, UncertainGraphUsesTopPredicate) {
+  // Give "graduated from" a competing predicate with higher confidence.
+  graph::LabelId studied = dict.Intern("studiedAt");
+  lexicon.AddRelationPhrase("graduated from", PredicateLink{studied, 0.95});
+  auto parsed = ParseQuestion("Which politician graduated from CIT?", lexicon);
+  ASSERT_TRUE(parsed.ok());
+  auto ugraph = BuildUncertainGraph(*parsed, lexicon, dict);
+  ASSERT_TRUE(ugraph.ok());
+  bool found = false;
+  for (const graph::Edge& e : ugraph->graph.edges()) {
+    if (e.label == studied) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(NlpFixture, DependencyTreeShape) {
+  auto parsed = ParseQuestion(
+      "Which politician graduated from CIT and born in Springfield?",
+      lexicon);
+  ASSERT_TRUE(parsed.ok());
+  DepTree tree = BuildQuestionTree(*parsed);
+  // Nodes: 3 arguments + 2 relations.
+  EXPECT_EQ(tree.size(), 5);
+  // Root is the wh-argument and governs both relation nodes.
+  EXPECT_EQ(tree.nodes[tree.root].label, "politician");
+  EXPECT_EQ(tree.nodes[tree.root].children.size(), 2u);
+}
+
+TEST_F(NlpFixture, SlottedTreeReplacesPhrases) {
+  auto parsed = ParseQuestion("Which politician graduated from CIT?", lexicon);
+  ASSERT_TRUE(parsed.ok());
+  DepTree tree = BuildQuestionTree(*parsed);
+  DepTree slotted = SlottedTree(tree, {"politician", "cit"});
+  int slots = 0;
+  for (const DepTree::Node& node : slotted.nodes) {
+    if (node.label == kSlotMarker) ++slots;
+  }
+  EXPECT_EQ(slots, 2);
+  // Slotted tree matches the original at zero cost (slots are free).
+  EXPECT_EQ(TreeEditDistance(tree, slotted), 0);
+  // And matches a differently-instantiated question equally well.
+  auto other = ParseQuestion("Which actor graduated from CIT?", lexicon);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(TreeEditDistance(BuildQuestionTree(*other), slotted), 0);
+}
+
+TEST(NormalizeTest, EdgeCases) {
+  EXPECT_TRUE(NormalizeQuestion("").empty());
+  EXPECT_TRUE(NormalizeQuestion("?!.,").empty());
+  EXPECT_EQ(NormalizeQuestion("  A  B  "),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TreeEditDistanceTest, IdenticalTreesAreZero) {
+  DepTree t;
+  t.nodes = {{"a", {1, 2}}, {"b", {}}, {"c", {}}};
+  t.root = 0;
+  EXPECT_EQ(TreeEditDistance(t, t), 0);
+}
+
+TEST(TreeEditDistanceTest, SingleRename) {
+  DepTree a;
+  a.nodes = {{"a", {1}}, {"b", {}}};
+  a.root = 0;
+  DepTree b = a;
+  b.nodes[1].label = "x";
+  EXPECT_EQ(TreeEditDistance(a, b), 1);
+}
+
+TEST(TreeEditDistanceTest, InsertionCostsOne) {
+  DepTree a;
+  a.nodes = {{"a", {}}};
+  a.root = 0;
+  DepTree b;
+  b.nodes = {{"a", {1}}, {"b", {}}};
+  b.root = 0;
+  EXPECT_EQ(TreeEditDistance(a, b), 1);
+  EXPECT_EQ(TreeEditDistance(b, a), 1);
+}
+
+TEST(TreeEditDistanceTest, SlotMatchesAnyLabel) {
+  DepTree a;
+  a.nodes = {{"a", {1}}, {kSlotMarker, {}}};
+  a.root = 0;
+  DepTree b;
+  b.nodes = {{"a", {1}}, {"anything", {}}};
+  b.root = 0;
+  EXPECT_EQ(TreeEditDistance(a, b), 0);
+}
+
+TEST(TreeEditDistanceTest, MetricPropertiesOnRandomTrees) {
+  Rng rng(31);
+  auto random_tree = [&](int n) {
+    DepTree t;
+    for (int i = 0; i < n; ++i) {
+      t.nodes.push_back(
+          {std::string(1, static_cast<char>('a' + rng.Uniform(0, 3))), {}});
+      if (i > 0) {
+        int parent = static_cast<int>(rng.Uniform(0, i - 1));
+        t.nodes[parent].children.push_back(i);
+      }
+    }
+    t.root = 0;
+    return t;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    DepTree x = random_tree(static_cast<int>(rng.Uniform(1, 6)));
+    DepTree y = random_tree(static_cast<int>(rng.Uniform(1, 6)));
+    DepTree z = random_tree(static_cast<int>(rng.Uniform(1, 6)));
+    int xy = TreeEditDistance(x, y);
+    EXPECT_EQ(xy, TreeEditDistance(y, x));
+    EXPECT_EQ(TreeEditDistance(x, x), 0);
+    EXPECT_LE(xy, TreeEditDistance(x, z) + TreeEditDistance(z, y));
+    EXPECT_LE(std::abs(x.size() - y.size()), xy);
+    EXPECT_LE(xy, x.size() + y.size());
+  }
+}
+
+TEST_F(NlpFixture, FuzzedQuestionsNeverCrash) {
+  Rng rng(77);
+  const char* words[] = {"which", "who",   "give",      "me",   "all",
+                         "that",  "and",   "politician", "city", "cit",
+                         "from",  "born",  "in",        "graduated",
+                         "located", "the", "is",        "?",    "springfield"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string question;
+    int tokens = static_cast<int>(rng.Uniform(0, 10));
+    for (int t = 0; t < tokens; ++t) {
+      question += words[rng.Uniform(0, std::size(words) - 1)];
+      question += ' ';
+    }
+    StatusOr<ParsedQuestion> parsed = ParseQuestion(question, lexicon);
+    if (parsed.ok()) {
+      // Anything that parses must survive the downstream pipeline.
+      StatusOr<UncertainQuestionGraph> graph =
+          BuildUncertainGraph(*parsed, lexicon, dict);
+      if (graph.ok()) {
+        EXPECT_GT(graph->graph.num_vertices(), 0);
+        EXPECT_GT(graph->graph.TotalMass(), 0.0);
+      }
+      DepTree tree = BuildQuestionTree(*parsed);
+      EXPECT_GE(tree.root, 0);
+      EXPECT_EQ(TreeEditDistance(tree, tree), 0);
+    }
+  }
+}
+
+TEST(AlignTokensTest, ExactMatchHasZeroCost) {
+  auto alignment = AlignTokens({"which", "actor"}, 0, {"which", "actor"});
+  ASSERT_TRUE(alignment.has_value());
+  EXPECT_EQ(alignment->cost, 0);
+  EXPECT_DOUBLE_EQ(alignment->matching_proportion, 1.0);
+}
+
+TEST(AlignTokensTest, SlotCapturesMultiwordPhrase) {
+  auto alignment =
+      AlignTokens({"which", "<slot0>", "graduated", "from", "<slot1>"}, 2,
+                  {"which", "famous", "politician", "graduated", "from",
+                   "cit"});
+  ASSERT_TRUE(alignment.has_value());
+  EXPECT_EQ(alignment->cost, 0);
+  EXPECT_EQ(alignment->slot_phrases[0], "famous politician");
+  EXPECT_EQ(alignment->slot_phrases[1], "cit");
+  EXPECT_DOUBLE_EQ(alignment->matching_proportion, 1.0);
+}
+
+TEST(AlignTokensTest, InsertionsLowerPhi) {
+  // The tail "and married to someone" cannot be absorbed by the slot
+  // (slots capture at most 3 tokens), so it costs insertions and phi drops.
+  auto alignment = AlignTokens(
+      {"which", "<slot0>", "born", "in", "<slot1>"}, 2,
+      {"which", "actor", "born", "in", "paris", "and", "married", "to",
+       "someone"});
+  ASSERT_TRUE(alignment.has_value());
+  EXPECT_GT(alignment->cost, 0);
+  EXPECT_LT(alignment->matching_proportion, 1.0);
+  EXPECT_EQ(alignment->slot_phrases[0], "actor");
+}
+
+TEST(AlignTokensTest, SlotMustCaptureSomething) {
+  EXPECT_FALSE(AlignTokens({"<slot0>"}, 1, {}).has_value());
+}
+
+TEST(AlignTokensTest, ValidatorRestrictsSlotSpans) {
+  std::function<bool(const std::string&)> only_paris =
+      [](const std::string& span) { return span == "paris"; };
+  auto alignment =
+      AlignTokens({"born", "in", "<slot0>"}, 1,
+                  {"born", "in", "paris", "france"}, &only_paris);
+  ASSERT_TRUE(alignment.has_value());
+  EXPECT_EQ(alignment->slot_phrases[0], "paris");
+  EXPECT_EQ(alignment->cost, 1);  // "france" inserted
+
+  std::function<bool(const std::string&)> nothing =
+      [](const std::string&) { return false; };
+  // With no valid span the slot must be deleted (cost) or the alignment
+  // rejected when the slot never captures.
+  EXPECT_FALSE(AlignTokens({"born", "in", "<slot0>"}, 1,
+                           {"born", "in", "paris"}, &nothing)
+                   .has_value());
+}
+
+TEST(AlignTokensTest, SubstitutionCost) {
+  auto alignment = AlignTokens({"which", "actor"}, 0, {"which", "singer"});
+  ASSERT_TRUE(alignment.has_value());
+  EXPECT_EQ(alignment->cost, 1);
+}
+
+}  // namespace
+}  // namespace simj::nlp

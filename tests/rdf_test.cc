@@ -1,0 +1,269 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/label.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "util/rng.h"
+
+namespace simj::rdf {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = dict.Intern("Alice");
+    bob = dict.Intern("Bob");
+    carol = dict.Intern("Carol");
+    person = dict.Intern("Person");
+    city = dict.Intern("City");
+    paris = dict.Intern("Paris");
+    type = dict.Intern("type");
+    knows = dict.Intern("knows");
+    born = dict.Intern("bornIn");
+
+    store.Add(alice, type, person);
+    store.Add(bob, type, person);
+    store.Add(carol, type, person);
+    store.Add(paris, type, city);
+    store.Add(alice, knows, bob);
+    store.Add(bob, knows, carol);
+    store.Add(alice, born, paris);
+    store.Add(bob, born, paris);
+  }
+
+  graph::LabelDictionary dict;
+  TripleStore store;
+  TermId alice, bob, carol, person, city, paris, type, knows, born;
+};
+
+TEST_F(StoreFixture, IndexesAreConsistent) {
+  EXPECT_EQ(store.size(), 8);
+  EXPECT_EQ(store.BySubject(alice).size(), 3u);
+  EXPECT_EQ(store.ByPredicate(type).size(), 4u);
+  EXPECT_EQ(store.ByObject(paris).size(), 2u);
+  EXPECT_EQ(store.BySubjectPredicate(alice, knows).size(), 1u);
+  EXPECT_EQ(store.ByPredicateObject(type, person).size(), 3u);
+}
+
+TEST_F(StoreFixture, Contains) {
+  EXPECT_TRUE(store.Contains(alice, knows, bob));
+  EXPECT_FALSE(store.Contains(bob, knows, alice));
+  EXPECT_FALSE(store.Contains(alice, knows, carol));
+}
+
+TEST_F(StoreFixture, SingleTriplePatternWithVariable) {
+  TermId var = dict.Intern("?x");
+  BgpQuery query;
+  query.select_vars = {var};
+  query.patterns = {TriplePattern{var, type, person}};
+  auto rows = store.Evaluate(query, dict);
+  ASSERT_EQ(rows.size(), 3u);
+}
+
+TEST_F(StoreFixture, JoinAcrossPatterns) {
+  // People who know someone born in Paris: Alice (knows Bob).
+  TermId x = dict.Intern("?x");
+  TermId y = dict.Intern("?y");
+  BgpQuery query;
+  query.select_vars = {x};
+  query.patterns = {TriplePattern{x, knows, y},
+                    TriplePattern{y, born, paris}};
+  auto rows = store.Evaluate(query, dict);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], alice);
+}
+
+TEST_F(StoreFixture, SharedVariableMustUnify) {
+  // ?x knows ?x never holds here.
+  TermId x = dict.Intern("?x");
+  BgpQuery query;
+  query.select_vars = {x};
+  query.patterns = {TriplePattern{x, knows, x}};
+  EXPECT_TRUE(store.Evaluate(query, dict).empty());
+}
+
+TEST_F(StoreFixture, VariablePredicate) {
+  TermId p = dict.Intern("?p");
+  BgpQuery query;
+  query.select_vars = {p};
+  query.patterns = {TriplePattern{alice, p, bob}};
+  auto rows = store.Evaluate(query, dict);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], knows);
+}
+
+TEST_F(StoreFixture, MultipleSelectVars) {
+  TermId x = dict.Intern("?x");
+  TermId y = dict.Intern("?y");
+  BgpQuery query;
+  query.select_vars = {x, y};
+  query.patterns = {TriplePattern{x, born, y}};
+  auto rows = store.Evaluate(query, dict);
+  EXPECT_EQ(rows.size(), 2u);  // (alice, paris), (bob, paris)
+}
+
+TEST_F(StoreFixture, ResultsAreDeduplicated) {
+  // ?x born ?anywhere, select only ?anywhere -> {paris} once.
+  TermId x = dict.Intern("?x");
+  TermId y = dict.Intern("?y");
+  BgpQuery query;
+  query.select_vars = {y};
+  query.patterns = {TriplePattern{x, born, y}};
+  EXPECT_EQ(store.Evaluate(query, dict).size(), 1u);
+}
+
+TEST_F(StoreFixture, MaxRowsCap) {
+  TermId x = dict.Intern("?x");
+  TermId y = dict.Intern("?y");
+  TermId z = dict.Intern("?z");
+  BgpQuery query;
+  query.select_vars = {x, y, z};
+  query.patterns = {TriplePattern{x, y, z}};
+  EXPECT_EQ(store.Evaluate(query, dict, /*max_rows=*/3).size(), 3u);
+}
+
+TEST_F(StoreFixture, EmptyQueryYieldsNothing) {
+  BgpQuery query;
+  EXPECT_TRUE(store.Evaluate(query, dict).empty());
+}
+
+TEST_F(StoreFixture, UnsatisfiablePattern) {
+  TermId x = dict.Intern("?x");
+  BgpQuery query;
+  query.select_vars = {x};
+  query.patterns = {TriplePattern{x, knows, paris}};
+  EXPECT_TRUE(store.Evaluate(query, dict).empty());
+}
+
+// Brute-force BGP reference: try every tuple of triples (one per pattern)
+// and unify. Exponential but exact.
+std::set<std::vector<TermId>> ReferenceEvaluate(
+    const TripleStore& store, const BgpQuery& query,
+    const graph::LabelDictionary& dict) {
+  std::set<std::vector<TermId>> rows;
+  size_t p = query.patterns.size();
+  std::vector<int> pick(p, 0);
+  int64_t total = 1;
+  for (size_t i = 0; i < p; ++i) total *= store.size();
+  for (int64_t code = 0; code < total; ++code) {
+    int64_t rest = code;
+    for (size_t i = 0; i < p; ++i) {
+      pick[i] = static_cast<int>(rest % store.size());
+      rest /= store.size();
+    }
+    std::unordered_map<TermId, TermId> binding;
+    bool ok = true;
+    for (size_t i = 0; i < p && ok; ++i) {
+      const TriplePattern& pattern = query.patterns[i];
+      const Triple& t = store.triples()[pick[i]];
+      auto unify = [&](TermId term, TermId value) {
+        if (!dict.IsWildcard(term)) return term == value;
+        auto it = binding.find(term);
+        if (it != binding.end()) return it->second == value;
+        binding[term] = value;
+        return true;
+      };
+      ok = unify(pattern.subject, t.subject) &&
+           unify(pattern.predicate, t.predicate) &&
+           unify(pattern.object, t.object);
+    }
+    if (!ok) continue;
+    std::vector<TermId> row;
+    for (TermId var : query.select_vars) {
+      auto it = binding.find(var);
+      row.push_back(it == binding.end() ? graph::kInvalidLabel : it->second);
+    }
+    rows.insert(std::move(row));
+  }
+  return rows;
+}
+
+class BgpReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BgpReferenceTest, EvaluatorMatchesBruteForce) {
+  Rng rng(3000 + GetParam());
+  graph::LabelDictionary dict;
+  std::vector<TermId> entities;
+  for (int i = 0; i < 5; ++i) {
+    entities.push_back(dict.Intern("E" + std::to_string(i)));
+  }
+  std::vector<TermId> predicates;
+  for (int i = 0; i < 3; ++i) {
+    predicates.push_back(dict.Intern("p" + std::to_string(i)));
+  }
+  TripleStore store;
+  int triples = static_cast<int>(rng.Uniform(3, 8));
+  for (int i = 0; i < triples; ++i) {
+    store.Add(entities[rng.Uniform(0, entities.size() - 1)],
+              predicates[rng.Uniform(0, predicates.size() - 1)],
+              entities[rng.Uniform(0, entities.size() - 1)]);
+  }
+  std::vector<TermId> vars = {dict.Intern("?a"), dict.Intern("?b"),
+                              dict.Intern("?c")};
+  auto random_term = [&]() -> TermId {
+    double draw = rng.UniformDouble();
+    if (draw < 0.45) return vars[rng.Uniform(0, vars.size() - 1)];
+    if (draw < 0.75) return entities[rng.Uniform(0, entities.size() - 1)];
+    return predicates[rng.Uniform(0, predicates.size() - 1)];
+  };
+  BgpQuery query;
+  int num_patterns = static_cast<int>(rng.Uniform(1, 3));
+  for (int i = 0; i < num_patterns; ++i) {
+    query.patterns.push_back(
+        TriplePattern{random_term(), random_term(), random_term()});
+  }
+  query.select_vars = {vars[0], vars[1]};
+
+  auto got = store.Evaluate(query, dict);
+  std::set<std::vector<TermId>> got_set(got.begin(), got.end());
+  EXPECT_EQ(got_set, ReferenceEvaluate(store, query, dict));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BgpReferenceTest, ::testing::Range(0, 40));
+
+TEST(NTriplesTest, ParsesBasicFile) {
+  graph::LabelDictionary dict;
+  TripleStore store;
+  auto added = ParseNTriples(
+      "# a comment\n"
+      "<Alice> <knows> <Bob> .\n"
+      "\n"
+      "Bob type Person .\n"
+      "<Alice> <says> \"hello world\" .\n",
+      dict, &store);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, 3);
+  EXPECT_EQ(store.size(), 3);
+  EXPECT_TRUE(store.Contains(dict.Find("Alice"), dict.Find("knows"),
+                             dict.Find("Bob")));
+  EXPECT_NE(dict.Find("hello world"), graph::kInvalidLabel);
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  graph::LabelDictionary dict;
+  TripleStore store;
+  EXPECT_FALSE(ParseNTriples("<a> <b> .\n", dict, &store).ok());
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c> <d> .\n", dict, &store).ok());
+  EXPECT_FALSE(ParseNTriples("<a <b> <c> .\n", dict, &store).ok());
+  EXPECT_FALSE(ParseNTriples("<a> \"unterminated <c> .\n", dict, &store).ok());
+}
+
+TEST(NTriplesTest, RoundTrips) {
+  graph::LabelDictionary dict;
+  TripleStore store;
+  store.Add(dict.Intern("Alice"), dict.Intern("knows"), dict.Intern("Bob"));
+  store.Add(dict.Intern("Alice"), dict.Intern("says"),
+            dict.Intern("hello world"));
+  std::string text = ToNTriples(store, dict);
+
+  TripleStore reloaded;
+  auto added = ParseNTriples(text, dict, &reloaded);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, store.size());
+  EXPECT_EQ(reloaded.triples(), store.triples());
+}
+
+}  // namespace
+}  // namespace simj::rdf

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "core/groups.h"
+#include "core/similarity.h"
+#include "ged/edit_distance.h"
+#include "graph/uncertain_graph.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace simj::core {
+namespace {
+
+using graph::LabelDictionary;
+using graph::LabeledGraph;
+using graph::UncertainGraph;
+
+// Paper Example 3 flavor: SimP adds up exactly the qualifying worlds.
+TEST(SimilarityTest, HandComputedSimP) {
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  graph::LabelId c = dict.Intern("C");
+  graph::LabelId r = dict.Intern("r");
+
+  LabeledGraph q;
+  q.AddVertex(a);
+  q.AddVertex(b);
+  q.AddEdge(0, 1, r);
+
+  // Worlds: (A,B) p=0.42 ged 0; (C,B) p=0.18 ged 1; (A,C) p=0.28 ged 1;
+  //         (C,C) p=0.12 ged 2.
+  UncertainGraph g;
+  g.AddVertex({{a, 0.7}, {c, 0.3}});
+  g.AddVertex({{b, 0.6}, {c, 0.4}});
+  g.AddEdge(0, 1, r);
+
+  EXPECT_NEAR(ComputeSimP(q, g, /*tau=*/0, dict).probability, 0.42, 1e-9);
+  EXPECT_NEAR(ComputeSimP(q, g, /*tau=*/1, dict).probability, 0.88, 1e-9);
+  EXPECT_NEAR(ComputeSimP(q, g, /*tau=*/2, dict).probability, 1.0, 1e-9);
+}
+
+TEST(SimilarityTest, BestMappingComesFromMostProbableQualifyingWorld) {
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  LabeledGraph q;
+  q.AddVertex(a);
+
+  UncertainGraph g;
+  g.AddVertex({{a, 0.3}, {b, 0.7}});
+
+  SimPResult result = ComputeSimP(q, g, /*tau=*/0, dict);
+  EXPECT_NEAR(result.probability, 0.3, 1e-12);
+  EXPECT_EQ(result.best_world_ged, 0);
+  EXPECT_NEAR(result.best_world_prob, 0.3, 1e-12);
+  ASSERT_EQ(result.best_mapping.size(), 1u);
+  EXPECT_EQ(result.best_mapping[0], 0);
+}
+
+class SimPPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimPPropertyTest, UpperBoundDominatesExactSimP) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 5);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1"),
+                                         dict.Intern("r2")};
+  Rng rng(600 + GetParam());
+  LabeledGraph q = simj::testing::RandomCertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
+      static_cast<int>(rng.Uniform(0, 6)));
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+      static_cast<int>(rng.Uniform(0, 5)), /*max_alts=*/3);
+  int tau = static_cast<int>(rng.Uniform(0, 4));
+
+  double exact = ComputeSimP(q, g, tau, dict).probability;
+  double upper = UpperBoundSimP(q, g, tau, dict);
+  EXPECT_GE(upper + 1e-9, exact);
+  EXPECT_GE(exact, 0.0);
+  EXPECT_LE(exact, g.TotalMass() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimPPropertyTest, ::testing::Range(0, 60));
+
+class TotalProbabilityBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TotalProbabilityBoundTest, ConditionedBoundIsValid) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 5);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(650 + GetParam());
+  LabeledGraph q = simj::testing::RandomCertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
+      static_cast<int>(rng.Uniform(0, 6)));
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+      static_cast<int>(rng.Uniform(0, 5)), /*max_alts=*/4);
+  int tau = static_cast<int>(rng.Uniform(0, 3));
+
+  double exact = ComputeSimP(q, g, tau, dict).probability;
+  for (int depth : {0, 1, 2, 3}) {
+    double bound = UpperBoundSimPTotalProbability(q, g, tau, dict, depth);
+    EXPECT_GE(bound + 1e-9, exact) << "depth=" << depth;
+  }
+  // Depth 0 degenerates to the plain Markov bound.
+  EXPECT_NEAR(UpperBoundSimPTotalProbability(q, g, tau, dict, 0),
+              std::min(UpperBoundSimP(q, g, tau, dict),
+                       UpperBoundSimPTotalProbability(q, g, tau, dict, 0)),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TotalProbabilityBoundTest,
+                         ::testing::Range(0, 40));
+
+TEST(VerifyStatsTest, UpperBoundShortcutCountsWorlds) {
+  // A pair where many worlds qualify: the greedy bound should accept some
+  // of them without exact searches.
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  graph::LabelId c = dict.Intern("C");
+  graph::LabelId r = dict.Intern("r");
+  LabeledGraph q;
+  q.AddVertex(a);
+  q.AddVertex(a);
+  q.AddEdge(0, 1, r);
+  UncertainGraph g;
+  g.AddVertex({{a, 0.5}, {b, 0.3}, {c, 0.2}});
+  g.AddVertex({{a, 0.5}, {b, 0.3}, {c, 0.2}});
+  g.AddEdge(0, 1, r);
+
+  VerifyStats stats;
+  SimPResult result = ComputeSimP(q, g, /*tau=*/2, dict, ged::GedOptions(),
+                                  &stats);
+  EXPECT_NEAR(result.probability, 1.0, 1e-9);  // every world within 2 edits
+  EXPECT_GT(stats.worlds_accepted_by_upper_bound, 0);
+  EXPECT_EQ(stats.worlds_enumerated, 9);
+}
+
+class GroupingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupingPropertyTest, GroupsPartitionSimPAndBoundsStayValid) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 5);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(700 + GetParam());
+  LabeledGraph q = simj::testing::RandomCertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
+      static_cast<int>(rng.Uniform(0, 5)));
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(2, 4)),
+      static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3);
+  int tau = static_cast<int>(rng.Uniform(0, 3));
+
+  double exact = ComputeSimP(q, g, tau, dict).probability;
+
+  for (int group_count : {1, 2, 4, 8}) {
+    GroupingOptions options;
+    options.group_count = group_count;
+    GroupingResult grouping = PartitionPossibleWorlds(q, g, tau, dict, options);
+
+    // The summed group upper bound must dominate the exact SimP.
+    EXPECT_GE(grouping.simp_upper_bound + 1e-9, exact)
+        << "group_count=" << group_count;
+
+    // Exact SimP restricted to live groups must equal the full SimP:
+    // discarded groups contain no qualifying world.
+    double across_groups = 0.0;
+    for (const ScoredGroup& group : grouping.live_groups) {
+      across_groups += ComputeSimP(q, group.graph, tau, dict).probability;
+    }
+    EXPECT_NEAR(across_groups, exact, 1e-9) << "group_count=" << group_count;
+
+    // Masses of live groups never exceed the total.
+    EXPECT_LE(grouping.live_mass, g.TotalMass() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupingPropertyTest, ::testing::Range(0, 40));
+
+TEST(GroupingTest, SplitsRespectGroupCountAndMass) {
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  graph::LabelId c = dict.Intern("C");
+  graph::LabelId r = dict.Intern("r");
+  LabeledGraph q;
+  q.AddVertex(a);
+  q.AddVertex(a);
+  q.AddEdge(0, 1, r);
+  UncertainGraph g;
+  g.AddVertex({{a, 0.5}, {b, 0.3}, {c, 0.2}});
+  g.AddVertex({{a, 0.6}, {b, 0.4}});
+  g.AddEdge(0, 1, r);
+
+  for (int gn : {1, 2, 3, 5, 100}) {
+    GroupingOptions options;
+    options.group_count = gn;
+    GroupingResult grouping =
+        PartitionPossibleWorlds(q, g, /*tau=*/1, dict, options);
+    // Never more groups than requested; mass never exceeds the total;
+    // bounds stay within their ranges.
+    EXPECT_LE(static_cast<int>(grouping.live_groups.size()), std::max(1, gn));
+    EXPECT_LE(grouping.live_mass, g.TotalMass() + 1e-9);
+    double mass_sum = 0.0;
+    for (const ScoredGroup& group : grouping.live_groups) {
+      EXPECT_GE(group.lower_bound, 0);
+      EXPECT_LE(group.lower_bound, 1);  // live groups only
+      EXPECT_GE(group.upper_bound, 0.0);
+      EXPECT_LE(group.upper_bound, group.mass + 1e-9);
+      mass_sum += group.mass;
+    }
+    EXPECT_NEAR(mass_sum, grouping.live_mass, 1e-9);
+  }
+  // With unlimited splitting the graph decomposes into fully certain
+  // groups: 3 * 2 = 6 possible worlds.
+  GroupingOptions unlimited;
+  unlimited.group_count = 100;
+  GroupingResult grouping =
+      PartitionPossibleWorlds(q, g, /*tau=*/5, dict, unlimited);
+  int64_t worlds = 0;
+  for (const ScoredGroup& group : grouping.live_groups) {
+    worlds += group.graph.NumPossibleWorlds();
+  }
+  EXPECT_EQ(worlds, 6);
+}
+
+TEST(GroupingTest, AllHeuristicsProduceValidBounds) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 5);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(760);
+  LabeledGraph q = simj::testing::RandomCertainGraph(rng, vlabels, elabels,
+                                                     3, 3);
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, 3, 3, /*max_alts=*/4);
+  double exact = ComputeSimP(q, g, /*tau=*/1, dict).probability;
+  for (SplitHeuristic heuristic :
+       {SplitHeuristic::kCostModel, SplitHeuristic::kMassOnly,
+        SplitHeuristic::kCountOnly}) {
+    GroupingOptions options;
+    options.group_count = 6;
+    options.heuristic = heuristic;
+    GroupingResult grouping =
+        PartitionPossibleWorlds(q, g, /*tau=*/1, dict, options);
+    EXPECT_GE(grouping.simp_upper_bound + 1e-9, exact);
+  }
+}
+
+TEST(VerifySimPTest, EarlyAcceptStopsAtAlpha) {
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  LabeledGraph q;
+  q.AddVertex(a);
+
+  UncertainGraph g;
+  g.AddVertex({{a, 0.6}, {b, 0.4}});
+
+  VerifyStats stats;
+  SimPResult result = VerifySimP(q, {g}, g.TotalMass(), /*tau=*/0,
+                                 /*alpha=*/0.5, dict, ged::GedOptions(),
+                                 &stats);
+  EXPECT_TRUE(result.early_accept);
+  EXPECT_GE(result.probability, 0.5);
+}
+
+TEST(VerifySimPTest, EarlyRejectWhenAlphaUnreachable) {
+  LabelDictionary dict;
+  graph::LabelId a = dict.Intern("A");
+  graph::LabelId b = dict.Intern("B");
+  graph::LabelId c = dict.Intern("C");
+  LabeledGraph q;
+  q.AddVertex(a);
+
+  UncertainGraph g;
+  g.AddVertex({{b, 0.5}, {c, 0.5}});  // no world within tau=0
+
+  SimPResult result =
+      VerifySimP(q, {g}, g.TotalMass(), /*tau=*/0, /*alpha=*/0.9, dict);
+  EXPECT_TRUE(result.early_reject);
+  EXPECT_LT(result.probability, 0.9);
+}
+
+class VerifyConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifyConsistencyTest, DecisionMatchesExactComputation) {
+  LabelDictionary dict;
+  auto vlabels = simj::testing::TestLabels(dict, 4);
+  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
+  Rng rng(800 + GetParam());
+  LabeledGraph q = simj::testing::RandomCertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+      static_cast<int>(rng.Uniform(0, 5)));
+  UncertainGraph g = simj::testing::RandomUncertainGraph(
+      rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
+      static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3);
+  int tau = static_cast<int>(rng.Uniform(0, 3));
+  double alpha = 0.1 + 0.8 * rng.UniformDouble();
+
+  double exact = ComputeSimP(q, g, tau, dict).probability;
+  SimPResult verified = VerifySimP(q, {g}, g.TotalMass(), tau, alpha, dict);
+  bool exact_decision = exact >= alpha - 1e-9;
+  bool verify_decision = verified.probability >= alpha - 1e-9;
+  EXPECT_EQ(exact_decision, verify_decision)
+      << "exact=" << exact << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VerifyConsistencyTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace simj::core

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "graph/label.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace simj::sparql {
+namespace {
+
+TEST(ParserTest, ParsesBasicQuery) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT ?person WHERE { ?person type Artist . "
+      "?person graduatedFrom Harvard_University . }",
+      dict);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select_vars.size(), 1u);
+  EXPECT_EQ(query->patterns.size(), 2u);
+  EXPECT_EQ(dict.Name(query->patterns[0].predicate), "type");
+  EXPECT_EQ(dict.Name(query->patterns[1].object), "Harvard_University");
+}
+
+TEST(ParserTest, AcceptsAngleBracketIris) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT ?x WHERE { ?x <rdf:type> <Artist> }", dict);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(dict.Name(query->patterns[0].predicate), "rdf:type");
+  EXPECT_EQ(dict.Name(query->patterns[0].object), "Artist");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  graph::LabelDictionary dict;
+  EXPECT_TRUE(ParseSparql("select ?x where { ?x p o . }", dict).ok());
+  EXPECT_TRUE(ParseSparql("Select ?x Where { ?x p o }", dict).ok());
+}
+
+TEST(ParserTest, MultipleSelectVars) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql("SELECT ?a ?b WHERE { ?a knows ?b . }", dict);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select_vars.size(), 2u);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  graph::LabelDictionary dict;
+  EXPECT_FALSE(ParseSparql("", dict).ok());
+  EXPECT_FALSE(ParseSparql("ASK { ?x p o }", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?x p o }", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x p }", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x p o", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <unterminated o }", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x p o . } junk", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }", dict).ok());
+}
+
+TEST(ParserTest, RoundTripsThroughText) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT ?x WHERE { ?x type Artist . ?x spouse ?y . }", dict);
+  ASSERT_TRUE(query.ok());
+  std::string text = ToSparqlText(*query, dict);
+  auto reparsed = ParseSparql(text, dict);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->select_vars, query->select_vars);
+  EXPECT_EQ(reparsed->patterns, query->patterns);
+}
+
+TEST(ParserTest, ExpandsPrefixes) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "PREFIX dbo: <http://dbpedia.org/ontology/> "
+      "SELECT ?x WHERE { ?x dbo:birthPlace dbo:Berlin . }",
+      dict);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(dict.Name(query->patterns[0].predicate),
+            "http://dbpedia.org/ontology/birthPlace");
+  EXPECT_EQ(dict.Name(query->patterns[0].object),
+            "http://dbpedia.org/ontology/Berlin");
+}
+
+TEST(ParserTest, DistinctAndLimit) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT DISTINCT ?x WHERE { ?x p o . } LIMIT 10", dict);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->distinct);
+  EXPECT_EQ(query->limit, 10);
+  // Round trip keeps both.
+  auto reparsed = ParseSparql(ToSparqlText(*query, dict), dict);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->distinct);
+  EXPECT_EQ(reparsed->limit, 10);
+}
+
+TEST(ParserTest, RejectsBadLimitAndPrefix) {
+  graph::LabelDictionary dict;
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x p o } LIMIT abc", dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x p o } LIMIT -3", dict).ok());
+  EXPECT_FALSE(
+      ParseSparql("PREFIX dbo <http://x/> SELECT ?x WHERE { ?x p o }", dict)
+          .ok());
+}
+
+TEST(ParserTest, FuzzedInputNeverCrashes) {
+  // Random token soup over the parser's alphabet must yield a Status (or a
+  // valid parse), never a crash.
+  Rng rng(42);
+  const char* pieces[] = {"SELECT", "WHERE",  "PREFIX", "LIMIT", "DISTINCT",
+                          "?x",     "?y",     "{",      "}",     ".",
+                          "<iri>",  "name",   "p:",     "<",     ">",
+                          "10",     "-1",     ""};
+  for (int trial = 0; trial < 500; ++trial) {
+    graph::LabelDictionary dict;
+    std::string input;
+    int tokens = static_cast<int>(rng.Uniform(0, 12));
+    for (int t = 0; t < tokens; ++t) {
+      input += pieces[rng.Uniform(0, std::size(pieces) - 1)];
+      input += ' ';
+    }
+    StatusOr<ParsedQuery> query = ParseSparql(input, dict);
+    if (query.ok()) {
+      // Whatever parsed must serialize and re-parse.
+      EXPECT_TRUE(ParseSparql(ToSparqlText(*query, dict), dict).ok())
+          << input;
+    }
+  }
+}
+
+TEST(QueryGraphTest, SharedTermsShareVertices) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT ?x WHERE { ?x type Artist . ?x spouse ?y . ?y type Actor . }",
+      dict);
+  ASSERT_TRUE(query.ok());
+  QueryGraph qg = BuildQueryGraph(*query, dict);
+  // Vertices: ?x, Artist, ?y, Actor.
+  EXPECT_EQ(qg.graph.num_vertices(), 4);
+  EXPECT_EQ(qg.graph.num_edges(), 3);
+  EXPECT_EQ(qg.vertex_terms.size(), 4u);
+}
+
+TEST(QueryGraphTest, VariablesAreWildcards) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql("SELECT ?x WHERE { ?x p Entity . }", dict);
+  ASSERT_TRUE(query.ok());
+  QueryGraph qg = BuildQueryGraph(*query, dict);
+  EXPECT_TRUE(dict.IsWildcard(qg.graph.vertex_label(0)));
+  EXPECT_FALSE(dict.IsWildcard(qg.graph.vertex_label(1)));
+}
+
+TEST(QueryGraphTest, TypeResolverRewritesEntityLabels) {
+  graph::LabelDictionary dict;
+  graph::LabelId university = dict.Intern("University");
+  auto query =
+      ParseSparql("SELECT ?x WHERE { ?x graduatedFrom Harvard . }", dict);
+  ASSERT_TRUE(query.ok());
+  rdf::TermId harvard = dict.Find("Harvard");
+  std::function<graph::LabelId(rdf::TermId)> resolver =
+      [&](rdf::TermId term) {
+        return term == harvard ? university : graph::kInvalidLabel;
+      };
+  QueryGraph qg = BuildQueryGraph(*query, dict, &resolver);
+  EXPECT_EQ(qg.graph.vertex_label(1), university);
+  // Provenance keeps the original term.
+  EXPECT_EQ(qg.vertex_terms[1], harvard);
+}
+
+TEST(QueryGraphTest, ReflexivePatternDropsSelfLoop) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql("SELECT ?x WHERE { ?x knows ?x . }", dict);
+  ASSERT_TRUE(query.ok());
+  QueryGraph qg = BuildQueryGraph(*query, dict);
+  EXPECT_EQ(qg.graph.num_vertices(), 1);
+  EXPECT_EQ(qg.graph.num_edges(), 0);
+}
+
+TEST(QueryGraphTest, ParallelPredicatesBecomeParallelEdges) {
+  graph::LabelDictionary dict;
+  auto query = ParseSparql(
+      "SELECT ?x WHERE { ?x knows ?y . ?x likes ?y . }", dict);
+  ASSERT_TRUE(query.ok());
+  QueryGraph qg = BuildQueryGraph(*query, dict);
+  EXPECT_EQ(qg.graph.num_vertices(), 2);
+  EXPECT_EQ(qg.graph.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace simj::sparql

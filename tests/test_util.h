@@ -1,0 +1,84 @@
+// Shared helpers for the test suite: small random graph generators with
+// controllable label alphabets, used by the property-based tests.
+
+#ifndef SIMJ_TESTS_TEST_UTIL_H_
+#define SIMJ_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+#include "util/rng.h"
+
+namespace simj::testing {
+
+// Interns labels "L0".."L{n-1}" plus wildcards "?a".."?c".
+inline std::vector<graph::LabelId> TestLabels(graph::LabelDictionary& dict,
+                                              int n) {
+  std::vector<graph::LabelId> labels;
+  for (int i = 0; i < n; ++i) {
+    labels.push_back(dict.Intern("L" + std::to_string(i)));
+  }
+  return labels;
+}
+
+// Random certain graph with `n` vertices and up to `m` edges (no self
+// loops; parallel edges collapse by (src,dst,label) uniqueness not being
+// enforced, which exercises the multigraph paths).
+inline graph::LabeledGraph RandomCertainGraph(
+    Rng& rng, const std::vector<graph::LabelId>& vertex_labels,
+    const std::vector<graph::LabelId>& edge_labels, int n, int m) {
+  graph::LabeledGraph g;
+  for (int v = 0; v < n; ++v) {
+    g.AddVertex(vertex_labels[rng.Uniform(0, vertex_labels.size() - 1)]);
+  }
+  if (n < 2) return g;
+  for (int e = 0; e < m; ++e) {
+    int src = static_cast<int>(rng.Uniform(0, n - 1));
+    int dst = static_cast<int>(rng.Uniform(0, n - 1));
+    if (src == dst) continue;
+    g.AddEdge(src, dst, edge_labels[rng.Uniform(0, edge_labels.size() - 1)]);
+  }
+  return g;
+}
+
+// Random uncertain graph: each vertex gets 1..max_alts alternatives with a
+// random probability simplex.
+inline graph::UncertainGraph RandomUncertainGraph(
+    Rng& rng, const std::vector<graph::LabelId>& vertex_labels,
+    const std::vector<graph::LabelId>& edge_labels, int n, int m,
+    int max_alts) {
+  graph::UncertainGraph g;
+  for (int v = 0; v < n; ++v) {
+    int alts = static_cast<int>(rng.Uniform(1, max_alts));
+    std::vector<double> probs = rng.RandomSimplex(alts, 1.0);
+    std::vector<graph::LabelAlternative> alternatives;
+    std::vector<bool> taken(vertex_labels.size(), false);
+    for (int a = 0; a < alts; ++a) {
+      int pick;
+      do {
+        pick = static_cast<int>(rng.Uniform(0, vertex_labels.size() - 1));
+      } while (taken[pick]);
+      taken[pick] = true;
+      alternatives.push_back(
+          graph::LabelAlternative{vertex_labels[pick], probs[a]});
+    }
+    g.AddVertex(std::move(alternatives));
+  }
+  if (n >= 2) {
+    for (int e = 0; e < m; ++e) {
+      int src = static_cast<int>(rng.Uniform(0, n - 1));
+      int dst = static_cast<int>(rng.Uniform(0, n - 1));
+      if (src == dst) continue;
+      g.AddEdge(src, dst,
+                edge_labels[rng.Uniform(0, edge_labels.size() - 1)]);
+    }
+  }
+  return g;
+}
+
+}  // namespace simj::testing
+
+#endif  // SIMJ_TESTS_TEST_UTIL_H_
