@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_index.cpp" "bench/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/simj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ged/CMakeFiles/simj_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/simj_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/simj_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/simj_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/simj_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/simj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

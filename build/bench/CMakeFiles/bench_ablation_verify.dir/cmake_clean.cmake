@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_verify.dir/bench_ablation_verify.cpp.o"
+  "CMakeFiles/bench_ablation_verify.dir/bench_ablation_verify.cpp.o.d"
+  "bench_ablation_verify"
+  "bench_ablation_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

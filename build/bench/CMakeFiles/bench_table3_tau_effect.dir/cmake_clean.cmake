@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tau_effect.dir/bench_table3_tau_effect.cpp.o"
+  "CMakeFiles/bench_table3_tau_effect.dir/bench_table3_tau_effect.cpp.o.d"
+  "bench_table3_tau_effect"
+  "bench_table3_tau_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tau_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

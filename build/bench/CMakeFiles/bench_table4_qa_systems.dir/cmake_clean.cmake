@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_qa_systems.dir/bench_table4_qa_systems.cpp.o"
+  "CMakeFiles/bench_table4_qa_systems.dir/bench_table4_qa_systems.cpp.o.d"
+  "bench_table4_qa_systems"
+  "bench_table4_qa_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_qa_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

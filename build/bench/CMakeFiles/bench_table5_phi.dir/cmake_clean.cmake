@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_phi.dir/bench_table5_phi.cpp.o"
+  "CMakeFiles/bench_table5_phi.dir/bench_table5_phi.cpp.o.d"
+  "bench_table5_phi"
+  "bench_table5_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_pipeline.dir/qa_pipeline.cpp.o"
+  "CMakeFiles/qa_pipeline.dir/qa_pipeline.cpp.o.d"
+  "qa_pipeline"
+  "qa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

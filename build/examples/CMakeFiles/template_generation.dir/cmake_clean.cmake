@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_generation.dir/template_generation.cpp.o"
+  "CMakeFiles/template_generation.dir/template_generation.cpp.o.d"
+  "template_generation"
+  "template_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

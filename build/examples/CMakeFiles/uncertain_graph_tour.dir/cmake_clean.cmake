@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_graph_tour.dir/uncertain_graph_tour.cpp.o"
+  "CMakeFiles/uncertain_graph_tour.dir/uncertain_graph_tour.cpp.o.d"
+  "uncertain_graph_tour"
+  "uncertain_graph_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_graph_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

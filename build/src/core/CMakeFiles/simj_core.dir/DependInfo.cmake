@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/groups.cc" "src/core/CMakeFiles/simj_core.dir/groups.cc.o" "gcc" "src/core/CMakeFiles/simj_core.dir/groups.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/simj_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/simj_core.dir/index.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/core/CMakeFiles/simj_core.dir/join.cc.o" "gcc" "src/core/CMakeFiles/simj_core.dir/join.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/simj_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/simj_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/simj_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/simj_core.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ged/CMakeFiles/simj_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/simj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/simj_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

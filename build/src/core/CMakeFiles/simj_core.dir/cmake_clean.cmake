@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_core.dir/groups.cc.o"
+  "CMakeFiles/simj_core.dir/groups.cc.o.d"
+  "CMakeFiles/simj_core.dir/index.cc.o"
+  "CMakeFiles/simj_core.dir/index.cc.o.d"
+  "CMakeFiles/simj_core.dir/join.cc.o"
+  "CMakeFiles/simj_core.dir/join.cc.o.d"
+  "CMakeFiles/simj_core.dir/similarity.cc.o"
+  "CMakeFiles/simj_core.dir/similarity.cc.o.d"
+  "CMakeFiles/simj_core.dir/topk.cc.o"
+  "CMakeFiles/simj_core.dir/topk.cc.o.d"
+  "libsimj_core.a"
+  "libsimj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_ged.dir/edit_distance.cc.o"
+  "CMakeFiles/simj_ged.dir/edit_distance.cc.o.d"
+  "CMakeFiles/simj_ged.dir/filters.cc.o"
+  "CMakeFiles/simj_ged.dir/filters.cc.o.d"
+  "CMakeFiles/simj_ged.dir/lower_bounds.cc.o"
+  "CMakeFiles/simj_ged.dir/lower_bounds.cc.o.d"
+  "libsimj_ged.a"
+  "libsimj_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

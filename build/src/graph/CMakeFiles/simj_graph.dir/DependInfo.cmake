@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/label.cc" "src/graph/CMakeFiles/simj_graph.dir/label.cc.o" "gcc" "src/graph/CMakeFiles/simj_graph.dir/label.cc.o.d"
+  "/root/repo/src/graph/labeled_graph.cc" "src/graph/CMakeFiles/simj_graph.dir/labeled_graph.cc.o" "gcc" "src/graph/CMakeFiles/simj_graph.dir/labeled_graph.cc.o.d"
+  "/root/repo/src/graph/uncertain_graph.cc" "src/graph/CMakeFiles/simj_graph.dir/uncertain_graph.cc.o" "gcc" "src/graph/CMakeFiles/simj_graph.dir/uncertain_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/simj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_graph.dir/label.cc.o"
+  "CMakeFiles/simj_graph.dir/label.cc.o.d"
+  "CMakeFiles/simj_graph.dir/labeled_graph.cc.o"
+  "CMakeFiles/simj_graph.dir/labeled_graph.cc.o.d"
+  "CMakeFiles/simj_graph.dir/uncertain_graph.cc.o"
+  "CMakeFiles/simj_graph.dir/uncertain_graph.cc.o.d"
+  "libsimj_graph.a"
+  "libsimj_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

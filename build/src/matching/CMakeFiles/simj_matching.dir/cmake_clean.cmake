@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_matching.dir/bipartite.cc.o"
+  "CMakeFiles/simj_matching.dir/bipartite.cc.o.d"
+  "CMakeFiles/simj_matching.dir/hungarian.cc.o"
+  "CMakeFiles/simj_matching.dir/hungarian.cc.o.d"
+  "libsimj_matching.a"
+  "libsimj_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

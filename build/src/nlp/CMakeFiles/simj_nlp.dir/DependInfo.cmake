@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/dependency.cc" "src/nlp/CMakeFiles/simj_nlp.dir/dependency.cc.o" "gcc" "src/nlp/CMakeFiles/simj_nlp.dir/dependency.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/nlp/CMakeFiles/simj_nlp.dir/lexicon.cc.o" "gcc" "src/nlp/CMakeFiles/simj_nlp.dir/lexicon.cc.o.d"
+  "/root/repo/src/nlp/semantic_graph.cc" "src/nlp/CMakeFiles/simj_nlp.dir/semantic_graph.cc.o" "gcc" "src/nlp/CMakeFiles/simj_nlp.dir/semantic_graph.cc.o.d"
+  "/root/repo/src/nlp/uncertain_builder.cc" "src/nlp/CMakeFiles/simj_nlp.dir/uncertain_builder.cc.o" "gcc" "src/nlp/CMakeFiles/simj_nlp.dir/uncertain_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/simj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/simj_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

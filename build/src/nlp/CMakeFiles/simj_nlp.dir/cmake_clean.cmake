@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_nlp.dir/dependency.cc.o"
+  "CMakeFiles/simj_nlp.dir/dependency.cc.o.d"
+  "CMakeFiles/simj_nlp.dir/lexicon.cc.o"
+  "CMakeFiles/simj_nlp.dir/lexicon.cc.o.d"
+  "CMakeFiles/simj_nlp.dir/semantic_graph.cc.o"
+  "CMakeFiles/simj_nlp.dir/semantic_graph.cc.o.d"
+  "CMakeFiles/simj_nlp.dir/uncertain_builder.cc.o"
+  "CMakeFiles/simj_nlp.dir/uncertain_builder.cc.o.d"
+  "libsimj_nlp.a"
+  "libsimj_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/simj_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/simj_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/simj_rdf.dir/triple_store.cc.o.d"
+  "libsimj_rdf.a"
+  "libsimj_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_sparql.dir/parser.cc.o"
+  "CMakeFiles/simj_sparql.dir/parser.cc.o.d"
+  "libsimj_sparql.a"
+  "libsimj_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

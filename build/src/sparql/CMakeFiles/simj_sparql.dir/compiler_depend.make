@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simj_sparql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_templates.dir/baselines.cc.o"
+  "CMakeFiles/simj_templates.dir/baselines.cc.o.d"
+  "CMakeFiles/simj_templates.dir/qa.cc.o"
+  "CMakeFiles/simj_templates.dir/qa.cc.o.d"
+  "CMakeFiles/simj_templates.dir/template.cc.o"
+  "CMakeFiles/simj_templates.dir/template.cc.o.d"
+  "libsimj_templates.a"
+  "libsimj_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_util.dir/flags.cc.o"
+  "CMakeFiles/simj_util.dir/flags.cc.o.d"
+  "CMakeFiles/simj_util.dir/rng.cc.o"
+  "CMakeFiles/simj_util.dir/rng.cc.o.d"
+  "CMakeFiles/simj_util.dir/status.cc.o"
+  "CMakeFiles/simj_util.dir/status.cc.o.d"
+  "CMakeFiles/simj_util.dir/strings.cc.o"
+  "CMakeFiles/simj_util.dir/strings.cc.o.d"
+  "libsimj_util.a"
+  "libsimj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimj_util.a"
+)

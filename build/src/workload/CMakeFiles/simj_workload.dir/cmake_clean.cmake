@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simj_workload.dir/io.cc.o"
+  "CMakeFiles/simj_workload.dir/io.cc.o.d"
+  "CMakeFiles/simj_workload.dir/knowledge_base.cc.o"
+  "CMakeFiles/simj_workload.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/simj_workload.dir/question_gen.cc.o"
+  "CMakeFiles/simj_workload.dir/question_gen.cc.o.d"
+  "CMakeFiles/simj_workload.dir/synthetic.cc.o"
+  "CMakeFiles/simj_workload.dir/synthetic.cc.o.d"
+  "libsimj_workload.a"
+  "libsimj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(matching_test "/root/repo/build/tests/matching_test")
+set_tests_properties(matching_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ged_test "/root/repo/build/tests/ged_test")
+set_tests_properties(ged_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bounds_test "/root/repo/build/tests/bounds_test")
+set_tests_properties(bounds_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(similarity_test "/root/repo/build/tests/similarity_test")
+set_tests_properties(similarity_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(join_test "/root/repo/build/tests/join_test")
+set_tests_properties(join_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(filters_test "/root/repo/build/tests/filters_test")
+set_tests_properties(filters_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rdf_test "/root/repo/build/tests/rdf_test")
+set_tests_properties(rdf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sparql_test "/root/repo/build/tests/sparql_test")
+set_tests_properties(sparql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nlp_test "/root/repo/build/tests/nlp_test")
+set_tests_properties(nlp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(templates_test "/root/repo/build/tests/templates_test")
+set_tests_properties(templates_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_test "/root/repo/build/tests/pipeline_test")
+set_tests_properties(pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;simj_add_test;/root/repo/tests/CMakeLists.txt;0;")
