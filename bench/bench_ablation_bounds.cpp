@@ -13,8 +13,9 @@
 #include "ged/edit_distance.h"
 #include "ged/lower_bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Ablation: lower bound tightness and pruning power");
 
   workload::SyntheticConfig config;

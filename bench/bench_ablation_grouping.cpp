@@ -8,8 +8,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Ablation: group-split heuristics (SF, GN = 12)");
 
   workload::SyntheticConfig config;

@@ -5,8 +5,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Ablation: verification early exits (ER)");
 
   workload::SyntheticConfig config;

@@ -7,8 +7,9 @@
 #include "bench_util.h"
 #include "templates/template.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 10/16: case study (QALD-3-like + distractors)");
 
   bench::QaDataset data = bench::MakeQald3Like();

@@ -10,8 +10,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 11: effect of alpha (WebQ-like, tau = 1)");
 
   bench::QaDataset data = bench::MakeWebQLike();

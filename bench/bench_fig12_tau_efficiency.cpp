@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace simj;
-  Flags flags(argc, argv);
+  Flags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 12: effect of tau (ER, alpha = 0.8)");
 
   workload::SyntheticConfig config;

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace simj;
-  Flags flags(argc, argv);
+  Flags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 13: effect of group number GN (SF, tau=2, "
                      "alpha=0.4)");
 

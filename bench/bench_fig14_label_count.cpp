@@ -9,8 +9,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader(
       "Figure 14: effect of |L(v)| (ER, tau = 2, alpha = 0.4)");
 

@@ -44,8 +44,9 @@ double RealRatio(const std::vector<simj::graph::LabeledGraph>& d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 15: filter comparison (AIDS-like)");
 
   workload::SyntheticConfig config;

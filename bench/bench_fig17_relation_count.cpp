@@ -60,7 +60,8 @@ void RunDataset(const char* name, simj::bench::QaDataset& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simj::bench::ParseBenchFlags(argc, argv);
   simj::bench::PrintHeader("Figure 17: effect of the number of relations k");
   {
     simj::bench::QaDataset qald = simj::bench::MakeQald3Like();

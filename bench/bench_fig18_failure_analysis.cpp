@@ -17,8 +17,9 @@
 #include "bench_util.h"
 #include "ged/edit_distance.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Figure 18: failure analysis (QALD-3-like)");
 
   bench::QaDataset data = bench::MakeQald3Like();

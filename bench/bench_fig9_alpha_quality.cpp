@@ -9,8 +9,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader(
       "Figure 9: precision and correct answers vs alpha (tau = 1)");
 

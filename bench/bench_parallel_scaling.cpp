@@ -1,0 +1,88 @@
+// Parallel join scaling: wall-clock speedup of SimJoin at 1/2/4/8 worker
+// threads on the synthetic ER workload, plus a result-identity check
+// against the serial run (the parallel path must be a pure optimization).
+//
+// Flags: --num_certain / --num_uncertain / --num_vertices / --tau /
+// --alpha rescale the workload; --config picks css|simj|opt. Speedup is
+// bounded by the machine's core count — on a single-core container every
+// row measures pool overhead, not scaling.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+bool SameResults(const simj::core::JoinResult& a,
+                 const simj::core::JoinResult& b) {
+  if (a.pairs.size() != b.pairs.size()) return false;
+  for (size_t i = 0; i < a.pairs.size(); ++i) {
+    if (a.pairs[i].q_index != b.pairs[i].q_index ||
+        a.pairs[i].g_index != b.pairs[i].g_index ||
+        a.pairs[i].similarity_probability !=
+            b.pairs[i].similarity_probability ||
+        a.pairs[i].mapping != b.pairs[i].mapping) {
+      return false;
+    }
+  }
+  return a.stats.candidates == b.stats.candidates &&
+         a.stats.pruned_structural == b.stats.pruned_structural &&
+         a.stats.pruned_probabilistic == b.stats.pruned_probabilistic;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simj;
+  Flags flags = bench::ParseBenchFlags(argc, argv);
+  bench::PrintHeader("Parallel similarity join scaling (synthetic ER)");
+
+  workload::SyntheticConfig config;
+  config.seed = flags.GetInt("seed", 7);
+  config.num_certain = static_cast<int>(flags.GetInt("num_certain", 120));
+  config.num_uncertain = static_cast<int>(flags.GetInt("num_uncertain", 120));
+  config.num_vertices = static_cast<int>(flags.GetInt("num_vertices", 10));
+  config.num_edges = static_cast<int>(flags.GetInt("num_edges", 14));
+  config.labels_per_vertex = static_cast<int>(flags.GetInt("labels", 3));
+  workload::SyntheticDataset data = workload::MakeErDataset(config);
+
+  std::string config_name = flags.GetString("config", "simj");
+  bench::JoinConfig join_config =
+      config_name == "css" ? bench::JoinConfig::kCssOnly
+      : config_name == "opt" ? bench::JoinConfig::kSimJOpt
+                             : bench::JoinConfig::kSimJ;
+  core::SimJParams params =
+      bench::ParamsFor(join_config, static_cast<int>(flags.GetInt("tau", 2)),
+                       flags.GetDouble("alpha", 0.5));
+
+  std::printf("|D|=%zu |U|=%zu config=%s hardware_threads=%u\n\n",
+              data.certain.size(), data.uncertain.size(),
+              bench::ConfigName(join_config),
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %10s %10s %10s\n", "threads", "seconds", "speedup",
+              "results", "identical");
+
+  core::JoinResult baseline;
+  double baseline_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    params.num_threads = threads;
+    WallTimer timer;
+    core::JoinResult result =
+        core::SimJoin(data.certain, data.uncertain, params, data.dict);
+    double seconds = timer.ElapsedSeconds();
+    bool identical = true;
+    if (threads == 1) {
+      baseline = std::move(result);
+      baseline_seconds = seconds;
+    } else {
+      identical = SameResults(result, baseline);
+    }
+    std::printf("%8d %12.3f %9.2fx %10zu %10s\n", threads, seconds,
+                seconds > 0 ? baseline_seconds / seconds : 0.0,
+                threads == 1 ? baseline.pairs.size() : result.pairs.size(),
+                identical ? "yes" : "NO");
+  }
+  return 0;
+}

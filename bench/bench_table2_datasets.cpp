@@ -54,8 +54,9 @@ void PrintRow(const char* name, size_t u, const Stats& stats, size_t d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Table 2: statistics of data sets (scaled instances)");
   std::printf("%-8s %8s %8s %8s %8s %8s\n", "Dataset", "|U|", "avg|V|",
               "avg|E|", "avg|LV|", "|D|");

@@ -32,7 +32,8 @@ void RunDataset(const char* name, simj::bench::QaDataset& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simj::bench::ParseBenchFlags(argc, argv);
   simj::bench::PrintHeader(
       "Table 3: effect of GED threshold tau (alpha = 0.9)");
   {

@@ -41,8 +41,9 @@ struct Macro {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Table 4: Q/A quality vs other systems");
 
   workload::KnowledgeBase kb(workload::KbConfig{.seed = 77});

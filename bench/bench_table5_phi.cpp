@@ -11,8 +11,9 @@
 #include "templates/qa.h"
 #include "templates/template.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simj;
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Table 5: effect of matching proportion phi");
 
   workload::KnowledgeBase kb(workload::KbConfig{.seed = 88});

@@ -11,12 +11,36 @@
 #include <vector>
 
 #include "core/join.h"
+#include "util/flags.h"
 #include "util/timer.h"
 #include "workload/knowledge_base.h"
 #include "workload/question_gen.h"
 #include "workload/synthetic.h"
 
 namespace simj::bench {
+
+// ---------------------------------------------------------------------------
+// Harness-wide options. Every bench calls ParseBenchFlags(argc, argv) at the
+// top of main(); flags shared by all harnesses (--threads=N, 0 = hardware
+// concurrency, 1 = serial) land here and are picked up by ParamsFor(), so
+// each experiment can be rerun parallel without touching its code.
+// ---------------------------------------------------------------------------
+
+struct BenchOptions {
+  int threads = 1;
+};
+
+inline BenchOptions& GlobalBenchOptions() {
+  static BenchOptions options;
+  return options;
+}
+
+inline Flags ParseBenchFlags(int argc, char** argv) {
+  Flags flags(argc, argv);
+  GlobalBenchOptions().threads =
+      static_cast<int>(flags.GetInt("threads", GlobalBenchOptions().threads));
+  return flags;
+}
 
 // ---------------------------------------------------------------------------
 // Dataset recipes. Paper scales (Table 2) are quoted in comments; defaults
@@ -108,6 +132,7 @@ inline core::SimJParams ParamsFor(JoinConfig config, int tau, double alpha,
   params.structural_pruning = true;
   params.probabilistic_pruning = config != JoinConfig::kCssOnly;
   params.group_count = config == JoinConfig::kSimJOpt ? group_count : 1;
+  params.num_threads = GlobalBenchOptions().threads;
   return params;
 }
 

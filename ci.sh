@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI driver: builds the Release and ASan/UBSan configurations and runs the
+# full test suite in each, then reruns the threaded join tests under TSan
+# with an 8-worker pool (data races in the parallel join only show up with
+# real concurrency, whatever the host's core count).
+#
+# Usage: ./ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+GENERATOR_ARGS=()
+command -v ninja >/dev/null 2>&1 && GENERATOR_ARGS=(-G Ninja)
+
+build_and_test() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+# 1. Release: the configuration benchmarks and users run.
+build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
+# 2. ASan + UBSan: memory and UB bugs across the whole suite.
+build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMJ_SANITIZE="address;undefined"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+# 3. TSan: the property/determinism tests exercise the work-stealing pool
+# with up to 8 workers; run them (and the pool-heavy join tests) race-checked.
+if [[ "${1:-}" != "--skip-tsan" ]]; then
+  build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSIMJ_SANITIZE=thread
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -R 'join_property_test|join_determinism_test|join_test'
+fi
+
+echo "CI OK"

@@ -39,6 +39,10 @@ JoinResult IndexedSimJoin(const std::vector<graph::LabeledGraph>& d,
                           const graph::LabelDictionary& dict) {
   CertainGraphIndex index(&d);
   JoinResult result;
+  // Materialize the surviving pairs up front (the index probe is cheap and
+  // serial), then hand the skewed refinement work to the shared engine,
+  // which shards it across the configured workers.
+  std::vector<std::pair<int, int>> pairs;
   for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
     std::vector<int> candidates = index.Candidates(u[gi], params.tau);
     // Pairs skipped by the index never reach EvaluatePair; account for
@@ -47,15 +51,10 @@ JoinResult IndexedSimJoin(const std::vector<graph::LabeledGraph>& d,
                       static_cast<int64_t>(candidates.size());
     result.stats.total_pairs += skipped;
     result.stats.pruned_structural += skipped;
-    for (int qi : candidates) {
-      MatchedPair pair;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &result.stats, &pair)) {
-        pair.q_index = qi;
-        pair.g_index = gi;
-        result.pairs.push_back(std::move(pair));
-      }
-    }
+    for (int qi : candidates) pairs.emplace_back(qi, gi);
   }
+  JoinPairs(d, u, params, dict, static_cast<int64_t>(pairs.size()),
+            [&pairs](int64_t p) { return pairs[p]; }, &result);
   return result;
 }
 

@@ -1,8 +1,10 @@
 #include "core/join.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "ged/lower_bounds.h"
+#include "util/threadpool.h"
 #include "util/timer.h"
 
 namespace simj::core {
@@ -13,6 +15,22 @@ using graph::LabeledGraph;
 using graph::UncertainGraph;
 
 }  // namespace
+
+void MergeJoinStats(const JoinStats& from, JoinStats* into) {
+  into->total_pairs += from.total_pairs;
+  into->pruned_structural += from.pruned_structural;
+  into->pruned_probabilistic += from.pruned_probabilistic;
+  into->candidates += from.candidates;
+  into->results += from.results;
+  into->verify.worlds_enumerated += from.verify.worlds_enumerated;
+  into->verify.worlds_pruned_by_bound += from.verify.worlds_pruned_by_bound;
+  into->verify.worlds_accepted_by_upper_bound +=
+      from.verify.worlds_accepted_by_upper_bound;
+  into->verify.ged_calls += from.verify.ged_calls;
+  into->verify.ged_aborted += from.verify.ged_aborted;
+  into->pruning_seconds += from.pruning_seconds;
+  into->verification_seconds += from.verification_seconds;
+}
 
 bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
                   const SimJParams& params,
@@ -99,21 +117,67 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
   return true;
 }
 
+void JoinPairs(const std::vector<LabeledGraph>& d,
+               const std::vector<UncertainGraph>& u, const SimJParams& params,
+               const graph::LabelDictionary& dict, int64_t num_pairs,
+               const std::function<std::pair<int, int>(int64_t)>& pair_at,
+               JoinResult* result) {
+  if (params.num_threads == 1) {
+    // Legacy serial path: accumulate directly into result->stats.
+    for (int64_t p = 0; p < num_pairs; ++p) {
+      auto [qi, gi] = pair_at(p);
+      MatchedPair pair;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair)) {
+        pair.q_index = qi;
+        pair.g_index = gi;
+        result->pairs.push_back(std::move(pair));
+      }
+    }
+  } else {
+    // Workers may only read the dictionary (EvaluatePair never interns, but
+    // the freeze makes that a hard guarantee rather than a convention).
+    dict.Freeze();
+    int workers = ResolveThreadCount(params.num_threads);
+    std::vector<JoinStats> worker_stats(workers);
+    std::vector<std::vector<MatchedPair>> worker_pairs(workers);
+    ParallelFor(params.num_threads, num_pairs, [&](int w, int64_t p) {
+      auto [qi, gi] = pair_at(p);
+      MatchedPair pair;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair)) {
+        pair.q_index = qi;
+        pair.g_index = gi;
+        worker_pairs[w].push_back(std::move(pair));
+      }
+    });
+    for (int w = 0; w < workers; ++w) {
+      MergeJoinStats(worker_stats[w], &result->stats);
+      result->pairs.insert(result->pairs.end(),
+                           std::make_move_iterator(worker_pairs[w].begin()),
+                           std::make_move_iterator(worker_pairs[w].end()));
+    }
+  }
+  // Canonical output order: pair evaluation is deterministic per pair, so
+  // after this sort the result is identical at every thread count.
+  std::sort(result->pairs.begin(), result->pairs.end(),
+            [](const MatchedPair& a, const MatchedPair& b) {
+              return a.q_index != b.q_index ? a.q_index < b.q_index
+                                            : a.g_index < b.g_index;
+            });
+}
+
 JoinResult SimJoin(const std::vector<LabeledGraph>& d,
                    const std::vector<UncertainGraph>& u,
                    const SimJParams& params,
                    const graph::LabelDictionary& dict) {
   JoinResult result;
-  for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
-    for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
-      MatchedPair pair;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &result.stats, &pair)) {
-        pair.q_index = qi;
-        pair.g_index = gi;
-        result.pairs.push_back(std::move(pair));
-      }
-    }
-  }
+  const int64_t num_u = static_cast<int64_t>(u.size());
+  const int64_t num_pairs = static_cast<int64_t>(d.size()) * num_u;
+  JoinPairs(d, u, params, dict, num_pairs,
+            [num_u](int64_t p) {
+              return std::pair<int, int>{static_cast<int>(p / num_u),
+                                         static_cast<int>(p % num_u)};
+            },
+            &result);
   return result;
 }
 

@@ -18,6 +18,8 @@
 #define SIMJ_CORE_JOIN_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/groups.h"
@@ -44,6 +46,13 @@ struct SimJParams {
   SplitHeuristic split_heuristic = SplitHeuristic::kCostModel;
   // Stop verification as soon as alpha is provably reached/unreachable.
   bool early_exit_verification = true;
+  // Worker threads for the join loop. 1 = the exact legacy serial path
+  // (no pool, no freeze); 0 = one per hardware thread; >1 = that many
+  // workers. Any value other than 1 freezes the label dictionary for the
+  // duration of the join (see LabelDictionary::Freeze) and shards the
+  // candidate pairs across a work-stealing pool. Results are sorted by
+  // (q_index, g_index), so output is byte-identical at every thread count.
+  int num_threads = 1;
   ged::GedOptions ged_options;
 };
 
@@ -82,6 +91,11 @@ struct JoinResult {
   JoinStats stats;
 };
 
+// Accumulates per-thread counters into *into: all counters (including the
+// nested VerifyStats) add. Seconds also add, so on a parallel join the
+// merged timings are CPU-seconds across workers, not wall clock.
+void MergeJoinStats(const JoinStats& from, JoinStats* into);
+
 // Evaluates a single pair through the full filter-and-refine pipeline.
 // Returns true (and fills *pair) when SimP_tau(q, g) >= alpha.
 bool EvaluatePair(const graph::LabeledGraph& q,
@@ -90,10 +104,27 @@ bool EvaluatePair(const graph::LabeledGraph& q,
                   MatchedPair* pair);
 
 // Algorithm 1: nested-loop join of D with U under the configured prunings.
+// With params.num_threads != 1 the |D| x |U| pairs are sharded across a
+// work-stealing pool (see SimJParams::num_threads).
 JoinResult SimJoin(const std::vector<graph::LabeledGraph>& d,
                    const std::vector<graph::UncertainGraph>& u,
                    const SimJParams& params,
                    const graph::LabelDictionary& dict);
+
+// Shared join engine behind SimJoin and IndexedSimJoin: evaluates the
+// `num_pairs` candidate pairs enumerated by `pair_at` (flat id -> (q_index,
+// g_index)), serially when params.num_threads == 1 and across a
+// work-stealing pool otherwise. Qualifying pairs are appended to
+// result->pairs and the whole vector is sorted by (q_index, g_index);
+// per-thread stats are merged into result->stats (which may already carry
+// counts from index-level pruning). `pair_at` must be pure: it is called
+// concurrently from workers.
+void JoinPairs(const std::vector<graph::LabeledGraph>& d,
+               const std::vector<graph::UncertainGraph>& u,
+               const SimJParams& params, const graph::LabelDictionary& dict,
+               int64_t num_pairs,
+               const std::function<std::pair<int, int>(int64_t)>& pair_at,
+               JoinResult* result);
 
 }  // namespace simj::core
 

@@ -7,6 +7,8 @@ namespace simj::graph {
 LabelId LabelDictionary::Intern(std::string_view name) {
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
+  // Inserting while frozen would race with concurrent join workers.
+  SIMJ_CHECK(!frozen());
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(name);
   is_wildcard_.push_back(!name.empty() && name.front() == '?');

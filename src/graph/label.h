@@ -8,10 +8,12 @@
 #ifndef SIMJ_GRAPH_LABEL_H_
 #define SIMJ_GRAPH_LABEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -22,17 +24,37 @@ using LabelId = int32_t;
 inline constexpr LabelId kInvalidLabel = -1;
 
 // Bidirectional string <-> LabelId map. One dictionary must be shared by all
-// graphs that participate in the same join. Not thread-safe for interning.
+// graphs that participate in the same join. Interning is NOT thread-safe;
+// the parallel join freezes the dictionary before sharding work so workers
+// can only read it (lookups on a frozen dictionary are safe from any
+// thread). Interning a label that is already present stays legal after the
+// freeze; inserting a new one trips a SIMJ_CHECK.
 class LabelDictionary {
  public:
   LabelDictionary() = default;
   LabelDictionary(const LabelDictionary&) = delete;
   LabelDictionary& operator=(const LabelDictionary&) = delete;
-  LabelDictionary(LabelDictionary&&) = default;
-  LabelDictionary& operator=(LabelDictionary&&) = default;
+  LabelDictionary(LabelDictionary&& other) noexcept { *this = std::move(other); }
+  LabelDictionary& operator=(LabelDictionary&& other) noexcept {
+    if (this != &other) {
+      index_ = std::move(other.index_);
+      names_ = std::move(other.names_);
+      is_wildcard_ = std::move(other.is_wildcard_);
+      frozen_.store(other.frozen_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   // Returns the id for `name`, interning it on first use.
   LabelId Intern(std::string_view name);
+
+  // Forbids interning new labels from here on, making the dictionary safe
+  // for concurrent reads. Idempotent; `const` because read paths (e.g. the
+  // parallel join, which takes a const reference) must be able to assert
+  // the read-only regime before fanning out.
+  void Freeze() const { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   // Returns the id for `name` or kInvalidLabel if never interned.
   LabelId Find(std::string_view name) const;
@@ -60,6 +82,7 @@ class LabelDictionary {
   std::unordered_map<std::string, LabelId> index_;
   std::vector<std::string> names_;
   std::vector<bool> is_wildcard_;
+  mutable std::atomic<bool> frozen_{false};
 };
 
 // Multiset of labels, used for the label-multiset and CSS bounds.

@@ -1,0 +1,137 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace simj {
+
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int count = ResolveThreadCount(num_threads);
+  queues_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_available_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  int target = static_cast<int>(next_queue_.fetch_add(1) % queues_.size());
+  SubmitTo(target, std::move(task));
+}
+
+void ThreadPool::SubmitTo(int worker, Task task) {
+  SIMJ_CHECK(worker >= 0 && worker < num_workers());
+  unfinished_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(queues_[worker]->mu);
+    queues_[worker]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_available_.notify_one();
+  }
+}
+
+bool ThreadPool::PopOwn(int worker, Task* task) {
+  WorkerQueue& queue = *queues_[worker];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  if (queue.tasks.empty()) return false;
+  *task = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::StealFrom(int thief, Task* task) {
+  int n = num_workers();
+  for (int offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(thief + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    // Steal the oldest task: round-robin scattering puts the least-started
+    // work at the front.
+    *task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  while (true) {
+    Task task;
+    if (PopOwn(worker, &task) || StealFrom(worker, &task)) {
+      task(worker);
+      if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        all_idle_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    // Re-check the queues under the wakeup mutex: a Submit between our
+    // failed scan and this lock would otherwise be missed.
+    bool any = false;
+    for (const auto& queue : queues_) {
+      std::lock_guard<std::mutex> qlock(queue->mu);
+      if (!queue->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    work_available_.wait(lock);
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ParallelFor(int num_threads, int64_t n,
+                 const std::function<void(int, int64_t)>& fn) {
+  int count = ResolveThreadCount(num_threads);
+  if (count <= 1 || n < 2) {
+    for (int64_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  ThreadPool pool(count);
+  // Several chunks per worker so stealing can even out skewed costs
+  // (pair-evaluation time varies by orders of magnitude with pruning).
+  int64_t chunks = std::min<int64_t>(n, static_cast<int64_t>(count) * 8);
+  int64_t chunk_size = (n + chunks - 1) / chunks;
+  int worker = 0;
+  for (int64_t begin = 0; begin < n; begin += chunk_size) {
+    int64_t end = std::min(n, begin + chunk_size);
+    pool.SubmitTo(worker, [&fn, begin, end](int worker_index) {
+      for (int64_t i = begin; i < end; ++i) fn(worker_index, i);
+    });
+    worker = (worker + 1) % count;
+  }
+  pool.Wait();
+}
+
+}  // namespace simj

@@ -1,0 +1,92 @@
+// Work-stealing thread-pool executor for the parallel join paths.
+//
+// Each worker owns a deque of tasks: it pops from the back of its own
+// queue (LIFO, cache-friendly for recursively submitted work) and steals
+// from the front of a victim's queue when its own runs dry (FIFO, so
+// thieves take the oldest — usually largest — pending chunks). Tasks
+// receive the executing worker's index so callers can keep per-thread
+// accumulators (stats, result buffers) and merge them after Wait().
+//
+// ParallelFor shards an index range [0, n) into chunks, scatters the
+// chunks round-robin across the workers' queues, and lets stealing do the
+// load balancing. With num_threads <= 1 (or a trivially small range) it
+// degenerates to an inline serial loop on worker 0 — the exact legacy
+// code path, no pool constructed.
+
+#ifndef SIMJ_UTIL_THREADPOOL_H_
+#define SIMJ_UTIL_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simj {
+
+// Resolves a user-facing thread-count parameter: 0 means "one per
+// hardware thread", anything else is taken literally (minimum 1).
+int ResolveThreadCount(int num_threads);
+
+class ThreadPool {
+ public:
+  // Tasks take the index of the worker running them, in [0, num_workers()).
+  using Task = std::function<void(int)>;
+
+  // Spawns ResolveThreadCount(num_threads) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Based on queues_, which is fully built before the first worker thread
+  // starts (workers_ is still growing while early workers already run).
+  int num_workers() const { return static_cast<int>(queues_.size()); }
+
+  // Enqueues a task on one worker's queue (round-robin). Thread-safe.
+  void Submit(Task task);
+
+  // Enqueues a task on a specific worker's queue; other workers may still
+  // steal it. `worker` must be in [0, num_workers()).
+  void SubmitTo(int worker, Task task);
+
+  // Blocks until every submitted task has finished. The pool is reusable
+  // after Wait() returns.
+  void Wait();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  bool PopOwn(int worker, Task* task);
+  bool StealFrom(int thief, Task* task);
+  void WorkerLoop(int worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards the condition variables below
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::atomic<int64_t> unfinished_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+// Runs fn(worker_index, i) for every i in [0, n), sharded across
+// ResolveThreadCount(num_threads) workers with work stealing. Blocks until
+// every index has been processed. Exact serial fallback (worker_index 0,
+// ascending i) when the resolved count is 1 or n < 2.
+void ParallelFor(int num_threads, int64_t n,
+                 const std::function<void(int, int64_t)>& fn);
+
+}  // namespace simj
+
+#endif  // SIMJ_UTIL_THREADPOOL_H_

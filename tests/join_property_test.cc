@@ -1,0 +1,190 @@
+// Randomized differential tests for the similarity join: every pruning
+// configuration, the size-indexed join, and the parallel path must return
+// exactly the pair set of a no-pruning brute force built on ComputeSimP,
+// with matching similarity probabilities. Pruning-heavy joins are where
+// silent correctness bugs hide (a wrong filter only makes the join look
+// faster), so the oracle uses none of the machinery under test: it
+// enumerates possible worlds pair by pair.
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/join.h"
+#include "core/similarity.h"
+#include "test_util.h"
+
+namespace simj::core {
+namespace {
+
+using graph::LabelDictionary;
+using graph::LabeledGraph;
+using graph::UncertainGraph;
+
+using PairKey = std::pair<int, int>;
+
+// Oracle: exact SimP for every pair of the cross product, no pruning.
+std::map<PairKey, double> BruteForceSimP(
+    const std::vector<LabeledGraph>& d, const std::vector<UncertainGraph>& u,
+    int tau, const LabelDictionary& dict) {
+  std::map<PairKey, double> simp;
+  for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
+    for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
+      simp[{qi, gi}] = ComputeSimP(d[qi], u[gi], tau, dict).probability;
+    }
+  }
+  return simp;
+}
+
+std::set<PairKey> QualifyingPairs(const std::map<PairKey, double>& simp,
+                                  double alpha) {
+  std::set<PairKey> out;
+  for (const auto& [key, probability] : simp) {
+    if (probability >= alpha - kSimPEpsilon) out.insert(key);
+  }
+  return out;
+}
+
+std::set<PairKey> PairSet(const JoinResult& result) {
+  std::set<PairKey> out;
+  for (const MatchedPair& pair : result.pairs) {
+    out.insert({pair.q_index, pair.g_index});
+  }
+  return out;
+}
+
+struct NamedConfig {
+  const char* name;
+  bool structural_pruning;
+  bool probabilistic_pruning;
+  int group_count;
+};
+
+// Every pruning configuration the paper evaluates, plus everything-off.
+constexpr NamedConfig kConfigs[] = {
+    {"no pruning", false, false, 1},
+    {"CSS only", true, false, 1},
+    {"SimJ", true, true, 1},
+    {"SimJ+opt g=2", true, true, 2},
+    {"SimJ+opt g=4", true, true, 4},
+};
+
+class JoinDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinDifferentialTest, AllPathsMatchBruteForceOracle) {
+  const int seed = GetParam();
+  workload::SyntheticDataset data =
+      simj::testing::MakeTinySyntheticDataset(3000 + seed);
+  const int tau = 1 + seed % 2;
+  const double alpha = 0.25 + 0.15 * (seed % 4);
+
+  std::map<PairKey, double> oracle_simp =
+      BruteForceSimP(data.certain, data.uncertain, tau, data.dict);
+  std::set<PairKey> oracle_pairs = QualifyingPairs(oracle_simp, alpha);
+
+  for (const NamedConfig& config : kConfigs) {
+    for (int threads : {1, 2, 8}) {
+      SimJParams params;
+      params.tau = tau;
+      params.alpha = alpha;
+      params.structural_pruning = config.structural_pruning;
+      params.probabilistic_pruning = config.probabilistic_pruning;
+      params.group_count = config.group_count;
+      params.num_threads = threads;
+      // Exact mode first: without the verification early exits every
+      // reported probability must equal the oracle's, not just bound it.
+      params.early_exit_verification = false;
+
+      for (bool indexed : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << config.name << " threads=" << threads
+                     << " indexed=" << indexed << " tau=" << tau
+                     << " alpha=" << alpha);
+        JoinResult result =
+            indexed ? IndexedSimJoin(data.certain, data.uncertain, params,
+                                     data.dict)
+                    : SimJoin(data.certain, data.uncertain, params, data.dict);
+        EXPECT_EQ(PairSet(result), oracle_pairs);
+        for (const MatchedPair& pair : result.pairs) {
+          double exact = oracle_simp[{pair.q_index, pair.g_index}];
+          EXPECT_NEAR(pair.similarity_probability, exact, kSimPEpsilon);
+        }
+        EXPECT_EQ(result.stats.results,
+                  static_cast<int64_t>(result.pairs.size()));
+      }
+
+      // Default mode: with early exits the reported probability is allowed
+      // to be a lower bound, but it must still reach alpha and never
+      // overshoot the exact value.
+      params.early_exit_verification = true;
+      JoinResult result =
+          SimJoin(data.certain, data.uncertain, params, data.dict);
+      SCOPED_TRACE(::testing::Message() << config.name << " threads="
+                                        << threads << " early-exit mode");
+      EXPECT_EQ(PairSet(result), oracle_pairs);
+      for (const MatchedPair& pair : result.pairs) {
+        double exact = oracle_simp[{pair.q_index, pair.g_index}];
+        EXPECT_GE(pair.similarity_probability, alpha - kSimPEpsilon);
+        EXPECT_LE(pair.similarity_probability, exact + kSimPEpsilon);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticSweep, JoinDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// The same oracle over the adversarial random-graph generator (wildcards,
+// multigraph edges, degenerate one-vertex graphs).
+class RandomGraphDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphDifferentialTest, AllConfigurationsMatchOracle) {
+  const int seed = GetParam();
+  simj::testing::RandomJoinWorkloadOptions options;
+  options.num_certain = 5;
+  options.num_uncertain = 5;
+  simj::testing::RandomJoinWorkload workload =
+      simj::testing::MakeRandomJoinWorkload(7100 + seed, options);
+  const int tau = seed % 3;
+  const double alpha = 0.2 + 0.1 * (seed % 7);
+
+  std::map<PairKey, double> oracle_simp =
+      BruteForceSimP(workload.d, workload.u, tau, workload.dict);
+  std::set<PairKey> oracle_pairs = QualifyingPairs(oracle_simp, alpha);
+
+  for (const NamedConfig& config : kConfigs) {
+    for (int threads : {1, 4}) {
+      SimJParams params;
+      params.tau = tau;
+      params.alpha = alpha;
+      params.structural_pruning = config.structural_pruning;
+      params.probabilistic_pruning = config.probabilistic_pruning;
+      params.group_count = config.group_count;
+      params.num_threads = threads;
+      params.early_exit_verification = false;
+      SCOPED_TRACE(::testing::Message() << config.name
+                                        << " threads=" << threads);
+      JoinResult plain = SimJoin(workload.d, workload.u, params, workload.dict);
+      JoinResult indexed =
+          IndexedSimJoin(workload.d, workload.u, params, workload.dict);
+      EXPECT_EQ(PairSet(plain), oracle_pairs);
+      EXPECT_EQ(PairSet(indexed), oracle_pairs);
+      for (const JoinResult* result : {&plain, &indexed}) {
+        for (const MatchedPair& pair : result->pairs) {
+          double exact = oracle_simp[{pair.q_index, pair.g_index}];
+          EXPECT_NEAR(pair.similarity_probability, exact, kSimPEpsilon);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, RandomGraphDifferentialTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace simj::core

@@ -44,25 +44,12 @@ std::set<std::pair<int, int>> PairSet(const JoinResult& result) {
 class JoinEquivalenceTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(JoinEquivalenceTest, AllConfigurationsAgreeWithBruteForce) {
-  LabelDictionary dict;
-  auto vlabels = simj::testing::TestLabels(dict, 5);
-  vlabels.push_back(dict.Intern("?x"));
-  std::vector<graph::LabelId> elabels = {dict.Intern("r1"),
-                                         dict.Intern("r2")};
-  Rng rng(900 + GetParam());
-
-  std::vector<LabeledGraph> d;
-  for (int i = 0; i < 4; ++i) {
-    d.push_back(simj::testing::RandomCertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 5))));
-  }
-  std::vector<UncertainGraph> u;
-  for (int i = 0; i < 4; ++i) {
-    u.push_back(simj::testing::RandomUncertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
-  }
+  simj::testing::RandomJoinWorkload workload =
+      simj::testing::MakeRandomJoinWorkload(900 + GetParam());
+  const LabelDictionary& dict = workload.dict;
+  const std::vector<LabeledGraph>& d = workload.d;
+  const std::vector<UncertainGraph>& u = workload.u;
+  Rng rng(9000 + GetParam());
 
   int tau = static_cast<int>(rng.Uniform(0, 3));
   double alpha = 0.2 + 0.6 * rng.UniformDouble();
@@ -141,28 +128,26 @@ TEST(JoinTest, MatchedPairCarriesMappingForTemplates) {
 // including at alphas that exactly hit accumulated world probabilities
 // (0.1 * k arithmetic bit-patterns vs exact confidence sums).
 TEST(JoinTest, ResultsAreMonotoneInAlpha) {
-  LabelDictionary dict;
-  auto vlabels = simj::testing::TestLabels(dict, 4);
-  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
-  Rng rng(999);
-  std::vector<LabeledGraph> d;
-  std::vector<UncertainGraph> u;
-  for (int i = 0; i < 6; ++i) {
-    d.push_back(simj::testing::RandomCertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 5))));
-    u.push_back(simj::testing::RandomUncertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
-  }
+  simj::testing::RandomJoinWorkloadOptions options;
+  options.num_certain = 6;
+  options.num_uncertain = 6;
+  options.vertex_label_pool = 4;
+  options.edge_label_pool = 1;
+  options.add_wildcard = false;
+  simj::testing::RandomJoinWorkload workload =
+      simj::testing::MakeRandomJoinWorkload(999, options);
+  const LabelDictionary& dict = workload.dict;
+  std::vector<LabeledGraph>& d = workload.d;
+  std::vector<UncertainGraph>& u = workload.u;
   // Mix in a vertex with the exact 0.6/0.4 confidences the workload
   // generator produces, so some SimP values equal 0.1 * k exactly.
   UncertainGraph exact_probs;
-  exact_probs.AddVertex({{vlabels[0], 0.6}, {vlabels[1], 0.4}});
-  u.push_back(exact_probs);
+  exact_probs.AddVertex({{workload.vertex_labels[0], 0.6},
+                         {workload.vertex_labels[1], 0.4}});
+  u.push_back(std::move(exact_probs));
   LabeledGraph single;
-  single.AddVertex(vlabels[0]);
-  d.push_back(single);
+  single.AddVertex(workload.vertex_labels[0]);
+  d.push_back(std::move(single));
 
   std::set<std::pair<int, int>> previous;
   bool first = true;
@@ -187,20 +172,21 @@ TEST(JoinTest, ResultsAreMonotoneInAlpha) {
 class IndexedJoinTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(IndexedJoinTest, IndexedJoinMatchesNestedLoop) {
-  LabelDictionary dict;
-  auto vlabels = simj::testing::TestLabels(dict, 4);
-  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
-  Rng rng(1400 + GetParam());
-  std::vector<LabeledGraph> d;
-  std::vector<UncertainGraph> u;
-  for (int i = 0; i < 8; ++i) {
-    d.push_back(simj::testing::RandomCertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 5)),
-        static_cast<int>(rng.Uniform(0, 6))));
-    u.push_back(simj::testing::RandomUncertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 5)), /*max_alts=*/3));
-  }
+  simj::testing::RandomJoinWorkloadOptions options;
+  options.num_certain = 8;
+  options.num_uncertain = 8;
+  options.max_vertices = 5;
+  options.max_edges = 6;
+  options.max_uncertain_edges = 5;
+  options.vertex_label_pool = 4;
+  options.edge_label_pool = 1;
+  options.add_wildcard = false;
+  simj::testing::RandomJoinWorkload workload =
+      simj::testing::MakeRandomJoinWorkload(1400 + GetParam(), options);
+  const LabelDictionary& dict = workload.dict;
+  const std::vector<LabeledGraph>& d = workload.d;
+  const std::vector<UncertainGraph>& u = workload.u;
+  Rng rng(14000 + GetParam());
   SimJParams params;
   params.tau = static_cast<int>(rng.Uniform(0, 3));
   params.alpha = 0.2 + 0.6 * rng.UniformDouble();
@@ -244,22 +230,18 @@ TEST(IndexTest, CandidatesRespectCountBound) {
 class TopKJoinTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TopKJoinTest, MatchesBruteForceRanking) {
-  LabelDictionary dict;
-  auto vlabels = simj::testing::TestLabels(dict, 4);
-  std::vector<graph::LabelId> elabels = {dict.Intern("r1")};
-  Rng rng(1500 + GetParam());
-  std::vector<LabeledGraph> d;
-  std::vector<UncertainGraph> u;
-  for (int i = 0; i < 7; ++i) {
-    d.push_back(simj::testing::RandomCertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 5))));
-  }
-  for (int i = 0; i < 4; ++i) {
-    u.push_back(simj::testing::RandomUncertainGraph(
-        rng, vlabels, elabels, static_cast<int>(rng.Uniform(1, 4)),
-        static_cast<int>(rng.Uniform(0, 4)), /*max_alts=*/3));
-  }
+  simj::testing::RandomJoinWorkloadOptions options;
+  options.num_certain = 7;
+  options.num_uncertain = 4;
+  options.vertex_label_pool = 4;
+  options.edge_label_pool = 1;
+  options.add_wildcard = false;
+  simj::testing::RandomJoinWorkload workload =
+      simj::testing::MakeRandomJoinWorkload(1500 + GetParam(), options);
+  const LabelDictionary& dict = workload.dict;
+  const std::vector<LabeledGraph>& d = workload.d;
+  const std::vector<UncertainGraph>& u = workload.u;
+  Rng rng(15000 + GetParam());
   TopKParams params;
   params.tau = static_cast<int>(rng.Uniform(0, 3));
   params.k = static_cast<int>(rng.Uniform(1, 4));

@@ -11,6 +11,7 @@
 #include "templates/baselines.h"
 #include "templates/qa.h"
 #include "templates/template.h"
+#include "test_util.h"
 #include "workload/knowledge_base.h"
 #include "workload/question_gen.h"
 
@@ -27,11 +28,8 @@ struct PipelineResult {
 PipelineResult RunPipeline(uint64_t seed) {
   workload::KnowledgeBase kb(workload::KbConfig{.seed = seed});
 
-  workload::WorkloadConfig train_config;
-  train_config.seed = seed + 1;
-  train_config.num_questions = 150;
-  train_config.distractor_queries = 60;
-  workload::Workload train = workload::GenerateWorkload(kb, train_config);
+  workload::Workload train = simj::testing::MakeSeededWorkload(
+      kb, seed + 1, /*num_questions=*/150, /*distractor_queries=*/60);
   workload::JoinSides sides = workload::BuildJoinSides(kb, train);
 
   core::SimJParams params;
@@ -49,10 +47,8 @@ PipelineResult RunPipeline(uint64_t seed) {
     if (t.ok()) store.Add(*std::move(t), kb.dict());
   }
 
-  workload::WorkloadConfig test_config;
-  test_config.seed = seed + 2;
-  test_config.num_questions = 80;
-  workload::Workload test = workload::GenerateWorkload(kb, test_config);
+  workload::Workload test =
+      simj::testing::MakeSeededWorkload(kb, seed + 2, /*num_questions=*/80);
 
   tmpl::TemplateQa qa(&store, &kb.lexicon(), &kb.store(), &kb.dict());
   auto macro_f1 = [&](auto answer_fn) {

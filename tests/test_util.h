@@ -1,5 +1,6 @@
 // Shared helpers for the test suite: small random graph generators with
-// controllable label alphabets, used by the property-based tests.
+// controllable label alphabets and seeded workload builders, used by the
+// property-based and integration tests.
 
 #ifndef SIMJ_TESTS_TEST_UTIL_H_
 #define SIMJ_TESTS_TEST_UTIL_H_
@@ -11,6 +12,9 @@
 #include "graph/labeled_graph.h"
 #include "graph/uncertain_graph.h"
 #include "util/rng.h"
+#include "workload/knowledge_base.h"
+#include "workload/question_gen.h"
+#include "workload/synthetic.h"
 
 namespace simj::testing {
 
@@ -77,6 +81,94 @@ inline graph::UncertainGraph RandomUncertainGraph(
     }
   }
   return g;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded workload builders shared across join_test, pipeline_test and the
+// property tests (one place to keep brute-force-tractable sizes).
+// ---------------------------------------------------------------------------
+
+// A complete random join instance: dictionary, certain side D, uncertain
+// side U.
+struct RandomJoinWorkload {
+  graph::LabelDictionary dict;
+  std::vector<graph::LabelId> vertex_labels;  // includes the wildcard, if any
+  std::vector<graph::LabelId> edge_labels;
+  std::vector<graph::LabeledGraph> d;
+  std::vector<graph::UncertainGraph> u;
+};
+
+struct RandomJoinWorkloadOptions {
+  int num_certain = 4;
+  int num_uncertain = 4;
+  int max_vertices = 4;    // per graph, drawn uniformly from [1, max]
+  int max_edges = 5;       // edge draws per certain graph
+  int max_uncertain_edges = 4;
+  int max_alts = 3;        // candidate labels per uncertain vertex
+  int vertex_label_pool = 5;
+  int edge_label_pool = 2;
+  bool add_wildcard = true;  // append "?x" to the vertex label pool
+};
+
+// Small random D/U sides sized so that a no-pruning ComputeSimP brute force
+// over the whole cross product stays fast.
+inline RandomJoinWorkload MakeRandomJoinWorkload(
+    uint64_t seed, const RandomJoinWorkloadOptions& options = {}) {
+  RandomJoinWorkload workload;
+  Rng rng(seed);
+  workload.vertex_labels = TestLabels(workload.dict, options.vertex_label_pool);
+  if (options.add_wildcard) {
+    workload.vertex_labels.push_back(workload.dict.Intern("?x"));
+  }
+  for (int i = 0; i < options.edge_label_pool; ++i) {
+    workload.edge_labels.push_back(
+        workload.dict.Intern("r" + std::to_string(i + 1)));
+  }
+  for (int i = 0; i < options.num_certain; ++i) {
+    workload.d.push_back(RandomCertainGraph(
+        rng, workload.vertex_labels, workload.edge_labels,
+        static_cast<int>(rng.Uniform(1, options.max_vertices)),
+        static_cast<int>(rng.Uniform(0, options.max_edges))));
+  }
+  for (int i = 0; i < options.num_uncertain; ++i) {
+    workload.u.push_back(RandomUncertainGraph(
+        rng, workload.vertex_labels, workload.edge_labels,
+        static_cast<int>(rng.Uniform(1, options.max_vertices)),
+        static_cast<int>(rng.Uniform(0, options.max_uncertain_edges)),
+        options.max_alts));
+  }
+  return workload;
+}
+
+// Seeded question workload over an existing knowledge base (pipeline and
+// template tests generate several of these per test).
+inline workload::Workload MakeSeededWorkload(
+    workload::KnowledgeBase& kb, uint64_t seed, int num_questions,
+    int distractor_queries = 0) {
+  workload::WorkloadConfig config;
+  config.seed = seed;
+  config.num_questions = num_questions;
+  config.distractor_queries = distractor_queries;
+  return workload::GenerateWorkload(kb, config);
+}
+
+// A scaled-down ER dataset from the synthetic generator: few enough
+// possible worlds per uncertain graph (<= 2 alternatives on half the
+// vertices) that exact SimP enumeration over every pair is cheap.
+inline workload::SyntheticDataset MakeTinySyntheticDataset(
+    uint64_t seed, int num_certain = 6, int num_uncertain = 6) {
+  workload::SyntheticConfig config;
+  config.seed = seed;
+  config.num_certain = num_certain;
+  config.num_uncertain = num_uncertain;
+  config.num_vertices = 5;
+  config.num_edges = 6;
+  config.vertex_label_pool = 8;
+  config.edge_label_pool = 3;
+  config.labels_per_vertex = 2;
+  config.uncertain_vertex_fraction = 0.5;
+  config.perturbation_ops = 2;
+  return workload::MakeErDataset(config);
 }
 
 }  // namespace simj::testing
