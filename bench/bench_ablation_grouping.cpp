@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   };
 
   std::printf("%-20s %12s %12s %10s\n", "heuristic", "candidates",
-              "pruning(s)", "overall(s)");
+              "pruning(s)", "wall(s)");
   for (const Variant& variant : variants) {
     core::SimJParams params = bench::ParamsFor(bench::JoinConfig::kSimJOpt,
                                                /*tau=*/2, /*alpha=*/0.4,
@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
     bench::EfficiencyRow row = bench::RunEfficiency(
         data.certain, data.uncertain, data.dict, params);
     std::printf("%-20s %11.3f%% %12.3f %10.3f\n", variant.name,
-                100.0 * row.candidate_ratio, row.pruning_seconds,
-                row.overall_seconds);
+                100.0 * row.candidate_ratio, row.pruning_cpu_seconds,
+                row.wall_seconds);
   }
   return 0;
 }

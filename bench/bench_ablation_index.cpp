@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace simj;
-  Flags flags = bench::ParseBenchFlags(argc, argv);
+  Flags flags = bench::ParseBenchFlags(argc, argv, {"seed"});
   bench::PrintHeader("Ablation: nested-loop vs size-indexed join (WebQ-like)");
 
   bench::QaDataset data = bench::MakeWebQLike(flags.GetInt("seed", 43));

@@ -36,7 +36,10 @@ bool SameResults(const simj::core::JoinResult& a,
 
 int main(int argc, char** argv) {
   using namespace simj;
-  Flags flags = bench::ParseBenchFlags(argc, argv);
+  Flags flags = bench::ParseBenchFlags(
+      argc, argv,
+      {"seed", "num_certain", "num_uncertain", "num_vertices", "num_edges",
+       "labels", "config", "tau", "alpha"});
   bench::PrintHeader("Parallel similarity join scaling (synthetic ER)");
 
   workload::SyntheticConfig config;

@@ -6,13 +6,19 @@
 #define SIMJ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/join.h"
 #include "util/flags.h"
+#include "util/metrics.h"
+#include "util/strings.h"
 #include "util/timer.h"
+#include "util/trace.h"
 #include "workload/knowledge_base.h"
 #include "workload/question_gen.h"
 #include "workload/synthetic.h"
@@ -21,13 +27,18 @@ namespace simj::bench {
 
 // ---------------------------------------------------------------------------
 // Harness-wide options. Every bench calls ParseBenchFlags(argc, argv) at the
-// top of main(); flags shared by all harnesses (--threads=N, 0 = hardware
-// concurrency, 1 = serial) land here and are picked up by ParamsFor(), so
-// each experiment can be rerun parallel without touching its code.
+// top of main(); flags shared by all harnesses land here and are picked up
+// by ParamsFor() / the atexit emitter, so each experiment gains threading,
+// metrics, tracing, and explain support without touching its code.
 // ---------------------------------------------------------------------------
 
 struct BenchOptions {
-  int threads = 1;
+  int threads = 1;            // --threads: 0 = hardware concurrency, 1 = serial
+  std::string metrics_out;    // --metrics_out: exposition-text dump path
+  std::string trace_out;      // --trace_out: Chrome-trace JSON dump path
+  bool explain = false;       // --explain: record per-pair prune explanations
+  int explain_every = 1;      // --explain_every: sample every Nth pair
+  std::string explain_out;    // --explain_out: explain dump path ("" = stdout)
 };
 
 inline BenchOptions& GlobalBenchOptions() {
@@ -35,10 +46,118 @@ inline BenchOptions& GlobalBenchOptions() {
   return options;
 }
 
-inline Flags ParseBenchFlags(int argc, char** argv) {
+// The flags every harness understands; harness-specific flags are passed to
+// ParseBenchFlags as `extra_known`.
+struct BenchFlagDoc {
+  const char* name;
+  const char* help;
+};
+
+inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
+  static const std::vector<BenchFlagDoc> docs = {
+      {"threads", "worker threads (0 = hardware concurrency, 1 = serial)"},
+      {"metrics_out", "write Prometheus-style metrics exposition here"},
+      {"trace_out", "write Chrome-trace JSON here (open in Perfetto)"},
+      {"explain", "1 = record per-pair prune explanations"},
+      {"explain_every", "sample every Nth pair in explain mode (default 1)"},
+      {"explain_out", "write explain dump here instead of stdout"},
+  };
+  return docs;
+}
+
+inline void PrintBenchUsage(const char* argv0,
+                            std::initializer_list<const char*> extra_known) {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", argv0);
+  std::fprintf(stderr, "shared flags:\n");
+  for (const BenchFlagDoc& doc : SharedBenchFlags()) {
+    std::fprintf(stderr, "  --%-14s %s\n", doc.name, doc.help);
+  }
+  if (extra_known.size() > 0) {
+    std::fprintf(stderr, "flags specific to this harness:\n");
+    for (const char* name : extra_known) {
+      std::fprintf(stderr, "  --%s\n", name);
+    }
+  }
+}
+
+// Dumps the metrics / trace sinks requested on the command line. Registered
+// via atexit so every harness emits them on any successful exit path.
+inline void EmitBenchArtifacts() {
+  const BenchOptions& options = GlobalBenchOptions();
+  if (!options.metrics_out.empty()) {
+    FILE* f = std::fopen(options.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open --metrics_out=%s\n",
+                   options.metrics_out.c_str());
+    } else {
+      std::string text = metrics::Registry::Global().ExpositionText();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "metrics exposition written to %s\n",
+                   options.metrics_out.c_str());
+    }
+  }
+  if (!options.trace_out.empty()) {
+    trace::Tracer::Global().Stop();
+    std::ofstream os(options.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot open --trace_out=%s\n",
+                   options.trace_out.c_str());
+    } else {
+      trace::Tracer::Global().WriteChromeTrace(os);
+      std::fprintf(stderr, "chrome trace written to %s (open in Perfetto)\n",
+                   options.trace_out.c_str());
+    }
+  }
+}
+
+// Parses and validates the command line. Unknown --flags (and --flags
+// missing an =value) abort with a usage listing, so a typo like --thread=4
+// fails loudly instead of silently running with defaults.
+inline Flags ParseBenchFlags(int argc, char** argv,
+                             std::initializer_list<const char*> extra_known =
+                                 {}) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    const size_t eq = arg.find('=');
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    bool known = false;
+    for (const BenchFlagDoc& doc : SharedBenchFlags()) {
+      if (key == doc.name) known = true;
+    }
+    for (const char* name : extra_known) {
+      if (key == name) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+      PrintBenchUsage(argv[0], extra_known);
+      std::exit(2);
+    }
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "error: flag --%s needs a value (--%s=...)\n",
+                   key.c_str(), key.c_str());
+      PrintBenchUsage(argv[0], extra_known);
+      std::exit(2);
+    }
+  }
   Flags flags(argc, argv);
-  GlobalBenchOptions().threads =
-      static_cast<int>(flags.GetInt("threads", GlobalBenchOptions().threads));
+  BenchOptions& options = GlobalBenchOptions();
+  options.threads = static_cast<int>(flags.GetInt("threads", options.threads));
+  options.metrics_out = flags.GetString("metrics_out", options.metrics_out);
+  options.trace_out = flags.GetString("trace_out", options.trace_out);
+  options.explain = flags.GetBool("explain", options.explain);
+  options.explain_every =
+      static_cast<int>(flags.GetInt("explain_every", options.explain_every));
+  options.explain_out = flags.GetString("explain_out", options.explain_out);
+  if (!options.explain_out.empty()) options.explain = true;
+  if (!options.trace_out.empty()) trace::Tracer::Global().Start();
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(EmitBenchArtifacts);
+  }
   return flags;
 }
 
@@ -133,7 +252,30 @@ inline core::SimJParams ParamsFor(JoinConfig config, int tau, double alpha,
   params.probabilistic_pruning = config != JoinConfig::kCssOnly;
   params.group_count = config == JoinConfig::kSimJOpt ? group_count : 1;
   params.num_threads = GlobalBenchOptions().threads;
+  params.explain.enabled = GlobalBenchOptions().explain;
+  params.explain.sample_every = GlobalBenchOptions().explain_every;
   return params;
+}
+
+// Dumps per-pair explanations if --explain was requested, to --explain_out
+// or stdout.
+inline void MaybeDumpExplains(const core::JoinResult& result,
+                              const core::SimJParams& params) {
+  if (!params.explain.enabled) return;
+  std::string text = core::FormatExplains(result, params);
+  const std::string& path = GlobalBenchOptions().explain_out;
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot open --explain_out=%s\n",
+                 path.c_str());
+    return;
+  }
+  os << text;
+  std::fprintf(stderr, "explain dump appended to %s\n", path.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -171,6 +313,7 @@ inline QualityResult RunQualityJoin(QaDataset& data,
       ++result.correct;
     }
   }
+  MaybeDumpExplains(joined, params);
   if (out != nullptr) *out = std::move(joined);
   return result;
 }
@@ -180,9 +323,12 @@ inline QualityResult RunQualityJoin(QaDataset& data,
 // ---------------------------------------------------------------------------
 
 struct EfficiencyRow {
-  double pruning_seconds = 0.0;
-  double verification_seconds = 0.0;
-  double overall_seconds = 0.0;
+  // CPU seconds are summed across worker threads; wall seconds are measured
+  // once around the whole join. They coincide on a serial run.
+  double pruning_cpu_seconds = 0.0;
+  double verification_cpu_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double wall_seconds = 0.0;
   double candidate_ratio = 0.0;  // candidates / (|D| * |U|)
   double real_ratio = 0.0;       // actual results / (|D| * |U|)
   int64_t results = 0;
@@ -194,15 +340,17 @@ inline EfficiencyRow RunEfficiency(
     const graph::LabelDictionary& dict, const core::SimJParams& params) {
   core::JoinResult joined = core::SimJoin(d, u, params, dict);
   EfficiencyRow row;
-  row.pruning_seconds = joined.stats.pruning_seconds;
-  row.verification_seconds = joined.stats.verification_seconds;
-  row.overall_seconds = joined.stats.TotalSeconds();
+  row.pruning_cpu_seconds = joined.stats.pruning_cpu_seconds;
+  row.verification_cpu_seconds = joined.stats.verification_cpu_seconds;
+  row.cpu_seconds = joined.stats.TotalCpuSeconds();
+  row.wall_seconds = joined.stats.wall_seconds;
   row.candidate_ratio = joined.stats.CandidateRatio();
   row.results = joined.stats.results;
   if (joined.stats.total_pairs > 0) {
     row.real_ratio = static_cast<double>(joined.stats.results) /
                      static_cast<double>(joined.stats.total_pairs);
   }
+  MaybeDumpExplains(joined, params);
   return row;
 }
 

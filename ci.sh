@@ -25,6 +25,45 @@ build_and_test() {
 build_and_test build-release -DCMAKE_BUILD_TYPE=Release
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 
+# 1b. Observability smoke: run a small join with every sink enabled, then
+# validate that the Chrome trace is well-formed JSON with the expected span
+# names and that the metrics exposition is non-empty.
+echo "=== observability smoke ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+./build-release/bench/bench_fig13_group_number \
+  --num_certain=8 --num_uncertain=8 --threads=8 \
+  --metrics_out="${SMOKE_DIR}/metrics.txt" \
+  --trace_out="${SMOKE_DIR}/trace.json" \
+  --explain=1 --explain_every=16 \
+  --explain_out="${SMOKE_DIR}/explains.txt" > /dev/null
+python3 - "${SMOKE_DIR}" <<'PY'
+import json, sys, collections
+d = sys.argv[1]
+with open(f"{d}/trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    assert {"name", "ph", "pid", "tid"} <= e.keys(), e
+    if e["ph"] == "X":
+        assert "ts" in e and "dur" in e, e
+names = {e["name"] for e in events if e["ph"] == "X"}
+required = {"simjoin", "css_filter", "markov_filter", "group_partition",
+            "verify", "ged_astar"}
+missing = required - names
+assert not missing, f"missing spans: {missing}"
+tids = {e["tid"] for e in events if e["ph"] == "X"}
+assert len(tids) > 1, f"expected spans from multiple workers, got tids={tids}"
+metrics = open(f"{d}/metrics.txt").read()
+assert "simj_join_pairs_total" in metrics, "exposition missing join counters"
+assert "_bucket{le=" in metrics, "exposition missing histogram buckets"
+explains = open(f"{d}/explains.txt").read()
+assert "<q=" in explains, "explain dump is empty"
+print(f"smoke OK: {len(events)} trace events, {len(tids)} worker lanes, "
+      f"{len(metrics.splitlines())} exposition lines")
+PY
+
 # 2. ASan + UBSan: memory and UB bugs across the whole suite.
 build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMJ_SANITIZE="address;undefined"
@@ -36,7 +75,8 @@ if [[ "${1:-}" != "--skip-tsan" ]]; then
   build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSIMJ_SANITIZE=thread
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
-    --output-on-failure -R 'join_property_test|join_determinism_test|join_test'
+    --output-on-failure \
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test'
 fi
 
 echo "CI OK"

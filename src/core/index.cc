@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
 namespace simj::core {
 
 CertainGraphIndex::CertainGraphIndex(
@@ -16,6 +20,13 @@ CertainGraphIndex::CertainGraphIndex(
 
 std::vector<int> CertainGraphIndex::Candidates(
     const graph::UncertainGraph& g, int tau) const {
+  static metrics::Histogram& probe_seconds =
+      metrics::Registry::Global().GetHistogram("simj_index_probe_seconds");
+  static metrics::Counter& probes =
+      metrics::Registry::Global().GetCounter("simj_index_probes_total");
+  metrics::ScopedLatency latency(probe_seconds);
+  trace::ScopedSpan span("index_probe", "index");
+  probes.Increment();
   std::vector<int> out;
   const int v = g.num_vertices();
   const int e = g.num_edges();
@@ -37,24 +48,50 @@ JoinResult IndexedSimJoin(const std::vector<graph::LabeledGraph>& d,
                           const std::vector<graph::UncertainGraph>& u,
                           const SimJParams& params,
                           const graph::LabelDictionary& dict) {
+  static metrics::Counter& skipped_total =
+      metrics::Registry::Global().GetCounter("simj_index_skipped_pairs_total");
+  WallTimer wall;
+  trace::ScopedSpan join_span("indexed_simjoin", "join");
   CertainGraphIndex index(&d);
   JoinResult result;
   // Materialize the surviving pairs up front (the index probe is cheap and
   // serial), then hand the skewed refinement work to the shared engine,
   // which shards it across the configured workers.
   std::vector<std::pair<int, int>> pairs;
-  for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
-    std::vector<int> candidates = index.Candidates(u[gi], params.tau);
-    // Pairs skipped by the index never reach EvaluatePair; account for
-    // them as structurally pruned.
-    int64_t skipped = static_cast<int64_t>(d.size()) -
-                      static_cast<int64_t>(candidates.size());
-    result.stats.total_pairs += skipped;
-    result.stats.pruned_structural += skipped;
-    for (int qi : candidates) pairs.emplace_back(qi, gi);
+  {
+    trace::ScopedSpan span("candidate_generation", "index");
+    for (int gi = 0; gi < static_cast<int>(u.size()); ++gi) {
+      std::vector<int> candidates = index.Candidates(u[gi], params.tau);
+      // Pairs skipped by the index never reach EvaluatePair; account for
+      // them as structurally pruned.
+      int64_t skipped = static_cast<int64_t>(d.size()) -
+                        static_cast<int64_t>(candidates.size());
+      result.stats.total_pairs += skipped;
+      result.stats.pruned_structural += skipped;
+      skipped_total.Add(skipped);
+      if (params.explain.enabled) {
+        // Explain the index-skipped pairs too: walk D against the sorted
+        // candidate list and record the gaps.
+        size_t next = 0;
+        for (int qi = 0; qi < static_cast<int>(d.size()); ++qi) {
+          if (next < candidates.size() && candidates[next] == qi) {
+            ++next;
+            continue;
+          }
+          if (!params.explain.ShouldExplain(qi, gi)) continue;
+          PairExplain explain;
+          explain.q_index = qi;
+          explain.g_index = gi;
+          explain.pruned_by = PruneStage::kIndexCount;
+          result.explains.push_back(std::move(explain));
+        }
+      }
+      for (int qi : candidates) pairs.emplace_back(qi, gi);
+    }
   }
   JoinPairs(d, u, params, dict, static_cast<int64_t>(pairs.size()),
             [&pairs](int64_t p) { return pairs[p]; }, &result);
+  result.stats.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
 

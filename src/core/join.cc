@@ -1,11 +1,14 @@
 #include "core/join.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iterator>
 
 #include "ged/lower_bounds.h"
+#include "util/metrics.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace simj::core {
 
@@ -14,7 +17,62 @@ namespace {
 using graph::LabeledGraph;
 using graph::UncertainGraph;
 
+struct JoinMetrics {
+  metrics::Counter& pairs_total;
+  metrics::Counter& pruned_structural;
+  metrics::Counter& pruned_probabilistic;
+  metrics::Counter& candidates;
+  metrics::Counter& results;
+  metrics::Histogram& structural_seconds;
+  metrics::Histogram& probabilistic_seconds;
+  metrics::Histogram& verify_seconds;
+
+  static const JoinMetrics& Get() {
+    static JoinMetrics* m = [] {
+      metrics::Registry& r = metrics::Registry::Global();
+      return new JoinMetrics{
+          r.GetCounter("simj_join_pairs_total"),
+          r.GetCounter("simj_join_pruned_structural_total"),
+          r.GetCounter("simj_join_pruned_probabilistic_total"),
+          r.GetCounter("simj_join_candidates_total"),
+          r.GetCounter("simj_join_results_total"),
+          r.GetHistogram("simj_filter_structural_seconds"),
+          r.GetHistogram("simj_filter_probabilistic_seconds"),
+          r.GetHistogram("simj_verify_pair_seconds"),
+      };
+    }();
+    return *m;
+  }
+};
+
 }  // namespace
+
+const char* PruneStageName(PruneStage stage) {
+  switch (stage) {
+    case PruneStage::kNone:
+      return "none";
+    case PruneStage::kIndexCount:
+      return "index-count";
+    case PruneStage::kStructural:
+      return "structural";
+    case PruneStage::kProbabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+bool ExplainOptions::ShouldExplain(int q_index, int g_index) const {
+  if (!enabled) return false;
+  if (!pairs.empty()) {
+    for (const auto& [qi, gi] : pairs) {
+      if (qi == q_index && gi == g_index) return true;
+    }
+    return false;
+  }
+  if (sample_every <= 1) return true;
+  int64_t key = static_cast<int64_t>(q_index) * 1000003 + g_index;
+  return key % sample_every == 0;
+}
 
 void MergeJoinStats(const JoinStats& from, JoinStats* into) {
   into->total_pairs += from.total_pairs;
@@ -28,22 +86,33 @@ void MergeJoinStats(const JoinStats& from, JoinStats* into) {
       from.verify.worlds_accepted_by_upper_bound;
   into->verify.ged_calls += from.verify.ged_calls;
   into->verify.ged_aborted += from.verify.ged_aborted;
-  into->pruning_seconds += from.pruning_seconds;
-  into->verification_seconds += from.verification_seconds;
+  into->pruning_cpu_seconds += from.pruning_cpu_seconds;
+  into->verification_cpu_seconds += from.verification_cpu_seconds;
+  // wall_seconds deliberately not merged: it is elapsed time measured once
+  // around the whole join, not a per-worker quantity.
 }
 
 bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
                   const SimJParams& params,
                   const graph::LabelDictionary& dict, JoinStats* stats,
-                  MatchedPair* pair) {
+                  MatchedPair* pair, PairExplain* explain) {
+  const JoinMetrics& jm = JoinMetrics::Get();
   ++stats->total_pairs;
+  jm.pairs_total.Increment();
   WallTimer timer;
 
   // --- Pruning phase ---
   if (params.structural_pruning) {
-    if (ged::CssLowerBoundUncertain(q, g, dict) > params.tau) {
+    trace::ScopedSpan span("css_filter", "prune");
+    int lower_bound = ged::CssLowerBoundUncertain(q, g, dict);
+    double seconds = timer.ElapsedSeconds();
+    jm.structural_seconds.Observe(seconds);
+    if (explain != nullptr) explain->css_lower_bound = lower_bound;
+    if (lower_bound > params.tau) {
       ++stats->pruned_structural;
-      stats->pruning_seconds += timer.ElapsedSeconds();
+      jm.pruned_structural.Increment();
+      stats->pruning_cpu_seconds += seconds;
+      if (explain != nullptr) explain->pruned_by = PruneStage::kStructural;
       return false;
     }
   }
@@ -51,22 +120,35 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
   GroupingResult grouping;
   bool grouped = false;
   if (params.probabilistic_pruning) {
+    trace::ScopedSpan span("markov_filter", "prune");
+    WallTimer filter_timer;
     GroupingOptions group_options;
     group_options.group_count = params.group_count;
     group_options.heuristic = params.split_heuristic;
     grouping = PartitionPossibleWorlds(q, g, params.tau, dict, group_options);
     grouped = true;
+    jm.probabilistic_seconds.Observe(filter_timer.ElapsedSeconds());
+    if (explain != nullptr) {
+      explain->simp_upper_bound = grouping.simp_upper_bound;
+      explain->live_groups = static_cast<int>(grouping.live_groups.size());
+      explain->live_mass = grouping.live_mass;
+    }
     if (grouping.simp_upper_bound < params.alpha - kSimPEpsilon) {
       ++stats->pruned_probabilistic;
-      stats->pruning_seconds += timer.ElapsedSeconds();
+      jm.pruned_probabilistic.Increment();
+      stats->pruning_cpu_seconds += timer.ElapsedSeconds();
+      if (explain != nullptr) explain->pruned_by = PruneStage::kProbabilistic;
       return false;
     }
   }
-  stats->pruning_seconds += timer.ElapsedSeconds();
+  stats->pruning_cpu_seconds += timer.ElapsedSeconds();
 
   // --- Refinement phase ---
   timer.Restart();
+  trace::ScopedSpan verify_span("verify", "verify");
   ++stats->candidates;
+  jm.candidates.Increment();
+  const VerifyStats verify_before = stats->verify;
 
   std::vector<UncertainGraph> groups;
   double live_mass = 0.0;
@@ -103,12 +185,25 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
       }
     }
   }
-  stats->verification_seconds += timer.ElapsedSeconds();
+  double verify_seconds = timer.ElapsedSeconds();
+  stats->verification_cpu_seconds += verify_seconds;
+  jm.verify_seconds.Observe(verify_seconds);
 
-  if (!simp.early_accept && simp.probability < params.alpha - kSimPEpsilon) {
-    return false;
+  bool accepted =
+      simp.early_accept || simp.probability >= params.alpha - kSimPEpsilon;
+  if (explain != nullptr) {
+    explain->simp_probability = simp.probability;
+    explain->early_accept = simp.early_accept;
+    explain->early_reject = simp.early_reject;
+    explain->worlds_enumerated =
+        stats->verify.worlds_enumerated - verify_before.worlds_enumerated;
+    explain->ged_calls = stats->verify.ged_calls - verify_before.ged_calls;
+    explain->best_world_ged = simp.best_world_ged;
+    explain->accepted = accepted;
   }
+  if (!accepted) return false;
   ++stats->results;
+  jm.results.Increment();
   if (pair != nullptr) {
     pair->similarity_probability = simp.probability;
     pair->mapping = simp.best_mapping;
@@ -117,20 +212,99 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
   return true;
 }
 
+std::string FormatExplain(const PairExplain& explain,
+                          const SimJParams& params) {
+  char buffer[320];
+  std::string out;
+  std::snprintf(buffer, sizeof(buffer), "<q=%d,g=%d> ", explain.q_index,
+                explain.g_index);
+  out += buffer;
+  switch (explain.pruned_by) {
+    case PruneStage::kIndexCount:
+      std::snprintf(buffer, sizeof(buffer),
+                    "PRUNED index-count: |dV|+|dE| > tau=%d", params.tau);
+      out += buffer;
+      return out;
+    case PruneStage::kStructural:
+      std::snprintf(buffer, sizeof(buffer),
+                    "PRUNED structural: css_lb=%d > tau=%d",
+                    explain.css_lower_bound, params.tau);
+      out += buffer;
+      return out;
+    case PruneStage::kProbabilistic:
+      std::snprintf(buffer, sizeof(buffer),
+                    "PRUNED probabilistic: ub_simp=%.6g < alpha=%.6g "
+                    "(css_lb=%d, live_groups=%d, live_mass=%.6g)",
+                    explain.simp_upper_bound, params.alpha,
+                    explain.css_lower_bound, explain.live_groups,
+                    explain.live_mass);
+      out += buffer;
+      return out;
+    case PruneStage::kNone:
+      break;
+  }
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%s simp=%.6g %s alpha=%.6g (css_lb=%d, ub_simp=%.6g, worlds=%lld, "
+      "ged_calls=%lld, best_ged=%d%s%s)",
+      explain.accepted ? "ACCEPT" : "REJECT", explain.simp_probability,
+      explain.accepted ? ">=" : "<", params.alpha, explain.css_lower_bound,
+      explain.simp_upper_bound,
+      static_cast<long long>(explain.worlds_enumerated),
+      static_cast<long long>(explain.ged_calls), explain.best_world_ged,
+      explain.early_accept ? ", early-accept" : "",
+      explain.early_reject ? ", early-reject" : "");
+  out += buffer;
+  return out;
+}
+
+std::string FormatExplains(const JoinResult& result,
+                           const SimJParams& params) {
+  std::string out;
+  for (const PairExplain& explain : result.explains) {
+    out += FormatExplain(explain, params);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void SortExplains(std::vector<PairExplain>* explains) {
+  std::sort(explains->begin(), explains->end(),
+            [](const PairExplain& a, const PairExplain& b) {
+              return a.q_index != b.q_index ? a.q_index < b.q_index
+                                            : a.g_index < b.g_index;
+            });
+}
+
+}  // namespace
+
 void JoinPairs(const std::vector<LabeledGraph>& d,
                const std::vector<UncertainGraph>& u, const SimJParams& params,
                const graph::LabelDictionary& dict, int64_t num_pairs,
                const std::function<std::pair<int, int>(int64_t)>& pair_at,
                JoinResult* result) {
+  const bool explain_on = params.explain.enabled;
   if (params.num_threads == 1) {
     // Legacy serial path: accumulate directly into result->stats.
     for (int64_t p = 0; p < num_pairs; ++p) {
       auto [qi, gi] = pair_at(p);
       MatchedPair pair;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair)) {
+      PairExplain explain;
+      PairExplain* explain_slot =
+          explain_on && params.explain.ShouldExplain(qi, gi) ? &explain
+                                                             : nullptr;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair,
+                       explain_slot)) {
         pair.q_index = qi;
         pair.g_index = gi;
         result->pairs.push_back(std::move(pair));
+      }
+      if (explain_slot != nullptr) {
+        explain.q_index = qi;
+        explain.g_index = gi;
+        result->explains.push_back(std::move(explain));
       }
     }
   } else {
@@ -138,15 +312,29 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
     // the freeze makes that a hard guarantee rather than a convention).
     dict.Freeze();
     int workers = ResolveThreadCount(params.num_threads);
+    metrics::Registry::Global()
+        .GetGauge("simj_join_workers")
+        .Set(static_cast<double>(workers));
     std::vector<JoinStats> worker_stats(workers);
     std::vector<std::vector<MatchedPair>> worker_pairs(workers);
+    std::vector<std::vector<PairExplain>> worker_explains(workers);
     ParallelFor(params.num_threads, num_pairs, [&](int w, int64_t p) {
       auto [qi, gi] = pair_at(p);
       MatchedPair pair;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair)) {
+      PairExplain explain;
+      PairExplain* explain_slot =
+          explain_on && params.explain.ShouldExplain(qi, gi) ? &explain
+                                                             : nullptr;
+      if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair,
+                       explain_slot)) {
         pair.q_index = qi;
         pair.g_index = gi;
         worker_pairs[w].push_back(std::move(pair));
+      }
+      if (explain_slot != nullptr) {
+        explain.q_index = qi;
+        explain.g_index = gi;
+        worker_explains[w].push_back(std::move(explain));
       }
     });
     for (int w = 0; w < workers; ++w) {
@@ -154,6 +342,10 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
       result->pairs.insert(result->pairs.end(),
                            std::make_move_iterator(worker_pairs[w].begin()),
                            std::make_move_iterator(worker_pairs[w].end()));
+      result->explains.insert(
+          result->explains.end(),
+          std::make_move_iterator(worker_explains[w].begin()),
+          std::make_move_iterator(worker_explains[w].end()));
     }
   }
   // Canonical output order: pair evaluation is deterministic per pair, so
@@ -163,6 +355,7 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
               return a.q_index != b.q_index ? a.q_index < b.q_index
                                             : a.g_index < b.g_index;
             });
+  SortExplains(&result->explains);
 }
 
 JoinResult SimJoin(const std::vector<LabeledGraph>& d,
@@ -170,6 +363,8 @@ JoinResult SimJoin(const std::vector<LabeledGraph>& d,
                    const SimJParams& params,
                    const graph::LabelDictionary& dict) {
   JoinResult result;
+  WallTimer wall;
+  trace::ScopedSpan span("simjoin", "join");
   const int64_t num_u = static_cast<int64_t>(u.size());
   const int64_t num_pairs = static_cast<int64_t>(d.size()) * num_u;
   JoinPairs(d, u, params, dict, num_pairs,
@@ -178,6 +373,7 @@ JoinResult SimJoin(const std::vector<LabeledGraph>& d,
                                          static_cast<int>(p % num_u)};
             },
             &result);
+  result.stats.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
 

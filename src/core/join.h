@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,54 @@
 #include "graph/uncertain_graph.h"
 
 namespace simj::core {
+
+// Which pipeline stage eliminated a pair (or kNone when it reached a final
+// verification decision). Stages are listed in pipeline order.
+enum class PruneStage {
+  kNone = 0,       // survived every filter; verification decided the pair
+  kIndexCount,     // skipped by the size-signature index (count bound)
+  kStructural,     // CSS uncertain bound > tau (Thm. 3)
+  kProbabilistic,  // Markov / group upper bound < alpha (Thm. 4)
+};
+
+const char* PruneStageName(PruneStage stage);
+
+// Per-pair audit trail for explain mode: which stage pruned the pair, or
+// the bound values that let it through to verification and the
+// verification outcome. Fields are -1 / false when their stage never ran.
+struct PairExplain {
+  int q_index = -1;
+  int g_index = -1;
+  PruneStage pruned_by = PruneStage::kNone;
+  bool accepted = false;  // final decision (only meaningful when not pruned)
+  // Filter evidence.
+  int css_lower_bound = -1;       // CSS uncertain bound (structural filter)
+  double simp_upper_bound = -1.0; // summed group Markov bound (prob. filter)
+  int live_groups = -1;           // groups surviving lb <= tau
+  double live_mass = -1.0;        // probability mass still in play
+  // Verification evidence.
+  double simp_probability = -1.0; // accumulated SimP (lower bound on early accept)
+  bool early_accept = false;
+  bool early_reject = false;
+  int64_t worlds_enumerated = 0;
+  int64_t ged_calls = 0;
+  int best_world_ged = -1;
+};
+
+// Selects which pairs get a PairExplain recorded. Recording never changes
+// the join's results or counters; the selection is a pure function of
+// (q_index, g_index), so explain output is identical at every thread count.
+struct ExplainOptions {
+  bool enabled = false;
+  // With `pairs` empty: record every pair whose deterministic sample key
+  // (q_index * 1000003 + g_index) is divisible by `sample_every`.
+  // 1 records everything.
+  int64_t sample_every = 1;
+  // When non-empty, record exactly these <q_index, g_index> pairs.
+  std::vector<std::pair<int, int>> pairs;
+
+  bool ShouldExplain(int q_index, int g_index) const;
+};
 
 struct SimJParams {
   // GED threshold tau (Def. 7).
@@ -53,6 +102,9 @@ struct SimJParams {
   // candidate pairs across a work-stealing pool. Results are sorted by
   // (q_index, g_index), so output is byte-identical at every thread count.
   int num_threads = 1;
+  // Explain mode: record per-pair prune/bound audit trails into
+  // JoinResult::explains (off by default; costs nothing when disabled).
+  ExplainOptions explain;
   ged::GedOptions ged_options;
 };
 
@@ -63,10 +115,19 @@ struct JoinStats {
   int64_t candidates = 0;  // pairs that reached verification
   int64_t results = 0;
   VerifyStats verify;
-  double pruning_seconds = 0.0;
-  double verification_seconds = 0.0;
+  // Per-phase time attributed inside EvaluatePair. On a parallel join these
+  // are CPU-seconds summed across workers, NOT elapsed time — a join on 8
+  // busy workers reports ~8x the wall clock here.
+  double pruning_cpu_seconds = 0.0;
+  double verification_cpu_seconds = 0.0;
+  // Elapsed time of the whole join, measured once around it by SimJoin /
+  // IndexedSimJoin (never summed across workers; MergeJoinStats leaves it
+  // alone). This is the number to report as response time.
+  double wall_seconds = 0.0;
 
-  double TotalSeconds() const { return pruning_seconds + verification_seconds; }
+  double TotalCpuSeconds() const {
+    return pruning_cpu_seconds + verification_cpu_seconds;
+  }
   // Fraction of the |D| x |U| cross product that survived pruning.
   double CandidateRatio() const {
     return total_pairs == 0
@@ -89,19 +150,35 @@ struct MatchedPair {
 struct JoinResult {
   std::vector<MatchedPair> pairs;
   JoinStats stats;
+  // Audit trails for the pairs selected by SimJParams::explain, sorted by
+  // (q_index, g_index). Empty when explain mode is off.
+  std::vector<PairExplain> explains;
 };
 
 // Accumulates per-thread counters into *into: all counters (including the
-// nested VerifyStats) add. Seconds also add, so on a parallel join the
-// merged timings are CPU-seconds across workers, not wall clock.
+// nested VerifyStats) add, and the per-phase *_cpu_seconds add (they are
+// CPU attribution). wall_seconds is NOT merged — it is measured once
+// around the whole join.
 void MergeJoinStats(const JoinStats& from, JoinStats* into);
 
 // Evaluates a single pair through the full filter-and-refine pipeline.
-// Returns true (and fills *pair) when SimP_tau(q, g) >= alpha.
+// Returns true (and fills *pair) when SimP_tau(q, g) >= alpha. When
+// `explain` is non-null, the pair's audit trail is recorded into it
+// (q_index / g_index are left for the caller to fill).
 bool EvaluatePair(const graph::LabeledGraph& q,
                   const graph::UncertainGraph& g, const SimJParams& params,
                   const graph::LabelDictionary& dict, JoinStats* stats,
-                  MatchedPair* pair);
+                  MatchedPair* pair, PairExplain* explain = nullptr);
+
+// One human-readable line per explain record, e.g.
+//   <q=3,g=7> PRUNED structural: css_lb=4 > tau=2
+//   <q=1,g=2> ACCEPT simp=0.8125 >= alpha=0.5 ...
+std::string FormatExplain(const PairExplain& explain,
+                          const SimJParams& params);
+
+// Every explain record of `result`, one line each.
+std::string FormatExplains(const JoinResult& result,
+                           const SimJParams& params);
 
 // Algorithm 1: nested-loop join of D with U under the configured prunings.
 // With params.num_threads != 1 the |D| x |U| pairs are sharded across a

@@ -4,6 +4,9 @@
 
 #include "ged/lower_bounds.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace simj::core {
 
@@ -20,10 +23,19 @@ void EvaluateWorld(const LabeledGraph& q, const UncertainGraph& g,
                    const std::vector<int>& choice, double world_prob, int tau,
                    const LabelDictionary& dict, const ged::GedOptions& options,
                    VerifyStats* stats, SimPResult* result) {
+  static metrics::Counter& worlds_total =
+      metrics::Registry::Global().GetCounter("simj_verify_worlds_total");
+  static metrics::Counter& worlds_pruned =
+      metrics::Registry::Global().GetCounter(
+          "simj_verify_worlds_pruned_total");
+  static metrics::Histogram& ged_seconds =
+      metrics::Registry::Global().GetHistogram("simj_verify_ged_seconds");
   ++stats->worlds_enumerated;
+  worlds_total.Increment();
   LabeledGraph world = g.Materialize(choice);
   if (ged::CssLowerBound(q, world, dict) > tau) {
     ++stats->worlds_pruned_by_bound;
+    worlds_pruned.Increment();
     return;
   }
   // Cheap accept: when the greedy upper bound already fits within tau and
@@ -38,8 +50,12 @@ void EvaluateWorld(const LabeledGraph& q, const UncertainGraph& g,
   }
   ++stats->ged_calls;
   bool aborted = false;
-  std::optional<ged::GedResult> ged_result =
-      ged::BoundedGed(q, world, tau, dict, options, &aborted);
+  std::optional<ged::GedResult> ged_result;
+  {
+    metrics::ScopedLatency latency(ged_seconds);
+    trace::ScopedSpan span("ged_astar", "verify");
+    ged_result = ged::BoundedGed(q, world, tau, dict, options, &aborted);
+  }
   if (aborted) ++stats->ged_aborted;
   if (!ged_result.has_value()) return;
   result->probability += world_prob;

@@ -6,6 +6,7 @@
 
 #include "matching/hungarian.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace simj::ged {
 
@@ -150,6 +151,21 @@ int ExtensionCost(const SearchContext& ctx, const State& state, int u,
   return cost;
 }
 
+// Flushes a locally accumulated count into a shared counter on scope exit,
+// so the A* hot loop touches no atomics per expansion.
+class CounterFlusher {
+ public:
+  CounterFlusher(metrics::Counter& counter, const int64_t& value)
+      : counter_(counter), value_(value) {}
+  ~CounterFlusher() {
+    if (value_ > 0) counter_.Add(value_);
+  }
+
+ private:
+  metrics::Counter& counter_;
+  const int64_t& value_;
+};
+
 // Cost of completing a full assignment: insert every unused b-vertex and
 // every b-edge with at least one unused endpoint.
 int CompletionCost(const SearchContext& ctx, uint64_t used) {
@@ -188,6 +204,13 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
                                     bool* aborted) {
   SIMJ_CHECK_GE(tau, 0);
   SIMJ_CHECK_LE(b.num_vertices(), 64);
+  static metrics::Counter& calls_total =
+      metrics::Registry::Global().GetCounter("simj_ged_calls_total");
+  static metrics::Counter& expansions_total =
+      metrics::Registry::Global().GetCounter("simj_ged_expansions_total");
+  static metrics::Counter& aborted_total =
+      metrics::Registry::Global().GetCounter("simj_ged_aborted_total");
+  calls_total.Increment();
   if (aborted != nullptr) *aborted = false;
 
   SearchContext ctx = BuildContext(a, b, dict);
@@ -209,6 +232,7 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
   }
 
   int64_t expansions = 0;
+  CounterFlusher flush_expansions(expansions_total, expansions);
   while (!open.empty()) {
     State state = open.top();
     open.pop();
@@ -227,6 +251,7 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
     }
 
     if (++expansions > options.max_expansions) {
+      aborted_total.Increment();
       if (aborted != nullptr) *aborted = true;
       return std::nullopt;
     }

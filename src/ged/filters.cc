@@ -8,6 +8,8 @@
 #include "ged/lower_bounds.h"
 #include "matching/hungarian.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simj::ged {
 
@@ -23,6 +25,10 @@ class CssFilter : public GedFilter {
 
   int LowerBound(const LabeledGraph& q, const UncertainGraph& g,
                  const LabelDictionary& dict, int /*tau*/) const override {
+    static metrics::Histogram& hist =
+        metrics::Registry::Global().GetHistogram("simj_filter_css_seconds");
+    metrics::ScopedLatency latency(hist);
+    trace::ScopedSpan span("filter_css", "filter");
     return CssLowerBoundUncertain(q, g, dict);
   }
 };
@@ -45,6 +51,10 @@ class PathFilter : public GedFilter {
 
   int LowerBound(const LabeledGraph& q, const UncertainGraph& g,
                  const LabelDictionary& /*dict*/, int /*tau*/) const override {
+    static metrics::Histogram& hist =
+        metrics::Registry::Global().GetHistogram("simj_filter_path_seconds");
+    metrics::ScopedLatency latency(hist);
+    trace::ScopedSpan span("filter_path", "filter");
     const LabeledGraph& h = g.structure();
     int64_t bound1 = std::abs(q.num_edges() - h.num_edges());
     int64_t diff2 = std::abs(CountTwoPaths(q) - CountTwoPaths(h));
@@ -64,6 +74,10 @@ class StarFilter : public GedFilter {
 
   int LowerBound(const LabeledGraph& q, const UncertainGraph& g,
                  const LabelDictionary& /*dict*/, int /*tau*/) const override {
+    static metrics::Histogram& hist =
+        metrics::Registry::Global().GetHistogram("simj_filter_segos_seconds");
+    metrics::ScopedLatency latency(hist);
+    trace::ScopedSpan span("filter_segos", "filter");
     const LabeledGraph& h = g.structure();
     std::vector<int> deg_a(q.num_vertices());
     for (int v = 0; v < q.num_vertices(); ++v) deg_a[v] = q.degree(v);
@@ -127,6 +141,10 @@ class ParsFilter : public GedFilter {
 
   int LowerBound(const LabeledGraph& q, const UncertainGraph& g,
                  const LabelDictionary& /*dict*/, int tau) const override {
+    static metrics::Histogram& hist =
+        metrics::Registry::Global().GetHistogram("simj_filter_pars_seconds");
+    metrics::ScopedLatency latency(hist);
+    trace::ScopedSpan span("filter_pars", "filter");
     const LabeledGraph& h = g.structure();
     std::vector<LabeledGraph> parts = PartitionEdges(q, tau + 1);
     int mismatched = 0;

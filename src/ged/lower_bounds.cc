@@ -7,6 +7,7 @@
 
 #include "matching/bipartite.h"
 #include "matching/hungarian.h"
+#include "util/metrics.h"
 
 namespace simj::ged {
 
@@ -177,6 +178,13 @@ int CssStructuralConstant(const LabeledGraph& q, const UncertainGraph& g,
 
 int CssLowerBoundUncertain(const LabeledGraph& q, const UncertainGraph& g,
                            const LabelDictionary& dict) {
+  static metrics::Counter& calls = metrics::Registry::Global().GetCounter(
+      "simj_bound_css_uncertain_total");
+  static metrics::Histogram& seconds =
+      metrics::Registry::Global().GetHistogram(
+          "simj_bound_css_uncertain_seconds");
+  calls.Increment();
+  metrics::ScopedLatency latency(seconds);
   return std::max(0, CssStructuralConstant(q, g, dict) -
                          MaxCommonVertexLabels(q, g, dict));
 }

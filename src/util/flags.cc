@@ -12,7 +12,9 @@ Flags::Flags(int argc, char** argv) {
     if (!StartsWith(arg, "--")) continue;
     size_t eq = arg.find('=');
     if (eq == std::string::npos) continue;
-    values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    std::string key = arg.substr(2, eq - 2);
+    keys_.push_back(key);
+    values_[key] = arg.substr(eq + 1);
   }
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace simj {
 
@@ -28,8 +29,13 @@ class Flags {
   double GetDouble(const std::string& key, double default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
 
+  // Keys of every parsed --key=value argument, in argv order. Lets callers
+  // validate against a known-flag set and reject typos.
+  std::vector<std::string> Keys() const { return keys_; }
+
  private:
   std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> keys_;
 };
 
 }  // namespace simj

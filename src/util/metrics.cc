@@ -1,0 +1,239 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+namespace simj::metrics {
+
+int ThisThreadShard() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local int slot = static_cast<int>(
+      next_slot.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kShardCount));
+  return slot;
+}
+
+int BucketIndexForSeconds(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // also catches NaN
+  double nanos = seconds * 1e9;
+  if (nanos >= 9.2e18) return kHistogramBuckets - 1;
+  int index = std::bit_width(static_cast<uint64_t>(nanos));
+  return std::min(index, kHistogramBuckets - 1);
+}
+
+double BucketUpperBoundSeconds(int index) {
+  if (index >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(1ULL << index) * 1e-9;
+}
+
+double BucketLowerBoundSeconds(int index) {
+  if (index <= 0) return 0.0;
+  return static_cast<double>(1ULL << (index - 1)) * 1e-9;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::ResetForTesting() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bucket_counts.assign(kHistogramBuckets, 0);
+  int64_t sum_nanos = 0;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      snapshot.bucket_counts[b] +=
+          shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    sum_nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snapshot.bucket_counts) snapshot.count += c;
+  snapshot.sum_seconds = static_cast<double>(sum_nanos) * 1e-9;
+  return snapshot;
+}
+
+void Histogram::ResetForTesting() {
+  for (Shard& shard : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  target = std::clamp<int64_t>(target, 1, count);
+  int64_t cumulative = 0;
+  for (int b = 0; b < static_cast<int>(bucket_counts.size()); ++b) {
+    if (bucket_counts[b] == 0) continue;
+    if (cumulative + bucket_counts[b] < target) {
+      cumulative += bucket_counts[b];
+      continue;
+    }
+    double lower = BucketLowerBoundSeconds(b);
+    double upper = BucketUpperBoundSeconds(b);
+    if (std::isinf(upper)) return lower;  // overflow bucket: report its floor
+    double fraction = static_cast<double>(target - cumulative) /
+                      static_cast<double>(bucket_counts[b]);
+    return lower + fraction * (upper - lower);
+  }
+  return 0.0;
+}
+
+MetricsSnapshot MergeSnapshots(const MetricsSnapshot& a,
+                               const MetricsSnapshot& b) {
+  MetricsSnapshot merged = a;
+  for (const auto& [name, value] : b.counters) merged.counters[name] += value;
+  for (const auto& [name, value] : b.gauges) {
+    // Gauges do not add; the merge keeps the latest non-default value. A
+    // default (0.0) on the right never clobbers an observed value on the
+    // left, which keeps the merge associative.
+    if (value != 0.0 || !merged.gauges.contains(name)) {
+      if (value != 0.0) {
+        merged.gauges[name] = value;
+      } else {
+        merged.gauges.try_emplace(name, 0.0);
+      }
+    }
+  }
+  for (const auto& [name, hist] : b.histograms) {
+    auto it = merged.histograms.find(name);
+    if (it == merged.histograms.end()) {
+      merged.histograms[name] = hist;
+      continue;
+    }
+    HistogramSnapshot& into = it->second;
+    if (into.bucket_counts.size() < hist.bucket_counts.size()) {
+      into.bucket_counts.resize(hist.bucket_counts.size(), 0);
+    }
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      into.bucket_counts[i] += hist.bucket_counts[i];
+    }
+    into.count += hist.count;
+    into.sum_seconds += hist.sum_seconds;
+  }
+  return merged;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name);
+  return *slot;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void Registry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTesting();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTesting();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTesting();
+}
+
+namespace {
+
+void AppendLine(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, std::min<size_t>(written, sizeof(buffer) - 1));
+}
+
+}  // namespace
+
+std::string ExpositionText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendLine(out, "# TYPE %s counter\n", name.c_str());
+    AppendLine(out, "%s %lld\n", name.c_str(),
+               static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendLine(out, "# TYPE %s gauge\n", name.c_str());
+    AppendLine(out, "%s %.9g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    AppendLine(out, "# TYPE %s histogram\n", name.c_str());
+    // Trim to the populated bucket range; the series stays a valid
+    // cumulative histogram because the omitted leading buckets are zero.
+    int last_nonzero = -1;
+    for (int b = 0; b < static_cast<int>(hist.bucket_counts.size()); ++b) {
+      if (hist.bucket_counts[b] != 0) last_nonzero = b;
+    }
+    int64_t cumulative = 0;
+    for (int b = 0; b <= last_nonzero; ++b) {
+      if (hist.bucket_counts[b] == 0 && cumulative == 0) continue;
+      cumulative += hist.bucket_counts[b];
+      AppendLine(out, "%s_bucket{le=\"%.9g\"} %lld\n", name.c_str(),
+                 BucketUpperBoundSeconds(b),
+                 static_cast<long long>(cumulative));
+    }
+    AppendLine(out, "%s_bucket{le=\"+Inf\"} %lld\n", name.c_str(),
+               static_cast<long long>(hist.count));
+    AppendLine(out, "%s_sum %.9g\n", name.c_str(), hist.sum_seconds);
+    AppendLine(out, "%s_count %lld\n", name.c_str(),
+               static_cast<long long>(hist.count));
+  }
+  return out;
+}
+
+std::string Registry::ExpositionText() const {
+  return metrics::ExpositionText(Snapshot());
+}
+
+}  // namespace simj::metrics

@@ -1,0 +1,214 @@
+// Process-wide metrics for the join pipeline: named counters, gauges and
+// fixed-bucket latency histograms.
+//
+// The hot path is one relaxed atomic add: every counter/histogram keeps an
+// array of cache-line-aligned per-thread shards, each thread hashes to a
+// fixed shard (thread-local slot assigned on first use), and readers merge
+// the shards on Snapshot(). There are no locks anywhere on the write path;
+// the registry mutex is only taken on metric creation and snapshot.
+//
+// Metrics are created on first use and live for the process lifetime, so
+// call sites may cache references:
+//
+//   static metrics::Counter& pairs =
+//       metrics::Registry::Global().GetCounter("simj_join_pairs_total");
+//   pairs.Increment();
+//
+//   static metrics::Histogram& lat =
+//       metrics::Registry::Global().GetHistogram("simj_verify_ged_seconds");
+//   { metrics::ScopedLatency t(lat); ... }
+//
+// Histogram buckets are powers of two in nanoseconds (bucket i holds
+// durations in [2^(i-1), 2^i) ns), which makes the bucket index a single
+// bit_width and covers 1 ns .. ~2.4 h in kHistogramBuckets buckets.
+// Registry::ExpositionText() renders everything in the Prometheus text
+// format; ResetForTesting() zeroes values without invalidating cached
+// references.
+
+#ifndef SIMJ_UTIL_METRICS_H_
+#define SIMJ_UTIL_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace simj::metrics {
+
+// Shard count per metric. Threads are assigned round-robin, so with more
+// live threads than shards some threads share a shard — still correct
+// (shards are atomic), just contended.
+inline constexpr int kShardCount = 16;
+
+// Fixed bucket count for every histogram. Last bucket is the overflow
+// (+Inf) bucket; the largest finite upper bound is 2^(kHistogramBuckets-2)
+// ns ~ 2.4 hours.
+inline constexpr int kHistogramBuckets = 44;
+
+// Stable per-thread shard slot in [0, kShardCount).
+int ThisThreadShard();
+
+// Index of the bucket holding a duration of `seconds` (clamped to the
+// overflow bucket). Exposed for tests.
+int BucketIndexForSeconds(double seconds);
+
+// Exclusive upper bound of bucket `index` in seconds (+Inf for the last
+// bucket). Exposed for tests and the exposition writer.
+double BucketUpperBoundSeconds(int index);
+
+// Inclusive lower bound of bucket `index` in seconds (0 for bucket 0).
+double BucketLowerBoundSeconds(int index);
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Add(int64_t delta) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  // Merged value across shards. Exact once writers have quiesced; during
+  // concurrent writes it is a valid point-in-time lower bound.
+  int64_t Value() const;
+
+  void ResetForTesting();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::string name_;
+  Shard shards_[kShardCount];
+};
+
+// Gauges are set-to-current-value metrics (worker counts, sizes); they are
+// not sharded because they are never on a per-pair hot path.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  const std::string& name() const { return name_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTesting() { Set(0.0); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Merged view of one histogram; also the unit of snapshot merging.
+struct HistogramSnapshot {
+  std::vector<int64_t> bucket_counts;  // size kHistogramBuckets
+  int64_t count = 0;
+  double sum_seconds = 0.0;
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // bucket holding the target rank. Returns 0 when empty; the overflow
+  // bucket reports its lower bound.
+  double Quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Observe(double seconds) {
+    Shard& shard = shards_[ThisThreadShard()];
+    shard.buckets[BucketIndexForSeconds(seconds)].fetch_add(
+        1, std::memory_order_relaxed);
+    // Sum in integer nanoseconds so a relaxed add suffices (no CAS loop).
+    shard.sum_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                              std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  void ResetForTesting();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<int64_t> sum_nanos{0};
+  };
+  std::string name_;
+  Shard shards_[kShardCount];
+};
+
+// Point-in-time view of every metric in a registry. Mergeable (counters
+// and histogram buckets add, gauges keep the latest non-default value), and
+// the merge is associative — asserted by tests.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+MetricsSnapshot MergeSnapshots(const MetricsSnapshot& a,
+                               const MetricsSnapshot& b);
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  // Create-on-first-use; the returned reference is valid for the process
+  // lifetime (metrics are never destroyed or re-created).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Prometheus text exposition of the current snapshot. Histogram bucket
+  // series are cumulative and trimmed to the populated range plus +Inf.
+  std::string ExpositionText() const;
+
+  // Zeroes every value without invalidating references handed out by the
+  // getters (cached `static Counter&`s keep working).
+  void ResetForTesting();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Renders any snapshot (e.g. a merged one) in the exposition format.
+std::string ExpositionText(const MetricsSnapshot& snapshot);
+
+// Observes the elapsed wall time of a scope into a histogram.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram) : histogram_(histogram) {}
+  ~ScopedLatency() { histogram_.Observe(timer_.ElapsedSeconds()); }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& histogram_;
+  WallTimer timer_;
+};
+
+}  // namespace simj::metrics
+
+#endif  // SIMJ_UTIL_METRICS_H_

@@ -1,0 +1,155 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace simj::trace {
+
+int ThisThreadTraceId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  epoch_ = Clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  // One buffer per (tracer, thread); the pointer is cached thread-locally
+  // after the first registration. Buffers outlive their threads so events
+  // recorded by pool workers survive the pool's destruction.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = ThisThreadTraceId();
+    cached = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buffer));
+  }
+  return cached;
+}
+
+void Tracer::Record(const char* name, const char* category,
+                    Clock::time_point begin, Clock::time_point end) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = buffer->tid;
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+int64_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<int64_t>(buffer->events.size());
+  }
+  return total;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::vector<int> tids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (buffer->events.empty()) continue;
+      tids.push_back(buffer->tid);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
+            });
+  std::sort(tids.begin(), tids.end());
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"simj\"}}";
+  char line[256];
+  for (int tid : tids) {
+    comma();
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"thread-%d\"}}",
+                  tid, tid);
+    os << line;
+  }
+  for (const TraceEvent& event : events) {
+    comma();
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                  JsonEscape(event.name).c_str(),
+                  JsonEscape(event.category).c_str(), event.tid, event.ts_us,
+                  event.dur_us);
+    os << line;
+  }
+  os << "]}\n";
+}
+
+}  // namespace simj::trace

@@ -1,0 +1,198 @@
+// Tests for the sharded metrics registry: bucket math, quantiles, snapshot
+// merging (associativity), the exposition writer, and a multi-threaded
+// histogram hammer (run under TSan by ci.sh).
+
+#include "util/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simj::metrics {
+namespace {
+
+TEST(BucketMathTest, IndexAndBoundsAgree) {
+  EXPECT_EQ(BucketIndexForSeconds(0.0), 0);
+  // 1 ns lands in [2^0, 2^1) ns.
+  EXPECT_EQ(BucketIndexForSeconds(1e-9), 1);
+  EXPECT_EQ(BucketIndexForSeconds(2e-9), 2);
+  EXPECT_EQ(BucketIndexForSeconds(3e-9), 2);
+  EXPECT_EQ(BucketIndexForSeconds(4e-9), 3);
+  // Every observed duration must fall inside its bucket's bounds.
+  for (double seconds : {1e-9, 5e-9, 1e-6, 3.7e-4, 1e-2, 0.5, 1.0, 60.0}) {
+    int index = BucketIndexForSeconds(seconds);
+    EXPECT_GE(seconds, BucketLowerBoundSeconds(index)) << seconds;
+    EXPECT_LT(seconds, BucketUpperBoundSeconds(index)) << seconds;
+  }
+  // Buckets tile the line: lower bound of i+1 == upper bound of i.
+  for (int i = 0; i + 1 < kHistogramBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(BucketLowerBoundSeconds(i + 1),
+                     BucketUpperBoundSeconds(i));
+  }
+  // Overflow bucket is unbounded above.
+  EXPECT_TRUE(std::isinf(BucketUpperBoundSeconds(kHistogramBuckets - 1)));
+  EXPECT_EQ(BucketIndexForSeconds(1e9), kHistogramBuckets - 1);
+}
+
+TEST(HistogramTest, ObserveCountsAndSums) {
+  Histogram hist("test_observe_seconds");
+  hist.Observe(1e-6);
+  hist.Observe(1e-6);
+  hist.Observe(2e-3);
+  HistogramSnapshot snapshot = hist.Snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_NEAR(snapshot.sum_seconds, 2e-6 + 2e-3, 1e-9);
+  int64_t bucket_total = 0;
+  for (int64_t c : snapshot.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snapshot.count);
+  EXPECT_EQ(snapshot.bucket_counts[BucketIndexForSeconds(1e-6)], 2);
+  EXPECT_EQ(snapshot.bucket_counts[BucketIndexForSeconds(2e-3)], 1);
+}
+
+TEST(HistogramTest, QuantileBracketsObservedValue) {
+  Histogram hist("test_quantile_seconds");
+  for (int i = 0; i < 100; ++i) hist.Observe(1e-4);
+  HistogramSnapshot snapshot = hist.Snapshot();
+  const int bucket = BucketIndexForSeconds(1e-4);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    double value = snapshot.Quantile(q);
+    EXPECT_GE(value, BucketLowerBoundSeconds(bucket)) << q;
+    EXPECT_LE(value, BucketUpperBoundSeconds(bucket)) << q;
+  }
+}
+
+TEST(HistogramTest, QuantileOrdersTwoClusters) {
+  Histogram hist("test_quantile_two_seconds");
+  for (int i = 0; i < 90; ++i) hist.Observe(1e-6);
+  for (int i = 0; i < 10; ++i) hist.Observe(1e-1);
+  HistogramSnapshot snapshot = hist.Snapshot();
+  // p50 sits in the fast cluster, p99 in the slow one.
+  EXPECT_LT(snapshot.Quantile(0.5), 1e-4);
+  EXPECT_GT(snapshot.Quantile(0.99), 1e-2);
+  EXPECT_LE(snapshot.Quantile(0.5), snapshot.Quantile(0.99));
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram hist("test_empty_seconds");
+  EXPECT_DOUBLE_EQ(hist.Snapshot().Quantile(0.5), 0.0);
+}
+
+HistogramSnapshot MakeHistogramSnapshot(int bucket, int64_t count,
+                                        double sum_seconds) {
+  HistogramSnapshot snapshot;
+  snapshot.bucket_counts.assign(kHistogramBuckets, 0);
+  snapshot.bucket_counts[bucket] = count;
+  snapshot.count = count;
+  snapshot.sum_seconds = sum_seconds;
+  return snapshot;
+}
+
+void ExpectSameSnapshot(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (const auto& [name, hist_a] : a.histograms) {
+    auto it = b.histograms.find(name);
+    ASSERT_NE(it, b.histograms.end()) << name;
+    EXPECT_EQ(hist_a.bucket_counts, it->second.bucket_counts) << name;
+    EXPECT_EQ(hist_a.count, it->second.count) << name;
+    EXPECT_DOUBLE_EQ(hist_a.sum_seconds, it->second.sum_seconds) << name;
+  }
+}
+
+TEST(SnapshotMergeTest, MergeIsAssociative) {
+  // Exactly representable sums so double addition stays associative.
+  MetricsSnapshot a;
+  a.counters["c1"] = 1;
+  a.gauges["g1"] = 2.0;
+  a.histograms["h1"] = MakeHistogramSnapshot(3, 4, 0.5);
+  MetricsSnapshot b;
+  b.counters["c1"] = 10;
+  b.counters["c2"] = 7;
+  b.histograms["h1"] = MakeHistogramSnapshot(5, 2, 0.25);
+  b.histograms["h2"] = MakeHistogramSnapshot(1, 1, 1.0);
+  MetricsSnapshot c;
+  c.counters["c2"] = 100;
+  c.gauges["g1"] = 0.0;  // default value; must not clobber a's gauge
+  c.gauges["g2"] = 3.0;
+  c.histograms["h2"] = MakeHistogramSnapshot(2, 3, 2.0);
+
+  MetricsSnapshot left = MergeSnapshots(MergeSnapshots(a, b), c);
+  MetricsSnapshot right = MergeSnapshots(a, MergeSnapshots(b, c));
+  ExpectSameSnapshot(left, right);
+
+  EXPECT_EQ(left.counters.at("c1"), 11);
+  EXPECT_EQ(left.counters.at("c2"), 107);
+  EXPECT_EQ(left.histograms.at("h1").count, 6);
+  EXPECT_DOUBLE_EQ(left.histograms.at("h1").sum_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(left.gauges.at("g1"), 2.0);
+}
+
+TEST(RegistryTest, GetReturnsStableReferencesAndResetKeepsThem) {
+  Registry& registry = Registry::Global();
+  Counter& counter = registry.GetCounter("test_registry_total");
+  Counter& again = registry.GetCounter("test_registry_total");
+  EXPECT_EQ(&counter, &again);
+  counter.Add(5);
+  EXPECT_EQ(counter.Value(), 5);
+  registry.ResetForTesting();
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();  // cached reference still usable after reset
+  EXPECT_EQ(counter.Value(), 1);
+}
+
+TEST(RegistryTest, ExpositionTextHasPrometheusShape) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.GetCounter("test_expo_total").Add(42);
+  registry.GetGauge("test_expo_workers").Set(8.0);
+  registry.GetHistogram("test_expo_seconds").Observe(1e-3);
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# TYPE test_expo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_workers gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_seconds_count 1"), std::string::npos);
+  registry.ResetForTesting();
+}
+
+TEST(ThreadingTest, EightThreadHistogramHammerMergesExactly) {
+  Histogram hist("test_hammer_seconds");
+  Counter counter("test_hammer_total");
+  constexpr int kThreads = 8;
+  constexpr int kObservationsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, &counter, t] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        hist.Observe(1e-6 * (1 + t));
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HistogramSnapshot snapshot = hist.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<int64_t>(kThreads) * kObservationsPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snapshot.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snapshot.count);
+  EXPECT_EQ(counter.Value(),
+            static_cast<int64_t>(kThreads) * kObservationsPerThread);
+}
+
+TEST(ThreadingTest, ThreadShardIsStableWithinAThread) {
+  int first = ThisThreadShard();
+  int second = ThisThreadShard();
+  EXPECT_EQ(first, second);
+  EXPECT_GE(first, 0);
+  EXPECT_LT(first, kShardCount);
+}
+
+}  // namespace
+}  // namespace simj::metrics

@@ -1,0 +1,115 @@
+// Tests for the scoped-span tracer: recording on/off, per-thread tids,
+// JSON escaping, and the Chrome-trace JSON shape.
+
+#include "util/trace.h"
+
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace simj::trace {
+namespace {
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  tracer.Stop();
+  { ScopedSpan span("should_not_record", "test"); }
+  EXPECT_EQ(tracer.event_count(), 0);
+}
+
+TEST(TracerTest, SpansRecordWhileEnabled) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  { ScopedSpan span("outer", "test"); ScopedSpan inner("inner", "test"); }
+  { ScopedSpan span("second", "test"); }
+  tracer.Stop();
+  EXPECT_EQ(tracer.event_count(), 3);
+  { ScopedSpan span("after_stop", "test"); }
+  EXPECT_EQ(tracer.event_count(), 3);
+}
+
+TEST(TracerTest, StartClearsPreviousEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  { ScopedSpan span("first_run", "test"); }
+  tracer.Stop();
+  EXPECT_EQ(tracer.event_count(), 1);
+  tracer.Start();
+  EXPECT_EQ(tracer.event_count(), 0);
+  tracer.Stop();
+}
+
+TEST(TracerTest, ThreadsGetDistinctTraceIds) {
+  int main_tid = ThisThreadTraceId();
+  EXPECT_EQ(main_tid, ThisThreadTraceId());  // stable within a thread
+  int worker_tid = -1;
+  std::thread worker([&worker_tid] { worker_tid = ThisThreadTraceId(); });
+  worker.join();
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  { ScopedSpan span("main_span", "join"); }
+  std::thread worker([] { ScopedSpan span("worker_span", "verify"); });
+  worker.join();
+  tracer.Stop();
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Both spans with their categories, as complete events.
+  EXPECT_NE(json.find("\"name\":\"main_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"join\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"verify\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Metadata so Perfetto labels the lanes.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TracerTest, WorkerSpanCarriesWorkerTid) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  int worker_tid = -1;
+  std::thread worker([&worker_tid] {
+    worker_tid = ThisThreadTraceId();
+    ScopedSpan span("tid_probe", "test");
+  });
+  worker.join();
+  tracer.Stop();
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+  std::string expected =
+      "\"tid\":" + std::to_string(worker_tid) + ",";
+  size_t probe = json.find("\"name\":\"tid_probe\"");
+  ASSERT_NE(probe, std::string::npos);
+  // The tid field appears inside the same event object as the probe name.
+  size_t event_end = json.find('}', probe);
+  EXPECT_NE(json.substr(probe, event_end - probe).find(expected),
+            std::string::npos)
+      << json.substr(probe, event_end - probe);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace simj::trace
