@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Ablation: tightness and pruning power of the GED lower bounds.
 //
 // Compares the count bound [29], the label-multiset bound [31] and the CSS

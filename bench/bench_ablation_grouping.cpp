@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Ablation: the Section 6.2 group-split heuristics.
 //
 // Compares the cost-model-driven split (the paper's design) against the

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Ablation: size-signature index vs the paper's plain nested-loop join.
 //
 // The index skips whole (|V|, |E|) buckets per uncertain graph using the

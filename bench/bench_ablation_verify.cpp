@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Ablation: the verification-phase early exits (accept once alpha is
 // reached, reject once the remaining mass cannot reach alpha).
 

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 10 + Figure 16: case study — matched question/query pairs found
 // by SimJ on the QALD-3-like workload, and the templates generated from
 // them (entities/classes replaced by slots).

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 11: effect of the similarity threshold alpha on (a) response time
 // (pruning / verification / overall, SimJ+opt) and (b) candidate ratio of
 // CSS only / SimJ / SimJ+opt vs the Real ratio (WebQ workload, tau = 1).

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 12: effect of the GED threshold tau on response time and
 // candidate ratio (ER dataset, alpha = 0.8).
 //

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 13: effect of the group number GN on response time and candidate
 // ratio (SF dataset).
 //

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 14: effect of the number of candidate labels per uncertain vertex
 // |L(v)| on response time and candidate ratio (ER dataset).
 //

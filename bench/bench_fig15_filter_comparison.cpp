@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 15: comparison of the CSS filter with structure-only
 // reimplementations of existing filters (Path [31], SEGOS [22], Pars [30])
 // on the AIDS-like dataset: (a) filtering time, (b) candidate ratio vs tau.

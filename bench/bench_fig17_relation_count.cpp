@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 17: effect of the number of relations k on recognition quality.
 //
 // The paper plots rho = (# correct patterns with k relations) / (# correct

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 18: failure analysis — why do some questions produce no correct
 // pair?
 //

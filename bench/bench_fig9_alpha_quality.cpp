@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Figure 9: effect of the similarity probability threshold alpha on (a)
 // precision and (b) the number of correct answers |C| (tau = 1).
 //

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Microbenchmarks (google-benchmark) for the computational kernels: exact
 // GED, the lower bounds, the probabilistic bound, bipartite matching,
 // assignment, tree edit distance and BGP evaluation.
@@ -160,7 +161,9 @@ void BM_BgpEvaluate(benchmark::State& state) {
   rdf::TermId person = dict.Intern("Person");
   std::vector<rdf::TermId> people;
   for (int i = 0; i < 500; ++i) {
-    people.push_back(dict.Intern("P" + std::to_string(i)));
+    std::string person_name = "P";
+    person_name += std::to_string(i);
+    people.push_back(dict.Intern(person_name));
     store.Add(people.back(), type, person);
   }
   for (int i = 0; i < 3000; ++i) {

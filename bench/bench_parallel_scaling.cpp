@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Parallel join scaling: wall-clock speedup of SimJoin at 1/2/4/8 worker
 // threads on the synthetic ER workload, plus a result-identity check
 // against the serial run (the parallel path must be a pure optimization).

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Table 2: statistics of the data sets.
 //
 // Paper values (for the real/full-scale datasets):

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Table 3: effect of the GED threshold tau on the quality of the returned
 // pairs (alpha fixed at 0.9).
 //

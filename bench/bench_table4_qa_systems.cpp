@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Table 4: end-to-end Q/A quality of the generated templates against the
 // non-template baselines.
 //

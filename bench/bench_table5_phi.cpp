@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Table 5: effect of the matching proportion threshold phi on template
 // Q/A quality.
 //

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Shared helpers for the experiment harnesses: standard dataset recipes
 // (scaled-down versions of the paper's workloads — see DESIGN.md for the
 // scaling rationale), join-configuration runners, and quality accounting.

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI driver: builds the Release and ASan/UBSan configurations and runs the
-# full test suite in each, then reruns the threaded join tests under TSan
-# with an 8-worker pool (data races in the parallel join only show up with
-# real concurrency, whatever the host's core count).
+# CI driver: lints, then builds the Release, debug-checks, and ASan/UBSan
+# configurations and runs the full test suite in each, then reruns the
+# threaded join tests under TSan with an 8-worker pool (data races in the
+# parallel join only show up with real concurrency, whatever the host's
+# core count).
 #
 # Usage: ./ci.sh [--skip-tsan]
 set -euo pipefail
@@ -21,9 +22,35 @@ build_and_test() {
   cmake --build "${dir}" -j "${JOBS}"
 }
 
-# 1. Release: the configuration benchmarks and users run.
-build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+# 0. Static analysis. The project linter has no dependencies and always
+# runs (self-test first, so a broken linter cannot pass a broken tree).
+# clang-tidy and clang-format are optional in the CI image: their runners
+# skip with a notice when the binaries are absent, and diff against the
+# checked-in baselines when present, failing only on NEW findings.
+echo "=== lint ==="
+python3 tools/simj_lint.py --self-test
+python3 tools/simj_lint.py
+if command -v clang-format >/dev/null 2>&1; then
+  clang-format --dry-run --Werror src/*/*.h src/*/*.cc tests/*.cc \
+    tests/*.h bench/*.h bench/*.cpp examples/*.cpp
+  echo "format OK"
+else
+  echo "format SKIPPED (clang-format not installed)"
+fi
+
+# 1. Release: the configuration benchmarks and users run. Warnings are
+# errors in CI (-DSIMJ_WERROR=ON) in every configuration below; the build
+# exports compile_commands.json for clang-tidy.
+build_and_test build-release -DCMAKE_BUILD_TYPE=Release -DSIMJ_WERROR=ON
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+python3 tools/run_clang_tidy.py --build-dir build-release
+
+# 1a. Debug-checks: the full suite with every SIMJ_DCHECK live, so the
+# internal invariants (GED postconditions, join counter identities, SimP
+# ranges, per-input graph validation) are enforced on every test.
+build_and_test build-dcheck -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMJ_DEBUG_CHECKS=ON -DSIMJ_WERROR=ON
+ctest --test-dir build-dcheck --output-on-failure -j "${JOBS}"
 
 # 1b. Observability smoke: run a small join with every sink enabled, then
 # validate that the Chrome trace is well-formed JSON with the expected span
@@ -66,14 +93,14 @@ PY
 
 # 2. ASan + UBSan: memory and UB bugs across the whole suite.
 build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSIMJ_SANITIZE="address;undefined"
+  -DSIMJ_SANITIZE="address;undefined" -DSIMJ_WERROR=ON
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
 # 3. TSan: the property/determinism tests exercise the work-stealing pool
 # with up to 8 workers; run them (and the pool-heavy join tests) race-checked.
 if [[ "${1:-}" != "--skip-tsan" ]]; then
   build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSIMJ_SANITIZE=thread
+    -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
     -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test'

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Persistence tour: exporting a knowledge graph as N-Triples and a template
 // library as text, reloading both, and answering a question with the
 // reloaded artifacts — the workflow of shipping a template library built

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Question answering with generated templates (paper Section 2.2),
 // compared against the two non-template baselines on held-out questions.
 //

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Quickstart: the paper's running example as code.
 //
 // Builds one SPARQL query graph ("SELECT ?x WHERE { ?x type Artist . ?x

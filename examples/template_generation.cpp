@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // End-to-end template generation (the paper's headline pipeline).
 //
 // 1. Generate a synthetic knowledge base and a paired workload of natural

@@ -1,3 +1,4 @@
+// simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Tour of the uncertain-graph machinery: possible worlds, bounds, and the
 // pruning pipeline on a single pair — handy when learning the API.
 //

@@ -30,7 +30,7 @@ struct JoinMetrics {
   static const JoinMetrics& Get() {
     static JoinMetrics* m = [] {
       metrics::Registry& r = metrics::Registry::Global();
-      return new JoinMetrics{
+      return new JoinMetrics{  // simj-lint: allow(new) leaky singleton
           r.GetCounter("simj_join_pairs_total"),
           r.GetCounter("simj_join_pruned_structural_total"),
           r.GetCounter("simj_join_pruned_probabilistic_total"),
@@ -188,6 +188,12 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
   double verify_seconds = timer.ElapsedSeconds();
   stats->verification_cpu_seconds += verify_seconds;
   jm.verify_seconds.Observe(verify_seconds);
+
+  // Debug-mode postcondition (Def. 6): SimP is a probability — nonnegative,
+  // bounded by the mass still in play after pruning, and by 1.
+  SIMJ_DCHECK_GE(simp.probability, 0.0);
+  SIMJ_DCHECK_LE(simp.probability, live_mass + kSimPEpsilon);
+  SIMJ_DCHECK_LE(simp.probability, 1.0 + kSimPEpsilon);
 
   bool accepted =
       simp.early_accept || simp.probability >= params.alpha - kSimPEpsilon;
@@ -348,6 +354,14 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
           std::make_move_iterator(worker_explains[w].end()));
     }
   }
+  // Debug-mode join postcondition: every pair was either pruned by exactly
+  // one stage or verified, never both — a pair that was pruned and then
+  // re-verified (or double-counted by a worker) breaks this identity.
+  SIMJ_DCHECK_EQ(result->stats.total_pairs,
+                 result->stats.pruned_structural +
+                     result->stats.pruned_probabilistic +
+                     result->stats.candidates);
+  SIMJ_DCHECK_LE(result->stats.results, result->stats.candidates);
   // Canonical output order: pair evaluation is deterministic per pair, so
   // after this sort the result is identical at every thread count.
   std::sort(result->pairs.begin(), result->pairs.end(),
@@ -365,6 +379,12 @@ JoinResult SimJoin(const std::vector<LabeledGraph>& d,
   JoinResult result;
   WallTimer wall;
   trace::ScopedSpan span("simjoin", "join");
+#ifdef SIMJ_DEBUG_CHECKS
+  // Debug-mode boundary validation: every input graph satisfies its model
+  // invariants (Def. 2/4) before any filter sees it.
+  for (const LabeledGraph& q : d) SIMJ_CHECK_OK(q.Validate(dict));
+  for (const UncertainGraph& g : u) SIMJ_CHECK_OK(g.Validate(dict));
+#endif
   const int64_t num_u = static_cast<int64_t>(u.size());
   const int64_t num_pairs = static_cast<int64_t>(d.size()) * num_u;
   JoinPairs(d, u, params, dict, num_pairs,

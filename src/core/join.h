@@ -165,7 +165,7 @@ void MergeJoinStats(const JoinStats& from, JoinStats* into);
 // Returns true (and fills *pair) when SimP_tau(q, g) >= alpha. When
 // `explain` is non-null, the pair's audit trail is recorded into it
 // (q_index / g_index are left for the caller to fill).
-bool EvaluatePair(const graph::LabeledGraph& q,
+[[nodiscard]] bool EvaluatePair(const graph::LabeledGraph& q,
                   const graph::UncertainGraph& g, const SimJParams& params,
                   const graph::LabelDictionary& dict, JoinStats* stats,
                   MatchedPair* pair, PairExplain* explain = nullptr);
@@ -183,7 +183,7 @@ std::string FormatExplains(const JoinResult& result,
 // Algorithm 1: nested-loop join of D with U under the configured prunings.
 // With params.num_threads != 1 the |D| x |U| pairs are sharded across a
 // work-stealing pool (see SimJParams::num_threads).
-JoinResult SimJoin(const std::vector<graph::LabeledGraph>& d,
+[[nodiscard]] JoinResult SimJoin(const std::vector<graph::LabeledGraph>& d,
                    const std::vector<graph::UncertainGraph>& u,
                    const SimJParams& params,
                    const graph::LabelDictionary& dict);

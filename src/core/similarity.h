@@ -55,7 +55,7 @@ struct SimPResult {
 };
 
 // Exact SimP_tau(q, g). Enumerates every possible world of g.
-SimPResult ComputeSimP(const graph::LabeledGraph& q,
+[[nodiscard]] SimPResult ComputeSimP(const graph::LabeledGraph& q,
                        const graph::UncertainGraph& g, int tau,
                        const graph::LabelDictionary& dict,
                        const ged::GedOptions& options = ged::GedOptions(),
@@ -65,7 +65,7 @@ SimPResult ComputeSimP(const graph::LabeledGraph& q,
 // possible-world groups (pass {g} for the ungrouped case). Groups must be
 // disjoint restrictions of one uncertain graph; `total_mass` is the sum of
 // their masses (the probability not yet ruled out by group-level pruning).
-SimPResult VerifySimP(const graph::LabeledGraph& q,
+[[nodiscard]] SimPResult VerifySimP(const graph::LabeledGraph& q,
                       const std::vector<graph::UncertainGraph>& groups,
                       double total_mass, int tau, double alpha,
                       const graph::LabelDictionary& dict,
@@ -80,13 +80,13 @@ SimPResult VerifySimP(const graph::LabeledGraph& q,
 // where E(y_v) is the probability mass of v's label alternatives that match
 // some vertex label of q. When C - tau <= 0 the Markov bound is vacuous and
 // mass(g) is returned.
-double UpperBoundSimP(const graph::LabeledGraph& q,
+[[nodiscard]] double UpperBoundSimP(const graph::LabeledGraph& q,
                       const graph::UncertainGraph& g, int tau,
                       const graph::LabelDictionary& dict);
 
 // Same, reusing a precomputed structural constant C(q, g) (identical for
 // every group of one uncertain graph).
-double UpperBoundSimPWithConstant(const graph::LabeledGraph& q,
+[[nodiscard]] double UpperBoundSimPWithConstant(const graph::LabeledGraph& q,
                                   const graph::UncertainGraph& g, int tau,
                                   int structural_constant,
                                   const graph::LabelDictionary& dict);
@@ -98,7 +98,7 @@ double UpperBoundSimPWithConstant(const graph::LabeledGraph& q,
 //             <= sum_l ub_SimP(q, g restricted to l(v) = l).
 // Each restriction also gets its own CSS lower bound (restrictions whose
 // bound exceeds tau contribute zero). depth = 0 degenerates to Thm. 4.
-double UpperBoundSimPTotalProbability(const graph::LabeledGraph& q,
+[[nodiscard]] double UpperBoundSimPTotalProbability(const graph::LabeledGraph& q,
                                       const graph::UncertainGraph& g,
                                       int tau,
                                       const graph::LabelDictionary& dict,

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <queue>
 
+#include "ged/lower_bounds.h"
 #include "matching/hungarian.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -247,6 +248,10 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
       for (int d = 0; d < n; ++d) {
         result.mapping[ctx.order[d]] = state.assignment[d];
       }
+      // Debug-mode postcondition: the mapping witnesses the distance and
+      // the distance sits inside the lower/upper bound sandwich.
+      SIMJ_DCHECK_OK(ValidateGedResult(a, b, result, dict));
+      SIMJ_DCHECK_LE(result.distance, tau);
       return result;
     }
 
@@ -368,6 +373,59 @@ GedResult ExactGed(const LabeledGraph& a, const LabeledGraph& b,
       BoundedGed(a, b, TrivialUpperBound(a, b), dict, options);
   SIMJ_CHECK(result.has_value());
   return *std::move(result);
+}
+
+Status ValidateGedResult(const LabeledGraph& a, const LabeledGraph& b,
+                         const GedResult& result,
+                         const LabelDictionary& dict) {
+  if (static_cast<int>(result.mapping.size()) != a.num_vertices()) {
+    return InternalError("GED mapping size disagrees with |V(a)|");
+  }
+  std::vector<bool> used(b.num_vertices(), false);
+  for (int u = 0; u < a.num_vertices(); ++u) {
+    int v = result.mapping[u];
+    if (v < -1 || v >= b.num_vertices()) {
+      std::string message = "GED mapping sends vertex ";
+      message += std::to_string(u);
+      message += " to out-of-range target ";
+      message += std::to_string(v);
+      return InternalError(std::move(message));
+    }
+    if (v >= 0) {
+      if (used[v]) {
+        std::string message = "GED mapping is not injective: b-vertex ";
+        message += std::to_string(v);
+        message += " has two preimages";
+        return InternalError(std::move(message));
+      }
+      used[v] = true;
+    }
+  }
+  int witnessed = MappingCost(a, b, result.mapping, dict);
+  if (witnessed != result.distance) {
+    std::string message = "GED mapping witnesses cost ";
+    message += std::to_string(witnessed);
+    message += " but the solver reported distance ";
+    message += std::to_string(result.distance);
+    return InternalError(std::move(message));
+  }
+  int lower = CssLowerBound(a, b, dict);
+  if (result.distance < lower) {
+    std::string message = "reported GED ";
+    message += std::to_string(result.distance);
+    message += " is below the CSS lower bound ";
+    message += std::to_string(lower);
+    return InternalError(std::move(message));
+  }
+  int upper = GreedyGedUpperBound(a, b, dict);
+  if (result.distance > upper) {
+    std::string message = "reported GED ";
+    message += std::to_string(result.distance);
+    message += " exceeds the greedy upper bound ";
+    message += std::to_string(upper);
+    return InternalError(std::move(message));
+  }
+  return Status::Ok();
 }
 
 }  // namespace simj::ged

@@ -22,6 +22,7 @@
 
 #include "graph/label.h"
 #include "graph/labeled_graph.h"
+#include "util/status.h"
 
 namespace simj::ged {
 
@@ -43,41 +44,55 @@ struct GedOptions {
 
 // Computes ged(a, b) if it is <= tau, returning std::nullopt otherwise.
 // Requires tau >= 0 and |V(b)| <= 64.
-std::optional<GedResult> BoundedGed(const graph::LabeledGraph& a,
+[[nodiscard]] std::optional<GedResult> BoundedGed(const graph::LabeledGraph& a,
                                     const graph::LabeledGraph& b, int tau,
                                     const graph::LabelDictionary& dict,
                                     const GedOptions& options = GedOptions(),
                                     bool* aborted = nullptr);
 
 // Computes the exact ged(a, b) with no threshold.
-GedResult ExactGed(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+[[nodiscard]] GedResult ExactGed(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
                    const graph::LabelDictionary& dict,
                    const GedOptions& options = GedOptions());
 
 // Cost of substituting label `from` by label `to`: 0 when they match
 // (equal or wildcard), else 1.
-inline int SubstitutionCost(const graph::LabelDictionary& dict,
+[[nodiscard]] inline int SubstitutionCost(const graph::LabelDictionary& dict,
                             graph::LabelId from, graph::LabelId to) {
   return dict.Matches(from, to) ? 0 : 1;
 }
 
 // Edit cost of transforming the multiset of parallel edge labels `from`
 // into `to`: max(|from|, |to|) minus the zero-cost matchable pairs.
-int EdgeSetCost(const std::vector<graph::LabelId>& from,
+[[nodiscard]] int EdgeSetCost(const std::vector<graph::LabelId>& from,
                 const std::vector<graph::LabelId>& to,
                 const graph::LabelDictionary& dict);
 
 // A trivially valid upper bound on ged(a, b): delete everything in `a`,
 // insert everything in `b`. Used as the open threshold for ExactGed.
-int TrivialUpperBound(const graph::LabeledGraph& a,
+[[nodiscard]] int TrivialUpperBound(const graph::LabeledGraph& a,
                       const graph::LabeledGraph& b);
 
 // Exact edit cost induced by a *given* vertex mapping (mapping[u] = vertex
 // of `b`, or -1 to delete u; b-vertices not covered are insertions). Every
 // mapping's cost upper-bounds the true GED; the optimal mapping attains it.
-int MappingCost(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+[[nodiscard]] int MappingCost(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
                 const std::vector<int>& mapping,
                 const graph::LabelDictionary& dict);
+
+// Postcondition validator for a GED solver result (the debug build runs it
+// after every successful BoundedGed/ExactGed call; tests call it directly).
+// Checks, in order:
+//   - the mapping is shaped like a function V(a) -> V(b) u {delete}: right
+//     size, in-range targets, no two a-vertices sharing an image;
+//   - the returned distance equals MappingCost(a, b, mapping) — the mapping
+//     must *witness* the distance, not just accompany it;
+//   - the sandwich CssLowerBound <= distance <= GreedyGedUpperBound, i.e.
+//     the Lemma 1/2-style bounds bracket the claimed optimum.
+// Returns the first violation as a descriptive non-OK status.
+Status ValidateGedResult(const graph::LabeledGraph& a,
+                         const graph::LabeledGraph& b, const GedResult& result,
+                         const graph::LabelDictionary& dict);
 
 // Fast upper bound on ged(a, b): the cost of the assignment that minimizes
 // per-vertex substitution + local edge-degree costs (the bipartite
@@ -85,7 +100,7 @@ int MappingCost(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
 // Verification uses it to accept worlds without running A*:
 //   lower bound > tau  -> world fails;  upper bound <= tau -> world passes.
 // When `mapping` is non-null it receives the witnessing vertex map.
-int GreedyGedUpperBound(const graph::LabeledGraph& a,
+[[nodiscard]] int GreedyGedUpperBound(const graph::LabeledGraph& a,
                         const graph::LabeledGraph& b,
                         const graph::LabelDictionary& dict,
                         std::vector<int>* mapping = nullptr);

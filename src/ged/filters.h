@@ -31,38 +31,38 @@ class GedFilter {
 
   // Lower bound on ged(q, pw(g)) over all possible worlds pw(g); the pair
   // is a candidate iff the bound is <= tau.
-  virtual int LowerBound(const graph::LabeledGraph& q,
+  [[nodiscard]] virtual int LowerBound(const graph::LabeledGraph& q,
                          const graph::UncertainGraph& g,
                          const graph::LabelDictionary& dict,
                          int tau) const = 0;
 };
 
 // The paper's CSS bound (Thm. 3).
-std::unique_ptr<GedFilter> MakeCssFilter();
+[[nodiscard]] std::unique_ptr<GedFilter> MakeCssFilter();
 
 // Structure-only path-count filter in the spirit of [31]: compares the
 // number of length-1 and length-2 directed paths, normalized by how many
 // paths one edit operation can affect.
-std::unique_ptr<GedFilter> MakePathFilter();
+[[nodiscard]] std::unique_ptr<GedFilter> MakePathFilter();
 
 // Structure-only star filter in the spirit of SEGOS [22] / c-star [29]:
 // minimum-cost assignment between degree-stars, normalized by
 // max(4, max_degree + 1).
-std::unique_ptr<GedFilter> MakeStarFilter();
+[[nodiscard]] std::unique_ptr<GedFilter> MakeStarFilter();
 
 // Structure-only partition filter in the spirit of Pars [30]: q is split
 // into tau+1 edge-disjoint parts; the bound is the number of parts that are
 // not structurally subgraph-isomorphic to g.
-std::unique_ptr<GedFilter> MakeParsFilter();
+[[nodiscard]] std::unique_ptr<GedFilter> MakeParsFilter();
 
 // True iff `pattern` is structurally (labels ignored, non-induced)
 // subgraph-isomorphic to `host`. Exposed for tests.
-bool StructurallySubgraphIsomorphic(const graph::LabeledGraph& pattern,
+[[nodiscard]] bool StructurallySubgraphIsomorphic(const graph::LabeledGraph& pattern,
                                     const graph::LabeledGraph& host);
 
 // Number of directed 2-edge paths u -> v -> w with u != w. Exposed for
 // tests.
-int64_t CountTwoPaths(const graph::LabeledGraph& g);
+[[nodiscard]] int64_t CountTwoPaths(const graph::LabeledGraph& g);
 
 }  // namespace simj::ged
 

@@ -22,12 +22,12 @@
 namespace simj::ged {
 
 // | |V(a)| - |V(b)| | + | |E(a)| - |E(b)| |.
-int CountLowerBound(const graph::LabeledGraph& a,
+[[nodiscard]] int CountLowerBound(const graph::LabeledGraph& a,
                     const graph::LabeledGraph& b);
 
 // max(|V(a)|,|V(b)|) - lambda_V + max(|E(a)|,|E(b)|) - lambda_E, where
 // lambda are the wildcard-aware common label counts.
-int LabelMultisetLowerBound(const graph::LabeledGraph& a,
+[[nodiscard]] int LabelMultisetLowerBound(const graph::LabeledGraph& a,
                             const graph::LabeledGraph& b,
                             const graph::LabelDictionary& dict);
 
@@ -35,7 +35,7 @@ int LabelMultisetLowerBound(const graph::LabeledGraph& a,
 // assignment between the graphs' stars (a vertex with its incident edge
 // labels and neighbor labels), normalized by max(4, max_degree + 1). An
 // n-gram-style filter, provided for the related-work ablations.
-int CStarLowerBound(const graph::LabeledGraph& a,
+[[nodiscard]] int CStarLowerBound(const graph::LabeledGraph& a,
                     const graph::LabeledGraph& b,
                     const graph::LabelDictionary& dict);
 
@@ -43,13 +43,13 @@ int CStarLowerBound(const graph::LabeledGraph& a,
 //   |V(big)| + |E(big)| - lambda_E + ceil(dif/2) - lambda_V
 // where `big` is the graph with more vertices (when the vertex counts tie,
 // both orientations are valid and the larger bound is returned).
-int CssLowerBound(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
+[[nodiscard]] int CssLowerBound(const graph::LabeledGraph& a, const graph::LabeledGraph& b,
                   const graph::LabelDictionary& dict);
 
 // Number of common vertex labels lambda_V(q, g) maximized over all possible
 // worlds of g: maximum matching of the vertex-label bipartite graph
 // (Def. 10). Exposed for tests and for the probabilistic bound.
-int MaxCommonVertexLabels(const graph::LabeledGraph& q,
+[[nodiscard]] int MaxCommonVertexLabels(const graph::LabeledGraph& q,
                           const graph::UncertainGraph& g,
                           const graph::LabelDictionary& dict);
 
@@ -57,13 +57,13 @@ int MaxCommonVertexLabels(const graph::LabeledGraph& q,
 //   C(q, g) = |V| + |E| - lambda_E + ceil(dif/2)
 // with |V| = max vertex count and |E| the edge count of the graph with more
 // vertices (Thm. 3/4). The uncertain CSS bound is C(q, g) - lambda_V(q, g).
-int CssStructuralConstant(const graph::LabeledGraph& q,
+[[nodiscard]] int CssStructuralConstant(const graph::LabeledGraph& q,
                           const graph::UncertainGraph& g,
                           const graph::LabelDictionary& dict);
 
 // The CSS bound for an uncertain graph (Thm. 3): valid lower bound on
 // ged(q, pw(g)) for every possible world pw(g).
-int CssLowerBoundUncertain(const graph::LabeledGraph& q,
+[[nodiscard]] int CssLowerBoundUncertain(const graph::LabeledGraph& q,
                            const graph::UncertainGraph& g,
                            const graph::LabelDictionary& dict);
 

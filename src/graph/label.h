@@ -92,7 +92,7 @@ using LabelCounts = std::unordered_map<LabelId, int>;
 // matches iff the labels are equal or at least one side is a wildcard.
 // This generalizes |multiset intersection| to wildcard labels and is what
 // the paper's lambda_V / lambda_E quantities become in our setting.
-int MatchableLabelCount(const LabelCounts& a, const LabelCounts& b,
+[[nodiscard]] int MatchableLabelCount(const LabelCounts& a, const LabelCounts& b,
                         const LabelDictionary& dict);
 
 }  // namespace simj::graph

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/label.h"
+#include "util/status.h"
 
 namespace simj::graph {
 
@@ -70,6 +71,29 @@ class LabeledGraph {
   LabelCounts VertexLabelCounts() const;
   LabelCounts EdgeLabelCounts() const;
 
+  // Full-graph invariant validation for API boundaries: every edge
+  // references in-range endpoints, has no self loop and carries a label id
+  // that is valid in `dict`; the adjacency lists agree with edges(); and
+  // every vertex label is a valid id. Returns the first violation as an
+  // InvalidArgument status with the offending vertex/edge spelled out.
+  // O(V + E) — call it when graphs cross a trust boundary (parsers,
+  // RPC-style entry points); the join's debug build calls it per input.
+  Status Validate(const LabelDictionary& dict) const;
+
+  // Same, but skips vertex-label validity: the topology check used for
+  // UncertainGraph::structure(), whose vertex labels are kInvalidLabel by
+  // design.
+  Status ValidateTopology(const LabelDictionary& dict) const;
+
+  // Unchecked assembly from raw parts — the deserialization escape hatch.
+  // Unlike AddVertex/AddEdge, this enforces nothing: the result may violate
+  // every invariant, and callers MUST run Validate() before using the graph.
+  // Construction itself stays memory-safe: edges with out-of-range
+  // endpoints are kept in edges() but left out of the adjacency lists
+  // (Validate reports them).
+  static LabeledGraph FromParts(std::vector<LabelId> vertex_labels,
+                                std::vector<Edge> edges);
+
   // Human-readable dump, e.g. for test failures.
   std::string DebugString(const LabelDictionary& dict) const;
 
@@ -83,10 +107,10 @@ class LabeledGraph {
 // Degree distance dif(a, b) (paper Def. 9): with sorted degree sequences of
 // the smaller graph (m vertices) and the larger graph, sum of
 // positive-truncated differences d_i(small) - d_i(big) over i < m.
-int DegreeDistance(const LabeledGraph& a, const LabeledGraph& b);
+[[nodiscard]] int DegreeDistance(const LabeledGraph& a, const LabeledGraph& b);
 
 // Same, from precomputed non-increasing degree sequences.
-int DegreeDistanceFromSorted(const std::vector<int>& small_sorted,
+[[nodiscard]] int DegreeDistanceFromSorted(const std::vector<int>& small_sorted,
                              const std::vector<int>& big_sorted);
 
 }  // namespace simj::graph

@@ -102,6 +102,56 @@ UncertainGraph UncertainGraph::RestrictVertex(
   return restricted;
 }
 
+Status UncertainGraph::Validate(const LabelDictionary& dict) const {
+  Status topology = structure_.ValidateTopology(dict);
+  if (!topology.ok()) return topology;
+  if (static_cast<int>(alternatives_.size()) != structure_.num_vertices()) {
+    return InternalError("alternative-set count disagrees with vertex count");
+  }
+  for (int v = 0; v < num_vertices(); ++v) {
+    const std::vector<LabelAlternative>& alts = alternatives_[v];
+    std::string where = "vertex ";
+    where += std::to_string(v);
+    if (alts.empty()) {
+      return InvalidArgumentError(where + " has an empty alternative set");
+    }
+    double mass = 0.0;
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].label < 0 ||
+          alts[a].label >= static_cast<LabelId>(dict.size())) {
+        return InvalidArgumentError(where +
+                                    " has an alternative with an invalid "
+                                    "label id");
+      }
+      if (!(alts[a].prob > 0.0) || alts[a].prob > 1.0 + kProbEpsilon) {
+        std::string message = where;
+        message += " alternative ";
+        message += std::to_string(a);
+        message += " has probability ";
+        message += std::to_string(alts[a].prob);
+        message += " outside (0, 1]";
+        return InvalidArgumentError(std::move(message));
+      }
+      for (size_t b = 0; b < a; ++b) {
+        if (alts[b].label == alts[a].label) {
+          return InvalidArgumentError(
+              where + " repeats a label in its alternative set (alternatives "
+                      "must be mutually exclusive)");
+        }
+      }
+      mass += alts[a].prob;
+    }
+    if (mass > 1.0 + kProbEpsilon) {
+      std::string message = where;
+      message += " has probability mass ";
+      message += std::to_string(mass);
+      message += " > 1";
+      return InvalidArgumentError(std::move(message));
+    }
+  }
+  return Status::Ok();
+}
+
 UncertainGraph UncertainGraph::FromCertain(const LabeledGraph& g) {
   UncertainGraph out;
   for (int v = 0; v < g.num_vertices(); ++v) {
@@ -109,6 +159,15 @@ UncertainGraph UncertainGraph::FromCertain(const LabeledGraph& g) {
   }
   for (const Edge& e : g.edges()) out.AddEdge(e.src, e.dst, e.label);
   return out;
+}
+
+UncertainGraph UncertainGraph::FromParts(
+    std::vector<std::vector<LabelAlternative>> alternatives,
+    LabeledGraph structure) {
+  UncertainGraph g;
+  g.alternatives_ = std::move(alternatives);
+  g.structure_ = std::move(structure);
+  return g;
 }
 
 std::string UncertainGraph::DebugString(const LabelDictionary& dict) const {

@@ -23,6 +23,7 @@
 
 #include "graph/label.h"
 #include "graph/labeled_graph.h"
+#include "util/status.h"
 
 namespace simj::graph {
 
@@ -90,8 +91,27 @@ class UncertainGraph {
   // renormalized, so masses of complementary restrictions add up.
   UncertainGraph RestrictVertex(int v, const std::vector<int>& keep) const;
 
+  // Full-graph invariant validation for API boundaries (paper Def. 2/4):
+  // the topology is valid (see LabeledGraph::ValidateTopology), every
+  // vertex has a non-empty alternative set whose labels are valid in
+  // `dict` and mutually exclusive (no duplicates), every probability lies
+  // in (0, 1], and the per-vertex mass is <= 1 + epsilon. Returns the
+  // first violation as a descriptive InvalidArgument status. AddVertex
+  // aborts on these conditions for programmatic construction; Validate is
+  // the recoverable form for data that crosses a trust boundary.
+  Status Validate(const LabelDictionary& dict) const;
+
   // Lifts a certain graph into the uncertain model.
   static UncertainGraph FromCertain(const LabeledGraph& g);
+
+  // Unchecked assembly from raw parts — the deserialization escape hatch.
+  // Unlike AddVertex, this enforces nothing (empty alternative sets,
+  // probabilities outside (0, 1], mass above 1, a structure whose vertex
+  // count disagrees with `alternatives` all pass through); callers MUST
+  // run Validate() before using the graph.
+  static UncertainGraph FromParts(
+      std::vector<std::vector<LabelAlternative>> alternatives,
+      LabeledGraph structure);
 
   std::string DebugString(const LabelDictionary& dict) const;
 

@@ -105,6 +105,11 @@ StatusOr<UncertainQuestionGraph> BuildUncertainGraph(
     SIMJ_CHECK_GE(dst, 0);
     if (src != dst) out.graph.AddEdge(src, dst, predicate);
   }
+  // Entity-link confidences come from outside the system; re-validate the
+  // Def. 4 invariants before the graph enters the join. Always on — this is
+  // the trust boundary for question input.
+  Status valid = out.graph.Validate(dict);
+  if (!valid.ok()) return valid;
   return out;
 }
 

@@ -10,6 +10,7 @@ namespace simj::rdf {
 namespace {
 
 const std::vector<int>& EmptyIndex() {
+  // simj-lint: allow(new) leaky singleton
   static const std::vector<int>* kEmpty = new std::vector<int>();
   return *kEmpty;
 }

@@ -95,7 +95,10 @@ StatusOr<Template> GenerateTemplate(
     for (rdf::TermId* field : {&pattern.subject, &pattern.object}) {
       auto it = slot_of_term.find(*field);
       if (it != slot_of_term.end()) {
-        *field = dict.Intern("__slot" + std::to_string(it->second));
+        // += form dodges the GCC 12 -Wrestrict false positive (PR105651).
+        std::string slot_name = "__slot";
+        slot_name += std::to_string(it->second);
+        *field = dict.Intern(slot_name);
       }
     }
   }

@@ -1,14 +1,28 @@
 // Lightweight assertion macros for programmer errors.
 //
 // SIMJ_CHECK(cond) aborts the process with a message when `cond` is false.
-// These are for invariants that indicate a bug, never for recoverable
-// conditions (use Status for those). Enabled in all build types.
+// The binary forms (SIMJ_CHECK_EQ, ...) additionally print both operand
+// values, so a failure reads
+//   SIMJ_CHECK failed: tau >= 0 (-3 vs. 0) at ged/edit_distance.cc:205
+// Operands are evaluated exactly once. These are for invariants that
+// indicate a bug, never for recoverable conditions (use Status for those).
+// Enabled in all build types.
+//
+// SIMJ_DCHECK and friends are the debug-only mirrors: they compile to the
+// same aborting checks when the build defines SIMJ_DEBUG_CHECKS (cmake
+// -DSIMJ_DEBUG_CHECKS=ON) and to a no-op that never evaluates its
+// arguments otherwise. Use them for expensive invariants — full-graph
+// validation, GED postconditions — that would distort Release performance.
 
 #ifndef SIMJ_UTIL_CHECK_H_
 #define SIMJ_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 namespace simj {
 namespace internal_check {
@@ -19,21 +33,122 @@ namespace internal_check {
   std::abort();
 }
 
+[[noreturn]] inline void CheckOpFailed(const char* expr,
+                                       const std::string& lhs,
+                                       const std::string& rhs,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "SIMJ_CHECK failed: %s (%s vs. %s) at %s:%d\n", expr,
+               lhs.c_str(), rhs.c_str(), file, line);
+  std::abort();
+}
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+// Best-effort stringification of a check operand for the failure message.
+template <typename T>
+std::string ValueString(const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (IsStreamable<T>::value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+// Evaluates each operand exactly once and aborts with both values when the
+// comparison fails. Perfect forwarding keeps move-only and reference
+// semantics intact; comparison happens before stringification so operator<<
+// side effects cannot mask the check.
+template <typename A, typename B, typename Op>
+void CheckOp(const A& a, const B& b, Op op, const char* expr,
+             const char* file, int line) {
+  if (!op(a, b)) {
+    CheckOpFailed(expr, ValueString(a), ValueString(b), file, line);
+  }
+}
+
+struct OpEq {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a == b; }
+};
+struct OpNe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a != b; }
+};
+struct OpLt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a < b; }
+};
+struct OpLe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a <= b; }
+};
+struct OpGt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a > b; }
+};
+struct OpGe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a >= b; }
+};
+
 }  // namespace internal_check
 }  // namespace simj
 
-#define SIMJ_CHECK(cond)                                            \
-  do {                                                              \
-    if (!(cond)) {                                                  \
+#define SIMJ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
       ::simj::internal_check::CheckFailed(#cond, __FILE__, __LINE__); \
-    }                                                               \
+    }                                                                 \
   } while (false)
 
-#define SIMJ_CHECK_EQ(a, b) SIMJ_CHECK((a) == (b))
-#define SIMJ_CHECK_NE(a, b) SIMJ_CHECK((a) != (b))
-#define SIMJ_CHECK_LT(a, b) SIMJ_CHECK((a) < (b))
-#define SIMJ_CHECK_LE(a, b) SIMJ_CHECK((a) <= (b))
-#define SIMJ_CHECK_GT(a, b) SIMJ_CHECK((a) > (b))
-#define SIMJ_CHECK_GE(a, b) SIMJ_CHECK((a) >= (b))
+#define SIMJ_CHECK_OP_IMPL(a, b, op, expr)                              \
+  ::simj::internal_check::CheckOp((a), (b), ::simj::internal_check::op(), \
+                                  expr, __FILE__, __LINE__)
+
+#define SIMJ_CHECK_EQ(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpEq, #a " == " #b)
+#define SIMJ_CHECK_NE(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpNe, #a " != " #b)
+#define SIMJ_CHECK_LT(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpLt, #a " < " #b)
+#define SIMJ_CHECK_LE(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpLe, #a " <= " #b)
+#define SIMJ_CHECK_GT(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpGt, #a " > " #b)
+#define SIMJ_CHECK_GE(a, b) SIMJ_CHECK_OP_IMPL(a, b, OpGe, #a " >= " #b)
+
+// Debug-only mirrors. The no-op form keeps the condition inside an
+// `if (false)` so it still type-checks but is never evaluated at runtime
+// (and dead-code eliminates entirely).
+#ifdef SIMJ_DEBUG_CHECKS
+
+#define SIMJ_DCHECK(cond) SIMJ_CHECK(cond)
+#define SIMJ_DCHECK_EQ(a, b) SIMJ_CHECK_EQ(a, b)
+#define SIMJ_DCHECK_NE(a, b) SIMJ_CHECK_NE(a, b)
+#define SIMJ_DCHECK_LT(a, b) SIMJ_CHECK_LT(a, b)
+#define SIMJ_DCHECK_LE(a, b) SIMJ_CHECK_LE(a, b)
+#define SIMJ_DCHECK_GT(a, b) SIMJ_CHECK_GT(a, b)
+#define SIMJ_DCHECK_GE(a, b) SIMJ_CHECK_GE(a, b)
+
+#else  // !SIMJ_DEBUG_CHECKS
+
+#define SIMJ_DCHECK(cond) \
+  do {                    \
+    if (false) {          \
+      (void)(cond);       \
+    }                     \
+  } while (false)
+#define SIMJ_DCHECK_EQ(a, b) SIMJ_DCHECK((a) == (b))
+#define SIMJ_DCHECK_NE(a, b) SIMJ_DCHECK((a) != (b))
+#define SIMJ_DCHECK_LT(a, b) SIMJ_DCHECK((a) < (b))
+#define SIMJ_DCHECK_LE(a, b) SIMJ_DCHECK((a) <= (b))
+#define SIMJ_DCHECK_GT(a, b) SIMJ_DCHECK((a) > (b))
+#define SIMJ_DCHECK_GE(a, b) SIMJ_DCHECK((a) >= (b))
+
+#endif  // SIMJ_DEBUG_CHECKS
 
 #endif  // SIMJ_UTIL_CHECK_H_

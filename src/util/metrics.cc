@@ -133,7 +133,7 @@ MetricsSnapshot MergeSnapshots(const MetricsSnapshot& a,
 }
 
 Registry& Registry::Global() {
-  static Registry* registry = new Registry();
+  static Registry* registry = new Registry();  // simj-lint: allow(new) leaky singleton
   return *registry;
 }
 

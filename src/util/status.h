@@ -31,7 +31,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // Value-type result of an operation that can fail. Copyable and movable.
-class Status {
+// [[nodiscard]] at class level: any call that returns a Status and ignores
+// it is a compile error under -Werror; explicitly discarded statuses must
+// be annotated at the call site (see SIMJ_IGNORE_STATUS below).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,7 +65,7 @@ Status UnimplementedError(std::string message);
 // Holds either a T or a non-OK Status. Accessing value() on a non-OK
 // StatusOr is a programmer error and aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, so functions can `return value;` or `return status;`.
   StatusOr(T value) : rep_(std::move(value)) {}
@@ -99,6 +102,44 @@ class StatusOr {
   std::variant<T, Status> rep_;
 };
 
+namespace internal_status {
+
+inline void CheckOkImpl(const Status& status, const char* expr,
+                        const char* file, int line) {
+  if (!status.ok()) {
+    internal_check::CheckOpFailed(expr, "OK", status.ToString(), file, line);
+  }
+}
+
+}  // namespace internal_status
+
 }  // namespace simj
+
+// Aborts (printing the status) when `expr` is not OK. The DCHECK mirror is
+// compiled out unless the build defines SIMJ_DEBUG_CHECKS; use it for
+// expensive validators on hot paths.
+#define SIMJ_CHECK_OK(expr)                                                  \
+  ::simj::internal_status::CheckOkImpl((expr), #expr " is OK", __FILE__, \
+                                       __LINE__)
+
+#ifdef SIMJ_DEBUG_CHECKS
+#define SIMJ_DCHECK_OK(expr) SIMJ_CHECK_OK(expr)
+#else
+#define SIMJ_DCHECK_OK(expr)  \
+  do {                        \
+    if (false) {              \
+      (void)(expr);           \
+    }                         \
+  } while (false)
+#endif  // SIMJ_DEBUG_CHECKS
+
+// Annotated discard for a Status the caller deliberately ignores. Requiring
+// a macro (instead of a bare `(void)` cast) makes intentional discards
+// greppable and lets tools/simj_lint.py flag unannotated ones.
+#define SIMJ_IGNORE_STATUS(expr) \
+  do {                           \
+    auto simj_ignored = (expr);  \
+    (void)simj_ignored;          \
+  } while (false)
 
 #endif  // SIMJ_UTIL_STATUS_H_

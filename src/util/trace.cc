@@ -12,7 +12,7 @@ int ThisThreadTraceId() {
 }
 
 Tracer& Tracer::Global() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = new Tracer();  // simj-lint: allow(new) leaky singleton
   return *tracer;
 }
 

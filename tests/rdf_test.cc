@@ -187,11 +187,15 @@ TEST_P(BgpReferenceTest, EvaluatorMatchesBruteForce) {
   graph::LabelDictionary dict;
   std::vector<TermId> entities;
   for (int i = 0; i < 5; ++i) {
-    entities.push_back(dict.Intern("E" + std::to_string(i)));
+    std::string entity_name = "E";
+    entity_name += std::to_string(i);
+    entities.push_back(dict.Intern(entity_name));
   }
   std::vector<TermId> predicates;
   for (int i = 0; i < 3; ++i) {
-    predicates.push_back(dict.Intern("p" + std::to_string(i)));
+    std::string predicate_name = "p";
+    predicate_name += std::to_string(i);
+    predicates.push_back(dict.Intern(predicate_name));
   }
   TripleStore store;
   int triples = static_cast<int>(rng.Uniform(3, 8));

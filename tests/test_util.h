@@ -23,7 +23,11 @@ inline std::vector<graph::LabelId> TestLabels(graph::LabelDictionary& dict,
                                               int n) {
   std::vector<graph::LabelId> labels;
   for (int i = 0; i < n; ++i) {
-    labels.push_back(dict.Intern("L" + std::to_string(i)));
+    // Built via += (not `"L" + std::to_string(i)`) to dodge the GCC 12
+    // -Wrestrict false positive on char*-plus-rvalue-string (PR105651).
+    std::string name = "L";
+    name += std::to_string(i);
+    labels.push_back(dict.Intern(name));
   }
   return labels;
 }
@@ -121,8 +125,9 @@ inline RandomJoinWorkload MakeRandomJoinWorkload(
     workload.vertex_labels.push_back(workload.dict.Intern("?x"));
   }
   for (int i = 0; i < options.edge_label_pool; ++i) {
-    workload.edge_labels.push_back(
-        workload.dict.Intern("r" + std::to_string(i + 1)));
+    std::string name = "r";
+    name += std::to_string(i + 1);
+    workload.edge_labels.push_back(workload.dict.Intern(name));
   }
   for (int i = 0; i < options.num_certain; ++i) {
     workload.d.push_back(RandomCertainGraph(

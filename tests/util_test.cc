@@ -32,6 +32,12 @@ TEST(StatusTest, AllErrorConstructors) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
 }
 
+// GCC 12 falsely reports the variant's string member as maybe-uninitialized
+// when the StatusOr destructor is inlined at -O2 (gcc PR 80635 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 TEST(StatusOrTest, HoldsValueOrStatus) {
   StatusOr<int> value = 42;
   ASSERT_TRUE(value.ok());
@@ -42,6 +48,9 @@ TEST(StatusOrTest, HoldsValueOrStatus) {
   EXPECT_FALSE(error.ok());
   EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 TEST(StatusOrDeathTest, ValueOnErrorAborts) {
   StatusOr<int> error = NotFoundError("nothing");

@@ -294,7 +294,9 @@ TEST(SyntheticTest, MakeUncertainKeepsTruthAmongAlternatives) {
   graph::LabelDictionary dict;
   std::vector<graph::LabelId> labels;
   for (int i = 0; i < 10; ++i) {
-    labels.push_back(dict.Intern("L" + std::to_string(i)));
+    std::string label_name = "L";
+    label_name += std::to_string(i);
+    labels.push_back(dict.Intern(label_name));
   }
   graph::LabeledGraph base = RandomErGraph(rng, labels, labels, 6, 8);
   graph::UncertainGraph uncertain =
@@ -315,7 +317,9 @@ TEST(SyntheticTest, PerturbStaysClose) {
   graph::LabelDictionary dict;
   std::vector<graph::LabelId> labels;
   for (int i = 0; i < 5; ++i) {
-    labels.push_back(dict.Intern("L" + std::to_string(i)));
+    std::string label_name = "L";
+    label_name += std::to_string(i);
+    labels.push_back(dict.Intern(label_name));
   }
   graph::LabeledGraph base = RandomErGraph(rng, labels, labels, 5, 6);
   graph::LabeledGraph close = Perturb(rng, base, labels, labels, 2);

@@ -1,0 +1,525 @@
+#!/usr/bin/env python3
+"""Project linter for repo-specific contracts that generic tools can't see.
+
+Rules (see DESIGN.md "Correctness tooling"):
+
+  no-exceptions      src/ is Status-only: no `throw`, `try {`, or `catch (`.
+  no-raw-random      all randomness flows through util/rng (deterministic,
+                     seedable): no rand()/srand()/time()/std::random_device
+                     outside src/util/rng.*.
+  no-direct-io       src/core, src/ged, src/graph, src/matching never write
+                     to stdout/stderr directly; output goes through
+                     metrics/trace/explain. bench/ and examples/ are also
+                     linted so harness prints need an explicit allow(io).
+  no-naked-new       no bare `new`; owning allocations use containers or
+                     smart pointers. Intentional leaky singletons carry an
+                     allow(new) pragma.
+  unconsumed-status  a call to a function returning Status/StatusOr (names
+                     harvested from src/**/*.h) must not be a bare
+                     discarded statement, and `(void)` discards must use
+                     SIMJ_IGNORE_STATUS or carry an allow(discard) pragma.
+  nodiscard-contract util/status.h must keep Status and StatusOr declared
+                     [[nodiscard]] at class level.
+
+Suppression pragmas (the pragma is a comment, checked before stripping):
+
+  ... violating code ...  // simj-lint: allow(rule)        same line
+  // simj-lint: allow(rule)                                 next line
+  // simj-lint: allow-file(rule)                            whole file
+                                                            (first 30 lines)
+
+Usage:
+  tools/simj_lint.py [--repo DIR] [--baseline FILE] [--update-baseline]
+                     [--self-test] [paths...]
+
+Default paths: src bench examples. Exits 1 when findings not covered by the
+baseline exist, 0 otherwise. The baseline (tools/simj_lint_baseline.txt)
+stores one fingerprint per historical finding so CI fails only on *new*
+findings; it ships empty because the tree is clean.
+"""
+
+import argparse
+import hashlib
+import os
+import re
+import sys
+
+LINT_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+PRAGMA_RE = re.compile(r"//\s*simj-lint:\s*(allow|allow-file)\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Short pragma spellings accepted alongside the full rule names.
+PRAGMA_SHORTHAND = {
+    "io": "no-direct-io",
+    "new": "no-naked-new",
+    "discard": "unconsumed-status",
+    "exceptions": "no-exceptions",
+    "random": "no-raw-random",
+}
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+class SourceFile:
+    """A lint unit: raw lines, comment/string-stripped lines, pragmas."""
+
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel
+        self.raw_lines = text.splitlines()
+        self.code_lines = strip_comments_and_strings(text).splitlines()
+        self.line_allows = {}  # line number (1-based) -> set of rules
+        self.file_allows = set()
+        for i, line in enumerate(self.raw_lines, start=1):
+            for kind, rules in PRAGMA_RE.findall(line):
+                names = {
+                    PRAGMA_SHORTHAND.get(r.strip(), r.strip())
+                    for r in rules.split(",")
+                }
+                if kind == "allow-file":
+                    if i <= 30:
+                        self.file_allows |= names
+                else:
+                    # A pragma covers its own line and the following line,
+                    # so it can trail the violation or sit above it.
+                    self.line_allows.setdefault(i, set()).update(names)
+                    self.line_allows.setdefault(i + 1, set()).update(names)
+
+    def allowed(self, rule, line_number):
+        return rule in self.file_allows or rule in self.line_allows.get(
+            line_number, set()
+        )
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literal bodies, keeping line
+    structure so findings report real line numbers."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: skip to the matching delimiter wholesale.
+                if out and out[-1] == "R":
+                    match = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1 :])
+                    if match:
+                        delim = ")" + match.group(1) + '"'
+                        end = text.find(delim, i)
+                        if end < 0:
+                            end = n
+                        chunk = text[i - 1 : end + len(delim)]
+                        out[-1] = ""
+                        out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+                        i = end + len(delim)
+                        continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rel, line, rule, message, line_text):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.line_text = line_text
+
+    def fingerprint(self):
+        # Line numbers shift with unrelated edits; fingerprint on the
+        # normalized offending line instead.
+        normalized = re.sub(r"\s+", " ", self.line_text.strip())
+        digest = hashlib.sha256(
+            f"{self.rel}:{self.rule}:{normalized}".encode()
+        ).hexdigest()[:16]
+        return f"{self.rel}:{self.rule}:{digest}"
+
+    def __str__(self):
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def in_dir(rel, *dirs):
+    rel = rel.replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+EXCEPTION_RE = re.compile(r"\b(throw)\b|\b(try)\s*\{|\b(catch)\s*\(")
+RANDOM_RE = re.compile(r"\b(rand|srand|time)\s*\(|\bstd::random_device\b")
+IO_RE = re.compile(r"\b(printf|fprintf|puts|fputs|putchar)\s*\(|\bstd::(cout|cerr|clog)\b")
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:inline\s+|static\s+|constexpr\s+)*"
+    r"(?:simj::)?Status(?:Or<[^;=]*>)?\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(",
+    re.MULTILINE,
+)
+
+# Names that return Status/StatusOr but are unconditionally safe to call as
+# statements never (empty), or that the harvest would misfire on.
+HARVEST_SKIP = {"Ok"}
+
+
+def harvest_status_functions(repo):
+    """Collects names of functions returning Status/StatusOr from src headers."""
+    names = set()
+    src = os.path.join(repo, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for filename in filenames:
+            if not filename.endswith(".h"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                text = open(path, encoding="utf-8", errors="replace").read()
+            except OSError:
+                continue
+            for match in STATUS_DECL_RE.finditer(strip_comments_and_strings(text)):
+                name = match.group(1)
+                if name not in HARVEST_SKIP:
+                    names.add(name)
+    return names
+
+
+def lint_file(source, status_functions):
+    rel = source.rel.replace(os.sep, "/")
+    findings = []
+
+    def emit(rule, line_number, message):
+        if source.allowed(rule, line_number):
+            return
+        findings.append(
+            Finding(rel, line_number, rule, message,
+                    source.raw_lines[line_number - 1]
+                    if line_number <= len(source.raw_lines) else "")
+        )
+
+    check_exceptions = in_dir(rel, "src")
+    check_random = not rel.startswith("src/util/rng")
+    check_io = in_dir(
+        rel, "src/core", "src/ged", "src/graph", "src/matching", "bench",
+        "examples"
+    )
+
+    bare_call_re = None
+    if status_functions:
+        joined = "|".join(sorted(status_functions))
+        # A statement that *starts* with a harvested call: nothing consumes
+        # the returned status.
+        bare_call_re = re.compile(
+            r"^\s*(?:[A-Za-z_][A-Za-z0-9_]*(?:::|\.|->))*(%s)\s*\(" % joined
+        )
+
+    previous = ""
+    for line_number, line in enumerate(source.code_lines, start=1):
+        if check_exceptions:
+            match = EXCEPTION_RE.search(line)
+            if match:
+                keyword = match.group(1) or match.group(2) or match.group(3)
+                emit(
+                    "no-exceptions", line_number,
+                    f"'{keyword}' in src/ — this codebase is Status-only "
+                    "(util/status.h)",
+                )
+        if check_random:
+            match = RANDOM_RE.search(line)
+            if match:
+                what = match.group(1) or "std::random_device"
+                emit(
+                    "no-raw-random", line_number,
+                    f"raw '{what}' — use util/rng so runs stay seeded and "
+                    "reproducible",
+                )
+        if check_io:
+            match = IO_RE.search(line)
+            if match:
+                what = match.group(1) or f"std::{match.group(2)}"
+                emit(
+                    "no-direct-io", line_number,
+                    f"direct '{what}' I/O — route output through "
+                    "metrics/trace/explain (or annotate a harness print "
+                    "with allow(io))",
+                )
+        match = NEW_RE.search(line)
+        if match:
+            emit(
+                "no-naked-new", line_number,
+                "naked 'new' — own allocations with containers or "
+                "std::make_unique (leaky singletons: annotate allow(new))",
+            )
+        if bare_call_re:
+            match = bare_call_re.match(line)
+            # `return Foo();`-style lines don't match (they start with
+            # `return`), and continuation lines like `StatusOr<T> x =\n
+            # Foo(...)` are filtered by requiring the previous code line to
+            # end a statement or block.
+            at_statement_start = (
+                not previous.strip()
+                or previous.rstrip().endswith((";", "{", "}"))
+                or previous.lstrip().startswith("#")
+            )
+            if match and at_statement_start:
+                emit(
+                    "unconsumed-status", line_number,
+                    f"result of '{match.group(1)}' (returns Status/StatusOr) "
+                    "is discarded — handle it or use SIMJ_IGNORE_STATUS",
+                )
+            match = VOID_DISCARD_RE.search(line)
+            if match and match.group(1).split("::")[-1] in status_functions:
+                emit(
+                    "unconsumed-status", line_number,
+                    f"'(void)' discard of '{match.group(1)}' — use "
+                    "SIMJ_IGNORE_STATUS or annotate allow(discard)",
+                )
+        if line.strip():
+            previous = line
+    return findings
+
+
+def lint_contract(repo):
+    """util/status.h must keep the class-level [[nodiscard]] contract."""
+    findings = []
+    path = os.path.join(repo, "src/util/status.h")
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError:
+        return [Finding("src/util/status.h", 1, "nodiscard-contract",
+                        "util/status.h is missing", "")]
+    for needle, what in [
+        (r"class\s+\[\[nodiscard\]\]\s+Status\b", "Status"),
+        (r"class\s+\[\[nodiscard\]\]\s+StatusOr\b", "StatusOr"),
+    ]:
+        if not re.search(needle, text):
+            findings.append(
+                Finding(
+                    "src/util/status.h", 1, "nodiscard-contract",
+                    f"class {what} must be declared [[nodiscard]] so ignored "
+                    "statuses fail the build", needle,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(repo, paths):
+    for path in paths:
+        absolute = os.path.join(repo, path)
+        if os.path.isfile(absolute):
+            yield absolute
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for filename in sorted(filenames):
+                if filename.endswith(LINT_EXTENSIONS):
+                    yield os.path.join(dirpath, filename)
+
+
+def run_lint(repo, paths):
+    status_functions = harvest_status_functions(repo)
+    findings = lint_contract(repo)
+    for path in collect_files(repo, paths):
+        rel = os.path.relpath(path, repo)
+        try:
+            text = open(path, encoding="utf-8", errors="replace").read()
+        except OSError as error:
+            print(f"simj_lint: cannot read {rel}: {error}", file=sys.stderr)
+            continue
+        findings.extend(lint_file(SourceFile(path, rel, text), status_functions))
+    return findings
+
+
+def load_baseline(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return {
+                line.strip()
+                for line in handle
+                if line.strip() and not line.startswith("#")
+            }
+    except OSError:
+        return set()
+
+
+# ---------------------------------------------------------------------------
+# Self test: every rule must catch its seeded violation and respect pragmas.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (virtual path, snippet, rule expected to fire)
+    ("src/core/bad_throw.cc", "void F() { throw 1; }\n", "no-exceptions"),
+    ("src/core/bad_try.cc", "void F() { try { G(); } catch (...) {} }\n",
+     "no-exceptions"),
+    ("src/core/bad_rand.cc", "int F() { return rand(); }\n", "no-raw-random"),
+    ("src/workload/bad_seed.cc",
+     "#include <ctime>\nlong F() { return time(nullptr); }\n",
+     "no-raw-random"),
+    ("src/ged/bad_device.cc",
+     "#include <random>\nstd::random_device dev;\n", "no-raw-random"),
+    ("src/ged/bad_print.cc",
+     '#include <cstdio>\nvoid F() { printf("x"); }\n', "no-direct-io"),
+    ("src/graph/bad_cout.cc",
+     "#include <iostream>\nvoid F() { std::cout << 1; }\n", "no-direct-io"),
+    ("src/core/bad_new.cc", "int* F() { return new int(3); }\n",
+     "no-naked-new"),
+    ("src/core/bad_status.cc",
+     "#include \"sparql/parser.h\"\nvoid F() {\n  ParseSparql(\"\", d);\n}\n",
+     "unconsumed-status"),
+    ("src/core/bad_void.cc",
+     "#include \"sparql/parser.h\"\nvoid F() { (void)ParseSparql(\"\", d); }\n",
+     "unconsumed-status"),
+]
+
+SELF_TEST_CLEAN = [
+    ("src/core/ok_pragma_new.cc",
+     "int* F() { return new int(3); }  // simj-lint: allow(new)\n"),
+    ("src/core/ok_snprintf.cc",
+     '#include <cstdio>\nvoid F(char* b) { std::snprintf(b, 4, "x"); }\n'),
+    ("bench/ok_allow_io.cpp",
+     "// simj-lint: allow-file(io)\n#include <iostream>\n"
+     "void F() { std::cout << 1; }\n"),
+    ("src/core/ok_comment.cc",
+     "// a comment may say throw or rand() or new freely\nvoid F();\n"),
+    ("src/core/ok_string.cc",
+     'const char* kMessage = "do not throw here";\n'),
+    ("src/core/ok_registry.cc",
+     "struct Registry {};\nRegistry MakeRegistry();\n"),
+    ("src/core/ok_ignore.cc",
+     "#include \"sparql/parser.h\"\n"
+     "void F() { SIMJ_IGNORE_STATUS(ParseSparql(\"\", d)); }\n"),
+]
+
+def self_test(repo):
+    status_functions = harvest_status_functions(repo)
+    if "ParseSparql" not in status_functions:
+        print("self-test: FAILED to harvest ParseSparql from src headers")
+        return 1
+    failures = 0
+    for rel, snippet, rule in SELF_TEST_CASES:
+        findings = lint_file(SourceFile(rel, rel, snippet), status_functions)
+        if not any(f.rule == rule for f in findings):
+            print(f"self-test: expected [{rule}] finding in {rel}, got "
+                  f"{[str(f) for f in findings]}")
+            failures += 1
+    for rel, snippet in SELF_TEST_CLEAN:
+        findings = lint_file(SourceFile(rel, rel, snippet), status_functions)
+        if findings:
+            print(f"self-test: expected no findings in {rel}, got "
+                  f"{[str(f) for f in findings]}")
+            failures += 1
+    if failures == 0:
+        cases = len(SELF_TEST_CASES) + len(SELF_TEST_CLEAN)
+        print(f"self-test OK: {cases} cases")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file of known-finding fingerprints")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule catches its seeded violation")
+    args = parser.parse_args()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    if args.self_test:
+        sys.exit(self_test(repo))
+
+    paths = args.paths or ["src", "bench", "examples"]
+    baseline_path = args.baseline or os.path.join(
+        repo, "tools", "simj_lint_baseline.txt"
+    )
+    findings = run_lint(repo, paths)
+
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write("# simj_lint baseline: one fingerprint per known "
+                         "finding. New findings fail CI.\n")
+            for finding in sorted(findings, key=lambda f: f.fingerprint()):
+                handle.write(finding.fingerprint() + "\n")
+        print(f"baseline updated: {len(findings)} finding(s)")
+        return
+
+    baseline = load_baseline(baseline_path)
+    new_findings = [f for f in findings if f.fingerprint() not in baseline]
+    for finding in new_findings:
+        print(finding)
+    suppressed = len(findings) - len(new_findings)
+    if new_findings:
+        print(f"simj_lint: {len(new_findings)} new finding(s)"
+              + (f", {suppressed} baselined" if suppressed else ""))
+        sys.exit(1)
+    print(f"simj_lint OK"
+          + (f" ({suppressed} baselined finding(s))" if suppressed else ""))
+
+
+if __name__ == "__main__":
+    main()
