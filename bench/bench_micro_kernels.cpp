@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/similarity.h"
 #include "ged/edit_distance.h"
 #include "ged/lower_bounds.h"
@@ -186,4 +187,14 @@ BENCHMARK(BM_BgpEvaluate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared bench flags (--json_out,
+// --log_level, ...) are consumed before google-benchmark sees argv; the
+// harness still emits a BenchResult run record via the shared atexit path.
+int main(int argc, char** argv) {
+  simj::bench::ConsumeSharedFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

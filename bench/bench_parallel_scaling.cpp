@@ -5,8 +5,9 @@
 //
 // Flags: --num_certain / --num_uncertain / --num_vertices / --tau /
 // --alpha rescale the workload; --config picks css|simj|opt. Speedup is
-// bounded by the machine's core count — on a single-core container every
-// row measures pool overhead, not scaling.
+// bounded by the machine's core count — the 4-thread >= 2.5x expectation
+// is only checked (PASS/FAIL) when the host exposes at least 4 hardware
+// threads; otherwise the harness prints SKIPPED and exits 0.
 
 #include <cstdio>
 #include <thread>
@@ -61,32 +62,72 @@ int main(int argc, char** argv) {
       bench::ParamsFor(join_config, static_cast<int>(flags.GetInt("tau", 2)),
                        flags.GetDouble("alpha", 0.5));
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
   std::printf("|D|=%zu |U|=%zu config=%s hardware_threads=%u\n\n",
               data.certain.size(), data.uncertain.size(),
-              bench::ConfigName(join_config),
-              std::thread::hardware_concurrency());
+              bench::ConfigName(join_config), hardware_threads);
   std::printf("%8s %12s %10s %10s %10s\n", "threads", "seconds", "speedup",
               "results", "identical");
 
   core::JoinResult baseline;
   double baseline_seconds = 0.0;
+  double speedup_at_4 = 0.0;
+  bool all_identical = true;
   for (int threads : {1, 2, 4, 8}) {
     params.num_threads = threads;
-    WallTimer timer;
-    core::JoinResult result =
-        core::SimJoin(data.certain, data.uncertain, params, data.dict);
-    double seconds = timer.ElapsedSeconds();
+    // 1 warmup + --repeat timed trials; the table reports the median.
+    std::vector<double> wall, cpu;
+    core::JoinResult result;
+    const int trials = bench::BenchWarmup() + bench::BenchRepeat();
+    for (int trial = 0; trial < trials; ++trial) {
+      WallTimer timer;
+      result = core::SimJoin(data.certain, data.uncertain, params, data.dict);
+      if (trial < bench::BenchWarmup()) continue;
+      wall.push_back(timer.ElapsedSeconds());
+      cpu.push_back(result.stats.TotalCpuSeconds());
+    }
+    double seconds = bench::MedianOf(wall);
     bool identical = true;
+    double speedup = 0.0;
     if (threads == 1) {
       baseline = std::move(result);
       baseline_seconds = seconds;
+      speedup = 1.0;
     } else {
       identical = SameResults(result, baseline);
+      all_identical = all_identical && identical;
+      speedup = seconds > 0 ? baseline_seconds / seconds : 0.0;
     }
-    std::printf("%8d %12.3f %9.2fx %10zu %10s\n", threads, seconds,
-                seconds > 0 ? baseline_seconds / seconds : 0.0,
+    if (threads == 4) speedup_at_4 = speedup;
+    bench::RecordBenchSample(
+        bench::JoinSampleName("scaling", params),
+        run_record::Stats::FromSamples(wall),
+        run_record::Stats::FromSamples(cpu),
+        {{"speedup", speedup},
+         {"identical", identical ? 1.0 : 0.0},
+         {"hardware_threads", static_cast<double>(hardware_threads)}});
+    std::printf("%8d %12.3f %9.2fx %10zu %10s\n", threads, seconds, speedup,
                 threads == 1 ? baseline.pairs.size() : result.pairs.size(),
                 identical ? "yes" : "NO");
+  }
+
+  // The ROADMAP scaling expectation: >= 2.5x at 4 threads. Only meaningful
+  // when the host actually has 4 hardware threads to run on.
+  std::printf("\n");
+  if (hardware_threads < 4) {
+    std::printf("scaling expectation (>=2.5x at 4 threads): SKIPPED "
+                "(host exposes %u hardware threads < 4)\n",
+                hardware_threads);
+  } else if (speedup_at_4 >= 2.5) {
+    std::printf("scaling expectation (>=2.5x at 4 threads): PASS (%.2fx)\n",
+                speedup_at_4);
+  } else {
+    std::printf("scaling expectation (>=2.5x at 4 threads): FAIL (%.2fx)\n",
+                speedup_at_4);
+  }
+  if (!all_identical) {
+    std::printf("ERROR: parallel results differ from the serial baseline\n");
+    return 1;
   }
   return 0;
 }

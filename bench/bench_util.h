@@ -1,22 +1,32 @@
 // simj-lint: allow-file(io) -- benchmark/example harness prints results to stdout.
 // Shared helpers for the experiment harnesses: standard dataset recipes
 // (scaled-down versions of the paper's workloads — see DESIGN.md for the
-// scaling rationale), join-configuration runners, and quality accounting.
+// scaling rationale), join-configuration runners, quality accounting, and
+// the shared telemetry path: every harness that calls ParseBenchFlags gains
+// --threads/--repeat/--json_out/--metrics_out/--trace_out/--log_*/--explain*
+// support and emits a versioned BenchResult run record (util/run_record.h)
+// at exit when --json_out= is given — no per-harness wiring.
 
 #ifndef SIMJ_BENCH_BENCH_UTIL_H_
 #define SIMJ_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <initializer_list>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/join.h"
 #include "util/flags.h"
+#include "util/log.h"
+#include "util/mem.h"
 #include "util/metrics.h"
+#include "util/run_record.h"
 #include "util/strings.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -30,13 +40,19 @@ namespace simj::bench {
 // Harness-wide options. Every bench calls ParseBenchFlags(argc, argv) at the
 // top of main(); flags shared by all harnesses land here and are picked up
 // by ParamsFor() / the atexit emitter, so each experiment gains threading,
-// metrics, tracing, and explain support without touching its code.
+// repeated trials, metrics, tracing, logging, run records, and explain
+// support without touching its code.
 // ---------------------------------------------------------------------------
 
 struct BenchOptions {
   int threads = 1;            // --threads: 0 = hardware concurrency, 1 = serial
+  int repeat = 3;             // --repeat: timed trials per measured join
+  std::string json_out;       // --json_out: BenchResult JSON run record path
   std::string metrics_out;    // --metrics_out: exposition-text dump path
   std::string trace_out;      // --trace_out: Chrome-trace JSON dump path
+  std::string log_level = "info";  // --log_level: debug|info|warn|error
+  std::string log_json;       // --log_json: JSON-lines log sink path
+  double slow_pair_ms = 1000.0;  // --slow_pair_ms: watchdog budget (0 = off)
   bool explain = false;       // --explain: record per-pair prune explanations
   int explain_every = 1;      // --explain_every: sample every Nth pair
   std::string explain_out;    // --explain_out: explain dump path ("" = stdout)
@@ -45,6 +61,37 @@ struct BenchOptions {
 inline BenchOptions& GlobalBenchOptions() {
   static BenchOptions options;
   return options;
+}
+
+// Accumulates the run record while the harness executes; emitted at exit.
+struct BenchRecorder {
+  WallTimer process_timer;
+  run_record::BenchResult result;
+  std::map<std::string, int> name_counts;  // sample-name disambiguation
+};
+
+inline BenchRecorder& GlobalBenchRecorder() {
+  static BenchRecorder recorder;
+  return recorder;
+}
+
+// Appends one measured sample to the harness run record. `name` should be
+// a pure function of the measured configuration so bench_compare.py can
+// match samples across runs; identical names gain a " #k" suffix in call
+// order (also deterministic).
+inline void RecordBenchSample(const std::string& name,
+                              const run_record::Stats& wall,
+                              const run_record::Stats& cpu,
+                              std::map<std::string, double> values = {}) {
+  BenchRecorder& recorder = GlobalBenchRecorder();
+  int& count = recorder.name_counts[name];
+  ++count;
+  run_record::Sample sample;
+  sample.name = count == 1 ? name : name + " #" + std::to_string(count);
+  sample.wall_seconds = wall;
+  sample.cpu_seconds = cpu;
+  sample.values = std::move(values);
+  recorder.result.samples.push_back(std::move(sample));
 }
 
 // The flags every harness understands; harness-specific flags are passed to
@@ -57,8 +104,17 @@ struct BenchFlagDoc {
 inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
   static const std::vector<BenchFlagDoc> docs = {
       {"threads", "worker threads (0 = hardware concurrency, 1 = serial)"},
+      {"repeat", "timed trials per measured join, after one discarded "
+                 "warmup (default 3; 1 = single trial, no warmup)"},
+      {"json_out", "write a BenchResult JSON run record here (see "
+                   "tools/bench_compare.py)"},
       {"metrics_out", "write Prometheus-style metrics exposition here"},
       {"trace_out", "write Chrome-trace JSON here (open in Perfetto)"},
+      {"log_level", "minimum log level: debug|info|warn|error (default info)"},
+      {"log_json", "write JSON-lines structured logs here instead of stderr "
+                   "text"},
+      {"slow_pair_ms", "log pairs whose evaluation exceeds this many ms "
+                       "(default 1000; 0 disables the watchdog)"},
       {"explain", "1 = record per-pair prune explanations"},
       {"explain_every", "sample every Nth pair in explain mode (default 1)"},
       {"explain_out", "write explain dump here instead of stdout"},
@@ -81,34 +137,109 @@ inline void PrintBenchUsage(const char* argv0,
   }
 }
 
-// Dumps the metrics / trace sinks requested on the command line. Registered
-// via atexit so every harness emits them on any successful exit path.
+// Dumps the sinks requested on the command line (metrics exposition, Chrome
+// trace, BenchResult run record). Registered via atexit so every harness
+// emits them on any successful exit path.
 inline void EmitBenchArtifacts() {
   const BenchOptions& options = GlobalBenchOptions();
   if (!options.metrics_out.empty()) {
     FILE* f = std::fopen(options.metrics_out.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot open --metrics_out=%s\n",
-                   options.metrics_out.c_str());
+      SIMJ_LOG(WARN) << "cannot open --metrics_out=" << options.metrics_out;
     } else {
       std::string text = metrics::Registry::Global().ExpositionText();
       std::fwrite(text.data(), 1, text.size(), f);
       std::fclose(f);
-      std::fprintf(stderr, "metrics exposition written to %s\n",
-                   options.metrics_out.c_str());
+      SIMJ_LOG(INFO) << "metrics exposition written to "
+                     << options.metrics_out;
     }
   }
   if (!options.trace_out.empty()) {
     trace::Tracer::Global().Stop();
     std::ofstream os(options.trace_out);
     if (!os) {
-      std::fprintf(stderr, "warning: cannot open --trace_out=%s\n",
-                   options.trace_out.c_str());
+      SIMJ_LOG(WARN) << "cannot open --trace_out=" << options.trace_out;
     } else {
       trace::Tracer::Global().WriteChromeTrace(os);
-      std::fprintf(stderr, "chrome trace written to %s (open in Perfetto)\n",
-                   options.trace_out.c_str());
+      SIMJ_LOG(INFO) << "chrome trace written to " << options.trace_out
+                     << " (open in Perfetto)";
     }
+  }
+  if (!options.json_out.empty()) {
+    BenchRecorder& recorder = GlobalBenchRecorder();
+    run_record::BenchResult& result = recorder.result;
+    result.unix_time_seconds = run_record::NowUnixSeconds();
+    result.git = run_record::QueryGitInfo();
+    result.build = run_record::CurrentBuildInfo();
+    result.hardware = run_record::CurrentHardwareInfo();
+    result.wall_seconds_total = recorder.process_timer.ElapsedSeconds();
+    mem::SampleRssToMetrics();
+    result.peak_rss_bytes = mem::PeakRssBytes();
+    result.metrics = metrics::Registry::Global().Snapshot();
+    Status status = run_record::WriteJsonFile(result, options.json_out);
+    if (!status.ok()) {
+      SIMJ_LOG(WARN) << "cannot write --json_out=" << options.json_out
+                     << ": " << status.ToString();
+    } else {
+      SIMJ_LOG(INFO) << "bench result (" << result.samples.size()
+                     << " samples) written to " << options.json_out;
+    }
+  }
+}
+
+// Applies parsed shared flags: fills BenchOptions, configures the log
+// threshold and sink, starts tracing, seeds the run record, and registers
+// the atexit emitter. Shared by ParseBenchFlags and ConsumeSharedFlags.
+inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
+  BenchOptions& options = GlobalBenchOptions();
+  options.threads = static_cast<int>(flags.GetInt("threads", options.threads));
+  options.repeat = static_cast<int>(flags.GetInt("repeat", options.repeat));
+  options.json_out = flags.GetString("json_out", options.json_out);
+  options.metrics_out = flags.GetString("metrics_out", options.metrics_out);
+  options.trace_out = flags.GetString("trace_out", options.trace_out);
+  options.log_level = flags.GetString("log_level", options.log_level);
+  options.log_json = flags.GetString("log_json", options.log_json);
+  options.slow_pair_ms =
+      flags.GetDouble("slow_pair_ms", options.slow_pair_ms);
+  options.explain = flags.GetBool("explain", options.explain);
+  options.explain_every =
+      static_cast<int>(flags.GetInt("explain_every", options.explain_every));
+  options.explain_out = flags.GetString("explain_out", options.explain_out);
+  if (!options.explain_out.empty()) options.explain = true;
+
+  log::Level level = log::Level::kInfo;
+  if (!log::ParseLevel(options.log_level, &level)) {
+    std::fprintf(stderr, "error: unknown --log_level=%s\n",
+                 options.log_level.c_str());
+    std::exit(2);
+  }
+  log::SetMinLevel(level);
+  if (!options.log_json.empty()) {
+    auto sink = std::make_unique<log::JsonLinesSink>(options.log_json);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot open --log_json=%s\n",
+                   options.log_json.c_str());
+      std::exit(2);
+    }
+    log::SetSink(std::move(sink));
+  }
+  if (!options.trace_out.empty()) trace::Tracer::Global().Start();
+
+  BenchRecorder& recorder = GlobalBenchRecorder();
+  std::string harness = argv0 == nullptr ? "" : argv0;
+  size_t slash = harness.find_last_of('/');
+  if (slash != std::string::npos) harness = harness.substr(slash + 1);
+  recorder.result.harness = harness;
+  recorder.result.params["threads"] = std::to_string(options.threads);
+  recorder.result.params["repeat"] = std::to_string(options.repeat);
+  for (const std::string& key : flags.Keys()) {
+    recorder.result.params[key] = flags.GetString(key, "");
+  }
+
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(EmitBenchArtifacts);
   }
 }
 
@@ -144,22 +275,37 @@ inline Flags ParseBenchFlags(int argc, char** argv,
     }
   }
   Flags flags(argc, argv);
-  BenchOptions& options = GlobalBenchOptions();
-  options.threads = static_cast<int>(flags.GetInt("threads", options.threads));
-  options.metrics_out = flags.GetString("metrics_out", options.metrics_out);
-  options.trace_out = flags.GetString("trace_out", options.trace_out);
-  options.explain = flags.GetBool("explain", options.explain);
-  options.explain_every =
-      static_cast<int>(flags.GetInt("explain_every", options.explain_every));
-  options.explain_out = flags.GetString("explain_out", options.explain_out);
-  if (!options.explain_out.empty()) options.explain = true;
-  if (!options.trace_out.empty()) trace::Tracer::Global().Start();
-  static bool atexit_registered = false;
-  if (!atexit_registered) {
-    atexit_registered = true;
-    std::atexit(EmitBenchArtifacts);
-  }
+  ApplySharedFlags(flags, argv[0]);
   return flags;
+}
+
+// For harnesses that hand argv to their own parser (google-benchmark):
+// consumes the shared flags above, removes them from argv in place, and
+// leaves everything else (e.g. --benchmark_filter=...) untouched.
+inline void ConsumeSharedFlags(int* argc, char** argv) {
+  std::vector<char*> shared_args;
+  shared_args.push_back(argv[0]);
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    bool is_shared = false;
+    if (StartsWith(arg, "--")) {
+      const size_t eq = arg.find('=');
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      for (const BenchFlagDoc& doc : SharedBenchFlags()) {
+        if (key == doc.name) is_shared = true;
+      }
+    }
+    if (is_shared) {
+      shared_args.push_back(argv[i]);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  Flags flags(static_cast<int>(shared_args.size()), shared_args.data());
+  ApplySharedFlags(flags, argv[0]);
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +399,7 @@ inline core::SimJParams ParamsFor(JoinConfig config, int tau, double alpha,
   params.probabilistic_pruning = config != JoinConfig::kCssOnly;
   params.group_count = config == JoinConfig::kSimJOpt ? group_count : 1;
   params.num_threads = GlobalBenchOptions().threads;
+  params.slow_pair_log_ms = GlobalBenchOptions().slow_pair_ms;
   params.explain.enabled = GlobalBenchOptions().explain;
   params.explain.sample_every = GlobalBenchOptions().explain_every;
   return params;
@@ -271,12 +418,38 @@ inline void MaybeDumpExplains(const core::JoinResult& result,
   }
   std::ofstream os(path, std::ios::app);
   if (!os) {
-    std::fprintf(stderr, "warning: cannot open --explain_out=%s\n",
-                 path.c_str());
+    SIMJ_LOG(WARN) << "cannot open --explain_out=" << path;
     return;
   }
   os << text;
-  std::fprintf(stderr, "explain dump appended to %s\n", path.c_str());
+  SIMJ_LOG(INFO) << "explain dump appended to " << path;
+}
+
+// ---------------------------------------------------------------------------
+// Repeated-trial measurement. Every measured join runs (1 warmup +
+// --repeat) times; the warmup trial is discarded, tables report the median,
+// and the full min/median/mean/stddev/max series lands in the run record.
+// ---------------------------------------------------------------------------
+
+inline int BenchRepeat() { return std::max(1, GlobalBenchOptions().repeat); }
+
+inline int BenchWarmup() { return BenchRepeat() > 1 ? 1 : 0; }
+
+inline double MedianOf(std::vector<double> samples) {
+  return run_record::Stats::FromSamples(std::move(samples)).median;
+}
+
+// Stable sample-name key for a join configuration (matched across runs by
+// tools/bench_compare.py).
+inline std::string JoinSampleName(const char* kind,
+                                  const core::SimJParams& params) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s tau=%d alpha=%g sp=%d pp=%d groups=%d threads=%d", kind,
+                params.tau, params.alpha, params.structural_pruning ? 1 : 0,
+                params.probabilistic_pruning ? 1 : 0, params.group_count,
+                params.num_threads);
+  return buffer;
 }
 
 // ---------------------------------------------------------------------------
@@ -286,7 +459,7 @@ inline void MaybeDumpExplains(const core::JoinResult& result,
 struct QualityResult {
   int64_t returned = 0;
   int64_t correct = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  // median join wall time over the timed trials
 
   double Precision() const {
     return returned == 0 ? 0.0
@@ -295,16 +468,24 @@ struct QualityResult {
   }
 };
 
-// Runs the join over a QA dataset and scores each returned pair against the
-// paper's correctness criterion (typed query graphs match except entities).
+// Runs the join over a QA dataset (1 warmup + --repeat timed trials) and
+// scores each returned pair against the paper's correctness criterion
+// (typed query graphs match except entities). Records a run-record sample.
 inline QualityResult RunQualityJoin(QaDataset& data,
                                     const core::SimJParams& params,
                                     core::JoinResult* out = nullptr) {
   QualityResult result;
-  WallTimer timer;
-  core::JoinResult joined =
-      core::SimJoin(data.sides.d, data.sides.u, params, data.kb->dict());
-  result.seconds = timer.ElapsedSeconds();
+  std::vector<double> wall, cpu;
+  core::JoinResult joined;
+  const int trials = BenchWarmup() + BenchRepeat();
+  for (int trial = 0; trial < trials; ++trial) {
+    joined = core::SimJoin(data.sides.d, data.sides.u, params,
+                           data.kb->dict());
+    if (trial < BenchWarmup()) continue;
+    wall.push_back(joined.stats.wall_seconds);
+    cpu.push_back(joined.stats.TotalCpuSeconds());
+  }
+  result.seconds = MedianOf(wall);
   result.returned = static_cast<int64_t>(joined.pairs.size());
   for (const core::MatchedPair& pair : joined.pairs) {
     int question_index = data.sides.u_question_index[pair.g_index];
@@ -314,6 +495,12 @@ inline QualityResult RunQualityJoin(QaDataset& data,
       ++result.correct;
     }
   }
+  RecordBenchSample(JoinSampleName("quality", params),
+                    run_record::Stats::FromSamples(wall),
+                    run_record::Stats::FromSamples(cpu),
+                    {{"returned", static_cast<double>(result.returned)},
+                     {"correct", static_cast<double>(result.correct)},
+                     {"precision", result.Precision()}});
   MaybeDumpExplains(joined, params);
   if (out != nullptr) *out = std::move(joined);
   return result;
@@ -324,8 +511,9 @@ inline QualityResult RunQualityJoin(QaDataset& data,
 // ---------------------------------------------------------------------------
 
 struct EfficiencyRow {
-  // CPU seconds are summed across worker threads; wall seconds are measured
-  // once around the whole join. They coincide on a serial run.
+  // Medians over the timed trials. CPU seconds are summed across worker
+  // threads; wall seconds are measured once around the whole join. They
+  // coincide on a serial run.
   double pruning_cpu_seconds = 0.0;
   double verification_cpu_seconds = 0.0;
   double cpu_seconds = 0.0;
@@ -333,24 +521,42 @@ struct EfficiencyRow {
   double candidate_ratio = 0.0;  // candidates / (|D| * |U|)
   double real_ratio = 0.0;       // actual results / (|D| * |U|)
   int64_t results = 0;
+  // Full trial series of the join wall time (min/median/stddev/...).
+  run_record::Stats wall_stats;
 };
 
 inline EfficiencyRow RunEfficiency(
     const std::vector<graph::LabeledGraph>& d,
     const std::vector<graph::UncertainGraph>& u,
     const graph::LabelDictionary& dict, const core::SimJParams& params) {
-  core::JoinResult joined = core::SimJoin(d, u, params, dict);
+  std::vector<double> wall, cpu, pruning_cpu, verification_cpu;
+  core::JoinResult joined;
+  const int trials = BenchWarmup() + BenchRepeat();
+  for (int trial = 0; trial < trials; ++trial) {
+    joined = core::SimJoin(d, u, params, dict);
+    if (trial < BenchWarmup()) continue;
+    wall.push_back(joined.stats.wall_seconds);
+    cpu.push_back(joined.stats.TotalCpuSeconds());
+    pruning_cpu.push_back(joined.stats.pruning_cpu_seconds);
+    verification_cpu.push_back(joined.stats.verification_cpu_seconds);
+  }
   EfficiencyRow row;
-  row.pruning_cpu_seconds = joined.stats.pruning_cpu_seconds;
-  row.verification_cpu_seconds = joined.stats.verification_cpu_seconds;
-  row.cpu_seconds = joined.stats.TotalCpuSeconds();
-  row.wall_seconds = joined.stats.wall_seconds;
+  row.wall_stats = run_record::Stats::FromSamples(wall);
+  run_record::Stats cpu_stats = run_record::Stats::FromSamples(cpu);
+  row.pruning_cpu_seconds = MedianOf(pruning_cpu);
+  row.verification_cpu_seconds = MedianOf(verification_cpu);
+  row.cpu_seconds = cpu_stats.median;
+  row.wall_seconds = row.wall_stats.median;
   row.candidate_ratio = joined.stats.CandidateRatio();
   row.results = joined.stats.results;
   if (joined.stats.total_pairs > 0) {
     row.real_ratio = static_cast<double>(joined.stats.results) /
                      static_cast<double>(joined.stats.total_pairs);
   }
+  RecordBenchSample(
+      JoinSampleName("eff", params), row.wall_stats, cpu_stats,
+      {{"results", static_cast<double>(row.results)},
+       {"candidate_ratio", row.candidate_ratio}});
   MaybeDumpExplains(joined, params);
   return row;
 }

@@ -62,6 +62,8 @@ trap 'rm -rf "${SMOKE_DIR}"' EXIT
   --num_certain=8 --num_uncertain=8 --threads=8 \
   --metrics_out="${SMOKE_DIR}/metrics.txt" \
   --trace_out="${SMOKE_DIR}/trace.json" \
+  --json_out="${SMOKE_DIR}/result.json" \
+  --log_json="${SMOKE_DIR}/log.jsonl" \
   --explain=1 --explain_every=16 \
   --explain_out="${SMOKE_DIR}/explains.txt" > /dev/null
 python3 - "${SMOKE_DIR}" <<'PY'
@@ -87,9 +89,29 @@ assert "simj_join_pairs_total" in metrics, "exposition missing join counters"
 assert "_bucket{le=" in metrics, "exposition missing histogram buckets"
 explains = open(f"{d}/explains.txt").read()
 assert "<q=" in explains, "explain dump is empty"
+with open(f"{d}/log.jsonl") as f:
+    log_lines = [json.loads(line) for line in f if line.strip()]
+for entry in log_lines:
+    assert {"ts", "level", "file", "line", "tid", "msg"} <= entry.keys(), entry
 print(f"smoke OK: {len(events)} trace events, {len(tids)} worker lanes, "
-      f"{len(metrics.splitlines())} exposition lines")
+      f"{len(metrics.splitlines())} exposition lines, "
+      f"{len(log_lines)} structured log lines")
 PY
+
+# 1c. Perf smoke: the comparator proves it can tell signal from noise on
+# synthetic records, the emitted run record parses under the current schema,
+# and the run is compared (warn-only: machine speed varies) against the
+# checked-in baseline. Regenerate the baseline on a quiet machine with the
+# command in EXPERIMENTS.md when the join deliberately changes speed.
+echo "=== perf smoke ==="
+python3 tools/bench_compare.py --self-test
+python3 tools/bench_compare.py --schema-check "${SMOKE_DIR}/result.json"
+./build-release/bench/bench_fig12_tau_efficiency \
+  --num_certain=30 --num_uncertain=30 \
+  --json_out="${SMOKE_DIR}/fig12.json" > /dev/null
+python3 tools/bench_compare.py --schema-check "${SMOKE_DIR}/fig12.json"
+python3 tools/bench_compare.py bench/baselines/BENCH_smoke.json \
+  "${SMOKE_DIR}/fig12.json" || true
 
 # 2. ASan + UBSan: memory and UB bugs across the whole suite.
 build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -103,7 +125,7 @@ if [[ "${1:-}" != "--skip-tsan" ]]; then
     -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
-    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test'
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test'
 fi
 
 echo "CI OK"

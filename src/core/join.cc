@@ -5,6 +5,8 @@
 #include <iterator>
 
 #include "ged/lower_bounds.h"
+#include "util/log.h"
+#include "util/mem.h"
 #include "util/metrics.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
@@ -23,9 +25,13 @@ struct JoinMetrics {
   metrics::Counter& pruned_probabilistic;
   metrics::Counter& candidates;
   metrics::Counter& results;
+  metrics::Counter& slow_pairs;
   metrics::Histogram& structural_seconds;
   metrics::Histogram& probabilistic_seconds;
   metrics::Histogram& verify_seconds;
+  // Pipeline high-water marks (process lifetime, monotonic via UpdateMax).
+  metrics::Gauge& candidate_set_peak;
+  metrics::Gauge& group_fanout_peak;
 
   static const JoinMetrics& Get() {
     static JoinMetrics* m = [] {
@@ -36,9 +42,12 @@ struct JoinMetrics {
           r.GetCounter("simj_join_pruned_probabilistic_total"),
           r.GetCounter("simj_join_candidates_total"),
           r.GetCounter("simj_join_results_total"),
+          r.GetCounter("simj_join_slow_pairs_total"),
           r.GetHistogram("simj_filter_structural_seconds"),
           r.GetHistogram("simj_filter_probabilistic_seconds"),
           r.GetHistogram("simj_verify_pair_seconds"),
+          r.GetGauge("simj_join_candidate_set_peak"),
+          r.GetGauge("simj_join_group_fanout_peak"),
       };
     }();
     return *m;
@@ -168,6 +177,7 @@ bool EvaluatePair(const LabeledGraph& q, const UncertainGraph& g,
     groups.push_back(g);
     live_mass = g.TotalMass();
   }
+  jm.group_fanout_peak.UpdateMax(static_cast<double>(groups.size()));
 
   SimPResult simp;
   if (params.early_exit_verification) {
@@ -284,6 +294,21 @@ void SortExplains(std::vector<PairExplain>* explains) {
             });
 }
 
+// Slow-pair watchdog: logs a pair whose evaluation blew the budget, with
+// its full explain record (the record is captured opportunistically for
+// every pair while the watchdog is armed — recording is write-only, so
+// results stay byte-identical). Called from workers; the log sink
+// serializes concurrent writers.
+void LogSlowPair(double elapsed_ms, const SimJParams& params,
+                 PairExplain* explain, int q_index, int g_index) {
+  explain->q_index = q_index;
+  explain->g_index = g_index;
+  JoinMetrics::Get().slow_pairs.Increment();
+  SIMJ_LOG(WARN) << "slow pair: " << elapsed_ms << " ms (budget "
+                 << params.slow_pair_log_ms << " ms) "
+                 << FormatExplain(*explain, params);
+}
+
 }  // namespace
 
 void JoinPairs(const std::vector<LabeledGraph>& d,
@@ -292,22 +317,31 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
                const std::function<std::pair<int, int>(int64_t)>& pair_at,
                JoinResult* result) {
   const bool explain_on = params.explain.enabled;
+  const bool watchdog_on = params.slow_pair_log_ms > 0.0;
   if (params.num_threads == 1) {
     // Legacy serial path: accumulate directly into result->stats.
     for (int64_t p = 0; p < num_pairs; ++p) {
       auto [qi, gi] = pair_at(p);
       MatchedPair pair;
       PairExplain explain;
+      const bool sampled =
+          explain_on && params.explain.ShouldExplain(qi, gi);
       PairExplain* explain_slot =
-          explain_on && params.explain.ShouldExplain(qi, gi) ? &explain
-                                                             : nullptr;
+          sampled || watchdog_on ? &explain : nullptr;
+      WallTimer pair_timer;
       if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair,
                        explain_slot)) {
         pair.q_index = qi;
         pair.g_index = gi;
         result->pairs.push_back(std::move(pair));
       }
-      if (explain_slot != nullptr) {
+      if (watchdog_on) {
+        double elapsed_ms = pair_timer.ElapsedMillis();
+        if (elapsed_ms > params.slow_pair_log_ms) {
+          LogSlowPair(elapsed_ms, params, &explain, qi, gi);
+        }
+      }
+      if (sampled) {
         explain.q_index = qi;
         explain.g_index = gi;
         result->explains.push_back(std::move(explain));
@@ -328,16 +362,24 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
       auto [qi, gi] = pair_at(p);
       MatchedPair pair;
       PairExplain explain;
+      const bool sampled =
+          explain_on && params.explain.ShouldExplain(qi, gi);
       PairExplain* explain_slot =
-          explain_on && params.explain.ShouldExplain(qi, gi) ? &explain
-                                                             : nullptr;
+          sampled || watchdog_on ? &explain : nullptr;
+      WallTimer pair_timer;
       if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair,
                        explain_slot)) {
         pair.q_index = qi;
         pair.g_index = gi;
         worker_pairs[w].push_back(std::move(pair));
       }
-      if (explain_slot != nullptr) {
+      if (watchdog_on) {
+        double elapsed_ms = pair_timer.ElapsedMillis();
+        if (elapsed_ms > params.slow_pair_log_ms) {
+          LogSlowPair(elapsed_ms, params, &explain, qi, gi);
+        }
+      }
+      if (sampled) {
         explain.q_index = qi;
         explain.g_index = gi;
         worker_explains[w].push_back(std::move(explain));
@@ -362,6 +404,11 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
                      result->stats.pruned_probabilistic +
                      result->stats.candidates);
   SIMJ_DCHECK_LE(result->stats.results, result->stats.candidates);
+  // Memory observability: one high-water update and one /proc read per
+  // join (never per pair).
+  JoinMetrics::Get().candidate_set_peak.UpdateMax(
+      static_cast<double>(result->stats.candidates));
+  mem::SampleRssToMetrics();
   // Canonical output order: pair evaluation is deterministic per pair, so
   // after this sort the result is identical at every thread count.
   std::sort(result->pairs.begin(), result->pairs.end(),

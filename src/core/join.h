@@ -105,6 +105,13 @@ struct SimJParams {
   // Explain mode: record per-pair prune/bound audit trails into
   // JoinResult::explains (off by default; costs nothing when disabled).
   ExplainOptions explain;
+  // Slow-pair watchdog: when > 0, JoinPairs logs (SIMJ_LOG(WARN), with the
+  // pair's explain record) every pair whose full filter+verify evaluation
+  // exceeds this many milliseconds. Logging only — results, stats, and
+  // explain output are byte-identical whether it fires or not, at every
+  // thread count. 0 disables the watchdog (the per-pair clock read it
+  // shares with explain capture is one steady_clock call, below noise).
+  double slow_pair_log_ms = 1000.0;
   ged::GedOptions ged_options;
 };
 

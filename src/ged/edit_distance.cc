@@ -167,6 +167,19 @@ class CounterFlusher {
   const int64_t& value_;
 };
 
+// Publishes a locally tracked high-water mark into a gauge on scope exit
+// (one UpdateMax per call, whichever return path is taken).
+class GaugeMaxFlusher {
+ public:
+  GaugeMaxFlusher(metrics::Gauge& gauge, const size_t& value)
+      : gauge_(gauge), value_(value) {}
+  ~GaugeMaxFlusher() { gauge_.UpdateMax(static_cast<double>(value_)); }
+
+ private:
+  metrics::Gauge& gauge_;
+  const size_t& value_;
+};
+
 // Cost of completing a full assignment: insert every unused b-vertex and
 // every b-edge with at least one unused endpoint.
 int CompletionCost(const SearchContext& ctx, uint64_t used) {
@@ -211,6 +224,8 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
       metrics::Registry::Global().GetCounter("simj_ged_expansions_total");
   static metrics::Counter& aborted_total =
       metrics::Registry::Global().GetCounter("simj_ged_aborted_total");
+  static metrics::Gauge& open_list_peak =
+      metrics::Registry::Global().GetGauge("simj_ged_open_list_peak");
   calls_total.Increment();
   if (aborted != nullptr) *aborted = false;
 
@@ -234,6 +249,8 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
 
   int64_t expansions = 0;
   CounterFlusher flush_expansions(expansions_total, expansions);
+  size_t open_peak = open.size();
+  GaugeMaxFlusher flush_open_peak(open_list_peak, open_peak);
   while (!open.empty()) {
     State state = open.top();
     open.pop();
@@ -277,7 +294,10 @@ std::optional<GedResult> BoundedGed(const LabeledGraph& a,
       } else {
         next.f = next.g_cost + Heuristic(ctx, next.depth, next.used);
       }
-      if (next.f <= tau) open.push(std::move(next));
+      if (next.f <= tau) {
+        open.push(std::move(next));
+        if (open.size() > open_peak) open_peak = open.size();
+      }
     }
   }
   return std::nullopt;

@@ -17,29 +17,35 @@
 #ifndef SIMJ_UTIL_CHECK_H_
 #define SIMJ_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <type_traits>
 #include <utility>
 
+#include "util/log.h"
+
 namespace simj {
 namespace internal_check {
 
+// Failures go through the structured-logging sink (ERROR level) so they
+// land in JSON logs too; util/log.cc guarantees they also reach stderr
+// when a custom sink is installed, then aborts.
+
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file,
                                      int line) {
-  std::fprintf(stderr, "SIMJ_CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
+  std::string message = "SIMJ_CHECK failed: ";
+  message += expr;
+  log::WriteCheckFailureAndAbort(file, line, message);
 }
 
 [[noreturn]] inline void CheckOpFailed(const char* expr,
                                        const std::string& lhs,
                                        const std::string& rhs,
                                        const char* file, int line) {
-  std::fprintf(stderr, "SIMJ_CHECK failed: %s (%s vs. %s) at %s:%d\n", expr,
-               lhs.c_str(), rhs.c_str(), file, line);
-  std::abort();
+  std::string message = "SIMJ_CHECK failed: ";
+  message += expr;
+  message += " (" + lhs + " vs. " + rhs + ")";
+  log::WriteCheckFailureAndAbort(file, line, message);
 }
 
 template <typename T, typename = void>

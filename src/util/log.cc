@@ -1,0 +1,194 @@
+// simj-lint: allow-file(io) -- this is the one file allowed to write to
+// stderr: every SIMJ_LOG statement in the tree funnels through the sinks
+// defined here.
+
+#include "util/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace simj::log {
+
+namespace {
+
+double NowUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// The installed sink; nullptr means "use the built-in stderr sink". Held
+// as a unique_ptr slot guarded by SinkMutex().
+std::unique_ptr<Sink>& SinkSlot() {
+  static std::unique_ptr<Sink> slot;
+  return slot;
+}
+
+StderrSink& BuiltinStderrSink() {
+  static StderrSink sink;
+  return sink;
+}
+
+Entry MakeEntry(Level level, const char* file, int line,
+                std::string message) {
+  Entry entry;
+  entry.level = level;
+  entry.file = file;
+  entry.line = line;
+  entry.unix_seconds = NowUnixSeconds();
+  entry.thread_id = ThisThreadLogId();
+  entry.message = std::move(message);
+  return entry;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+bool ParseLevel(const std::string& name, Level* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "debug") {
+    *out = Level::kDebug;
+  } else if (lower == "info") {
+    *out = Level::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = Level::kWarn;
+  } else if (lower == "error") {
+    *out = Level::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetMinLevel(Level level) {
+  internal::g_min_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+int ThisThreadLogId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string FormatEntryText(const Entry& entry) {
+  // Wall-clock time of day (UTC), computed arithmetically so the formatter
+  // has no libc time dependency.
+  const int64_t whole = static_cast<int64_t>(entry.unix_seconds);
+  const int millis = static_cast<int>((entry.unix_seconds - whole) * 1e3);
+  const int second_of_day = static_cast<int>(whole % 86400);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%c %02d:%02d:%02d.%03d t%d ",
+                LevelName(entry.level)[0], second_of_day / 3600,
+                (second_of_day / 60) % 60, second_of_day % 60, millis,
+                entry.thread_id);
+  std::string out = buffer;
+  out += entry.file;
+  std::snprintf(buffer, sizeof(buffer), ":%d] ", entry.line);
+  out += buffer;
+  out += entry.message;
+  return out;
+}
+
+std::string FormatEntryJson(const Entry& entry) {
+  char buffer[64];
+  std::string out = "{\"ts\":";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", entry.unix_seconds);
+  out += buffer;
+  out += ",\"level\":\"";
+  out += LevelName(entry.level);
+  out += "\",\"file\":\"";
+  out += JsonEscape(entry.file);
+  std::snprintf(buffer, sizeof(buffer), "\",\"line\":%d,\"tid\":%d,",
+                entry.line, entry.thread_id);
+  out += buffer;
+  out += "\"msg\":\"";
+  out += JsonEscape(entry.message);
+  out += "\"}";
+  return out;
+}
+
+void StderrSink::Write(const Entry& entry) {
+  std::string line = FormatEntryText(entry);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+JsonLinesSink::~JsonLinesSink() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void JsonLinesSink::Write(const Entry& entry) {
+  if (file_ == nullptr) return;
+  std::string line = FormatEntryJson(entry);
+  line += '\n';
+  FILE* file = static_cast<FILE*>(file_);
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fflush(file);
+}
+
+void CaptureSink::Write(const Entry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(entry);
+}
+
+std::vector<Entry> CaptureSink::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::unique_ptr<Sink> SetSink(std::unique_ptr<Sink> sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::unique_ptr<Sink> previous = std::move(SinkSlot());
+  SinkSlot() = std::move(sink);
+  return previous;
+}
+
+void Write(Level level, const char* file, int line, std::string message) {
+  Entry entry = MakeEntry(level, file, line, std::move(message));
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink* sink = SinkSlot() ? SinkSlot().get() : &BuiltinStderrSink();
+  sink->Write(entry);
+}
+
+void WriteCheckFailureAndAbort(const char* file, int line,
+                               const std::string& message) {
+  Entry entry = MakeEntry(Level::kError, file, line, message);
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    Sink* sink = SinkSlot() ? SinkSlot().get() : &BuiltinStderrSink();
+    sink->Write(entry);
+    // A capture or JSON sink must not swallow the last words of an
+    // aborting process; mirror them to stderr.
+    if (sink != &BuiltinStderrSink()) BuiltinStderrSink().Write(entry);
+  }
+  std::abort();
+}
+
+}  // namespace simj::log

@@ -1,0 +1,184 @@
+// Structured, leveled logging with a pluggable process-wide sink.
+//
+//   SIMJ_LOG(INFO) << "joined " << pairs << " pairs";
+//   SIMJ_LOG(WARN) << "slow pair: " << ms << " ms";
+//
+// Levels are DEBUG < INFO < WARN < ERROR. A statement below the active
+// threshold costs one relaxed atomic load and never evaluates its stream
+// operands; the default threshold is INFO. Messages at or above the
+// threshold are formatted into an Entry and handed to the installed Sink
+// under a mutex, so interleaved threads never tear each other's lines.
+//
+// Sinks: the default writes human-readable text to stderr; JsonLinesSink
+// writes one JSON object per line (machine-readable, for --log_json=);
+// CaptureSink buffers entries for tests. SetSink() swaps the process sink
+// and returns the previous one so tests can restore it.
+//
+// SIMJ_CHECK failures are routed through WriteCheckFailureAndAbort so
+// aborts land in the same sink (and always on stderr, even when a custom
+// sink is installed).
+
+#ifndef SIMJ_UTIL_LOG_H_
+#define SIMJ_UTIL_LOG_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace simj::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Spellings used by the SIMJ_LOG(severity) macro: the macro pastes the
+// severity token onto "k", and these constants map the result onto Level.
+inline constexpr Level kDEBUG = Level::kDebug;
+inline constexpr Level kINFO = Level::kInfo;
+inline constexpr Level kWARN = Level::kWarn;
+inline constexpr Level kERROR = Level::kError;
+
+// "DEBUG", "INFO", "WARN", "ERROR".
+const char* LevelName(Level level);
+
+// Parses a case-insensitive level name ("debug", "INFO", ...). Returns
+// false (leaving *out untouched) on an unknown name.
+bool ParseLevel(const std::string& name, Level* out);
+
+// One log statement, fully formatted.
+struct Entry {
+  Level level = Level::kInfo;
+  const char* file = "";
+  int line = 0;
+  double unix_seconds = 0.0;  // system clock, seconds since the epoch
+  int thread_id = 0;          // small sequential per-process thread id
+  std::string message;
+};
+
+// Where formatted entries go. Write() is always called under the logger
+// mutex, so implementations need no locking of their own against other
+// writers (CaptureSink locks anyway because tests read it concurrently).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Write(const Entry& entry) = 0;
+};
+
+// Human-readable text on stderr:
+//   W 14:33:12.345 t3 core/join.cc:412] slow pair: 1834.2 ms
+class StderrSink : public Sink {
+ public:
+  void Write(const Entry& entry) override;
+};
+
+// One JSON object per line, e.g.
+//   {"ts":1722860000.123,"level":"WARN","file":"core/join.cc","line":412,
+//    "tid":3,"msg":"slow pair: 1834.2 ms"}
+// Lines are flushed as they are written so a crash loses at most the
+// in-flight entry.
+class JsonLinesSink : public Sink {
+ public:
+  explicit JsonLinesSink(const std::string& path);
+  ~JsonLinesSink() override;
+
+  // False when the path could not be opened; writes are then dropped.
+  bool ok() const { return file_ != nullptr; }
+  void Write(const Entry& entry) override;
+
+ private:
+  void* file_;  // FILE*, kept opaque so this header stays <cstdio>-free
+};
+
+// Buffers entries in memory; Entries() returns a snapshot copy.
+class CaptureSink : public Sink {
+ public:
+  void Write(const Entry& entry) override;
+  std::vector<Entry> Entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// Formats `entry` as a single JSON object (no trailing newline). Shared by
+// JsonLinesSink and the tests.
+std::string FormatEntryJson(const Entry& entry);
+
+// Formats `entry` in the stderr text shape (no trailing newline).
+std::string FormatEntryText(const Entry& entry);
+
+namespace internal {
+// The active threshold. Inline so Enabled() compiles to one relaxed load
+// with no function call — the entire cost of a disabled log statement.
+inline std::atomic<int> g_min_level{static_cast<int>(Level::kInfo)};
+}  // namespace internal
+
+inline Level MinLevel() {
+  return static_cast<Level>(
+      internal::g_min_level.load(std::memory_order_relaxed));
+}
+void SetMinLevel(Level level);
+
+inline bool Enabled(Level level) {
+  return static_cast<int>(level) >=
+         internal::g_min_level.load(std::memory_order_relaxed);
+}
+
+// Installs `sink` as the process-wide sink and returns the previous one
+// (nullptr means the built-in stderr sink was active). Passing nullptr
+// restores the built-in stderr sink.
+std::unique_ptr<Sink> SetSink(std::unique_ptr<Sink> sink);
+
+// Small sequential id for the calling thread (0 for the first thread that
+// logs, 1 for the next, ...). Stable for the thread's lifetime.
+int ThisThreadLogId();
+
+// Dispatches one entry to the active sink. Prefer the SIMJ_LOG macro.
+void Write(Level level, const char* file, int line, std::string message);
+
+// Emits an ERROR entry for a failed SIMJ_CHECK — to the active sink, and
+// additionally to stderr when a custom sink is installed so aborts are
+// never invisible — then aborts the process.
+[[noreturn]] void WriteCheckFailureAndAbort(const char* file, int line,
+                                            const std::string& message);
+
+// Accumulates one statement's stream operands; dispatches on destruction
+// (end of the full expression).
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Write(level_, file_, line_, out_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return out_; }
+
+ private:
+  Level level_;
+  const char* file_;
+  int line_;
+  std::ostringstream out_;
+};
+
+// Swallows the stream expression inside SIMJ_LOG's ternary: operator&
+// binds looser than operator<<, so the whole chain evaluates first and the
+// expression's type collapses to void (matching the disabled arm).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace simj::log
+
+// SIMJ_LOG(severity) << ...; severity is DEBUG, INFO, WARN or ERROR.
+// Below the threshold the operands are never evaluated.
+#define SIMJ_LOG(severity)                                        \
+  !::simj::log::Enabled(::simj::log::k##severity)                 \
+      ? (void)0                                                   \
+      : ::simj::log::Voidify() &                                  \
+            ::simj::log::LogMessage(::simj::log::k##severity,     \
+                                    __FILE__, __LINE__)           \
+                .stream()
+
+#endif  // SIMJ_UTIL_LOG_H_

@@ -1,0 +1,86 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define SIMJ_MEM_HAVE_POSIX 1
+#endif
+
+namespace simj::mem {
+
+namespace {
+
+// Reads a "Key:   1234 kB" line from /proc/self/status. Returns -1 when
+// the file or the key is unavailable (non-Linux).
+int64_t ReadProcStatusKb(const char* key) {
+  FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  int64_t value_kb = -1;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+      continue;
+    }
+    long long parsed = 0;
+    if (std::sscanf(line + key_len + 1, "%lld", &parsed) == 1) {
+      value_kb = parsed;
+    }
+    break;
+  }
+  std::fclose(file);
+  return value_kb;
+}
+
+}  // namespace
+
+int64_t CurrentRssBytes() {
+  int64_t kb = ReadProcStatusKb("VmRSS");
+  return kb < 0 ? 0 : kb * 1024;
+}
+
+int64_t PeakRssBytes() {
+  int64_t kb = ReadProcStatusKb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+#ifdef SIMJ_MEM_HAVE_POSIX
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss;  // bytes on macOS
+#else
+    return usage.ru_maxrss * 1024;  // kilobytes elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+int64_t PageSizeBytes() {
+#ifdef SIMJ_MEM_HAVE_POSIX
+  long page = sysconf(_SC_PAGESIZE);
+  return page > 0 ? page : 0;
+#else
+  return 0;
+#endif
+}
+
+void SampleRssToMetrics() {
+  metrics::Registry& registry = metrics::Registry::Global();
+  int64_t current = CurrentRssBytes();
+  if (current > 0) {
+    registry.GetGauge("simj_mem_current_rss_bytes")
+        .Set(static_cast<double>(current));
+  }
+  int64_t peak = PeakRssBytes();
+  if (peak > 0) {
+    registry.GetGauge("simj_mem_peak_rss_bytes")
+        .UpdateMax(static_cast<double>(peak));
+  }
+}
+
+}  // namespace simj::mem

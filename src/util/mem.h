@@ -1,0 +1,37 @@
+// Process memory accounting for the join pipeline and the bench telemetry.
+//
+// CurrentRssBytes/PeakRssBytes read the resident set from
+// /proc/self/status (VmRSS / VmHWM) on Linux; on other POSIX systems the
+// peak falls back to getrusage(RU_MAXRSS) and the current value reports 0.
+// A return of 0 always means "unavailable", never "zero bytes resident".
+//
+// SampleRssToMetrics publishes both into the process metrics registry:
+//   simj_mem_current_rss_bytes   gauge, last sampled value
+//   simj_mem_peak_rss_bytes     gauge, high-water (monotonic via UpdateMax)
+// The join pipeline samples once per join, so the cost is one /proc read
+// per join, not per pair; bench harnesses sample again at exit so the
+// BenchResult record carries the true process peak.
+
+#ifndef SIMJ_UTIL_MEM_H_
+#define SIMJ_UTIL_MEM_H_
+
+#include <cstdint>
+
+namespace simj::mem {
+
+// Bytes currently resident (VmRSS). 0 when unavailable.
+int64_t CurrentRssBytes();
+
+// High-water resident set of the process (VmHWM / RU_MAXRSS). 0 when
+// unavailable. Never decreases over the process lifetime.
+int64_t PeakRssBytes();
+
+// The VM page size. 0 when unavailable.
+int64_t PageSizeBytes();
+
+// Samples both RSS figures into the metrics registry gauges named above.
+void SampleRssToMetrics();
+
+}  // namespace simj::mem
+
+#endif  // SIMJ_UTIL_MEM_H_

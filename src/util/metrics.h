@@ -104,6 +104,18 @@ class Gauge {
   const std::string& name() const { return name_; }
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  // Monotonic high-water update: keeps the larger of the stored and given
+  // values. Lock-free and safe from any thread; the common no-raise case
+  // is a single relaxed load.
+  void UpdateMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
   void ResetForTesting() { Set(0.0); }
 
  private:

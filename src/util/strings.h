@@ -28,6 +28,11 @@ std::string ToLower(std::string_view text);
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 
+// Escapes `text` for embedding inside a JSON string literal: quotes,
+// backslashes, and control characters (\uXXXX for the ones without a short
+// escape). Non-ASCII bytes pass through untouched (valid UTF-8 stays valid).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace simj
 
 #endif  // SIMJ_UTIL_STRINGS_H_

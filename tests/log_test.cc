@@ -1,0 +1,225 @@
+// Tests for the structured logging layer: level parsing and filtering,
+// lazy operand evaluation below the threshold, text/JSON entry formatting,
+// the JSON-lines file sink, sink swapping/restoration, and a multi-thread
+// hammer (run under TSan by ci.sh).
+
+#include "util/log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace simj::log {
+namespace {
+
+// Installs a CaptureSink for the test's lifetime and restores the previous
+// sink (and level threshold) on destruction, so tests never leak state.
+class ScopedCapture {
+ public:
+  ScopedCapture() : saved_level_(MinLevel()) {
+    auto sink = std::make_unique<CaptureSink>();
+    capture_ = sink.get();
+    previous_ = SetSink(std::move(sink));
+  }
+  ~ScopedCapture() {
+    SetSink(std::move(previous_));
+    SetMinLevel(saved_level_);
+  }
+
+  CaptureSink& capture() { return *capture_; }
+
+ private:
+  Level saved_level_;
+  CaptureSink* capture_;
+  std::unique_ptr<Sink> previous_;
+};
+
+TEST(LevelTest, NamesRoundTrip) {
+  EXPECT_STREQ(LevelName(Level::kDebug), "DEBUG");
+  EXPECT_STREQ(LevelName(Level::kInfo), "INFO");
+  EXPECT_STREQ(LevelName(Level::kWarn), "WARN");
+  EXPECT_STREQ(LevelName(Level::kError), "ERROR");
+
+  Level level = Level::kInfo;
+  EXPECT_TRUE(ParseLevel("debug", &level));
+  EXPECT_EQ(level, Level::kDebug);
+  EXPECT_TRUE(ParseLevel("INFO", &level));
+  EXPECT_EQ(level, Level::kInfo);
+  EXPECT_TRUE(ParseLevel("Warn", &level));
+  EXPECT_EQ(level, Level::kWarn);
+  EXPECT_TRUE(ParseLevel("warning", &level));
+  EXPECT_EQ(level, Level::kWarn);
+  EXPECT_TRUE(ParseLevel("error", &level));
+  EXPECT_EQ(level, Level::kError);
+
+  level = Level::kWarn;
+  EXPECT_FALSE(ParseLevel("verbose", &level));
+  EXPECT_EQ(level, Level::kWarn) << "failed parse must not modify *out";
+}
+
+TEST(LogTest, ThresholdFiltersLowerLevels) {
+  ScopedCapture scoped;
+  SetMinLevel(Level::kWarn);
+  SIMJ_LOG(DEBUG) << "d";
+  SIMJ_LOG(INFO) << "i";
+  SIMJ_LOG(WARN) << "w";
+  SIMJ_LOG(ERROR) << "e";
+  std::vector<Entry> entries = scoped.capture().Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].level, Level::kWarn);
+  EXPECT_EQ(entries[0].message, "w");
+  EXPECT_EQ(entries[1].level, Level::kError);
+  EXPECT_EQ(entries[1].message, "e");
+}
+
+TEST(LogTest, DisabledStatementNeverEvaluatesOperands) {
+  ScopedCapture scoped;
+  SetMinLevel(Level::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  SIMJ_LOG(INFO) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SIMJ_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, EntryCarriesSourceLocationAndTime) {
+  ScopedCapture scoped;
+  SetMinLevel(Level::kInfo);
+  SIMJ_LOG(INFO) << "located";
+  std::vector<Entry> entries = scoped.capture().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(std::string(entries[0].file).find("log_test"),
+            std::string::npos);
+  EXPECT_GT(entries[0].line, 0);
+  EXPECT_GT(entries[0].unix_seconds, 1e9) << "clock should be post-2001";
+  EXPECT_GE(entries[0].thread_id, 0);
+}
+
+TEST(FormatTest, JsonShape) {
+  Entry entry;
+  entry.level = Level::kWarn;
+  entry.file = "core/join.cc";
+  entry.line = 412;
+  entry.unix_seconds = 1722860000.125;
+  entry.thread_id = 3;
+  entry.message = "slow pair: 1834.2 ms";
+  std::string json = FormatEntryJson(entry);
+  EXPECT_NE(json.find("\"level\":\"WARN\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"file\":\"core/join.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":412"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"msg\":\"slow pair: 1834.2 ms\""),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "one line per entry";
+}
+
+TEST(FormatTest, JsonEscapesMessage) {
+  Entry entry;
+  entry.message = "quote \" backslash \\ newline \n tab \t";
+  std::string json = FormatEntryJson(entry);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(FormatTest, TextShape) {
+  Entry entry;
+  entry.level = Level::kError;
+  entry.file = "a.cc";
+  entry.line = 7;
+  entry.unix_seconds = 0.5;
+  entry.thread_id = 1;
+  entry.message = "boom";
+  std::string text = FormatEntryText(entry);
+  EXPECT_EQ(text.front(), 'E');
+  EXPECT_NE(text.find("t1"), std::string::npos) << text;
+  EXPECT_NE(text.find("a.cc:7] boom"), std::string::npos) << text;
+}
+
+TEST(JsonLinesSinkTest, WritesOneParsedLinePerEntry) {
+  std::string path = ::testing::TempDir() + "/simj_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    ScopedCapture restore_after;  // restores the default sink afterwards
+    auto sink = std::make_unique<JsonLinesSink>(path);
+    ASSERT_TRUE(sink->ok());
+    SetSink(std::move(sink));
+    SetMinLevel(Level::kInfo);
+    SIMJ_LOG(INFO) << "first";
+    SIMJ_LOG(WARN) << "second";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"msg\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"msg\":\"second\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"WARN\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, SetSinkReturnsPrevious) {
+  auto first = std::make_unique<CaptureSink>();
+  CaptureSink* first_raw = first.get();
+  std::unique_ptr<Sink> original = SetSink(std::move(first));
+  std::unique_ptr<Sink> back = SetSink(std::move(original));
+  EXPECT_EQ(back.get(), first_raw);
+}
+
+TEST(LogTest, ConcurrentWritersKeepEveryEntryIntact) {
+  ScopedCapture scoped;
+  SetMinLevel(Level::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SIMJ_LOG(INFO) << "thread " << t << " entry " << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<Entry> entries = scoped.capture().Entries();
+  ASSERT_EQ(entries.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  // Every message must be exactly one thread's intact line — interleaving
+  // inside a message would corrupt the "thread T entry I" shape.
+  std::vector<int> per_thread(kThreads, 0);
+  for (const Entry& entry : entries) {
+    int t = -1, i = -1;
+    ASSERT_EQ(std::sscanf(entry.message.c_str(), "thread %d entry %d", &t,
+                          &i),
+              2)
+        << entry.message;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ++per_thread[t];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kPerThread) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace simj::log

@@ -1,0 +1,71 @@
+// Tests for the memory accounting helpers: RSS sanity (current > 0, peak >=
+// current, peak monotonic across a deliberate allocation) and the metrics
+// bridge that publishes both as gauges.
+
+#include "util/mem.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace simj::mem {
+namespace {
+
+TEST(MemTest, CurrentRssIsPositive) {
+  int64_t current = CurrentRssBytes();
+  EXPECT_GT(current, 0) << "a running process must have resident pages";
+}
+
+TEST(MemTest, PeakIsAtLeastCurrent) {
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes());
+}
+
+TEST(MemTest, PageSizeIsPositivePowerOfTwo) {
+  int64_t page = PageSizeBytes();
+  ASSERT_GT(page, 0);
+  EXPECT_EQ(page & (page - 1), 0) << page;
+}
+
+TEST(MemTest, PeakGrowsAcrossAllocation) {
+  int64_t before = PeakRssBytes();
+  ASSERT_GT(before, 0);
+  // Touch every page so the allocation actually becomes resident; the OS
+  // only charges RSS for faulted-in pages.
+  constexpr size_t kBytes = 32u << 20;
+  std::vector<char> block(kBytes);
+  std::memset(block.data(), 0x5a, block.size());
+  int64_t after = PeakRssBytes();
+  EXPECT_GE(after, before) << "peak RSS can never decrease";
+  // The high-water mark should reflect most of the 32 MiB touched above
+  // (allow slack for pages already resident before the allocation).
+  EXPECT_GE(after, before + static_cast<int64_t>(kBytes / 2));
+}
+
+TEST(MemTest, SampleRssToMetricsPublishesGauges) {
+  SampleRssToMetrics();
+  metrics::MetricsSnapshot snapshot = metrics::Registry::Global().Snapshot();
+  auto current = snapshot.gauges.find("simj_mem_current_rss_bytes");
+  auto peak = snapshot.gauges.find("simj_mem_peak_rss_bytes");
+  ASSERT_NE(current, snapshot.gauges.end());
+  ASSERT_NE(peak, snapshot.gauges.end());
+  EXPECT_GT(current->second, 0.0);
+  EXPECT_GE(peak->second, current->second);
+}
+
+TEST(MemTest, PeakGaugeIsMonotonicAcrossSamples) {
+  SampleRssToMetrics();
+  double first = metrics::Registry::Global()
+                     .Snapshot()
+                     .gauges.at("simj_mem_peak_rss_bytes");
+  SampleRssToMetrics();
+  double second = metrics::Registry::Global()
+                      .Snapshot()
+                      .gauges.at("simj_mem_peak_rss_bytes");
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace simj::mem

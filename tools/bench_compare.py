@@ -1,0 +1,409 @@
+#!/usr/bin/env python3
+"""Compare two BenchResult run records (util/run_record.h, --json_out=).
+
+Matches samples across the two records by (harness, sample name) — the
+sample name is a pure function of the measured join configuration — and
+reports the per-sample wall-time delta of the trial medians. Deltas are
+noise-aware: a change only counts as a regression/improvement when it
+exceeds both --min_delta_pct and --noise_sigmas combined trial standard
+deviations, so a jittery 2% wobble on a noisy sample is not a finding
+while a clean 2% shift on a tight sample can be.
+
+Exit status:
+  0  no regression beyond --fail_above_pct (or no --fail_above_pct given:
+     report-only mode always exits 0 unless inputs are malformed)
+  1  at least one regression beyond --fail_above_pct
+  2  malformed input (unreadable file, schema mismatch)
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json
+      [--fail_above_pct PCT] [--min_delta_pct PCT] [--noise_sigmas N]
+  tools/bench_compare.py --schema-check FILE [FILE...]
+  tools/bench_compare.py --self-test
+
+The schema is versioned (schema_version); this tool understands version 1
+and refuses other versions rather than misreading them.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
+# Fields every version-1 record must carry, with their JSON types.
+V1_REQUIRED = {
+    "schema_version": int,
+    "harness": str,
+    "git": dict,
+    "build": dict,
+    "hardware": dict,
+    "params": dict,
+    "samples": list,
+    "wall_seconds_total": (int, float),
+    "peak_rss_bytes": int,
+    "metrics": dict,
+}
+
+V1_STATS_REQUIRED = {
+    "trials": int,
+    "min": (int, float),
+    "median": (int, float),
+    "mean": (int, float),
+    "stddev": (int, float),
+    "max": (int, float),
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def validate_record(record, origin="<record>"):
+    """Raises SchemaError unless `record` is a well-formed v1 BenchResult."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"{origin}: top level must be a JSON object")
+    for field, kind in V1_REQUIRED.items():
+        if field not in record:
+            raise SchemaError(f"{origin}: missing field '{field}'")
+        if not isinstance(record[field], kind):
+            raise SchemaError(
+                f"{origin}: field '{field}' has type "
+                f"{type(record[field]).__name__}"
+            )
+    version = record["schema_version"]
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SchemaError(
+            f"{origin}: schema_version {version} not supported "
+            f"(supported: {list(SUPPORTED_SCHEMA_VERSIONS)})"
+        )
+    for i, sample in enumerate(record["samples"]):
+        where = f"{origin}: samples[{i}]"
+        if not isinstance(sample, dict) or "name" not in sample:
+            raise SchemaError(f"{where}: must be an object with a 'name'")
+        for series in ("wall_seconds", "cpu_seconds"):
+            stats = sample.get(series)
+            if not isinstance(stats, dict):
+                raise SchemaError(f"{where}: missing '{series}' stats")
+            for field, kind in V1_STATS_REQUIRED.items():
+                if not isinstance(stats.get(field), kind):
+                    raise SchemaError(
+                        f"{where}: {series}.{field} missing or mistyped"
+                    )
+        if not isinstance(sample.get("values", {}), dict):
+            raise SchemaError(f"{where}: 'values' must be an object")
+    return record
+
+
+def load_record(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SchemaError(f"{path}: {error}") from error
+    return validate_record(record, origin=path)
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+class Delta:
+    """One matched sample's wall-median change, classified against noise."""
+
+    def __init__(self, name, base_stats, cur_stats, min_delta_pct,
+                 noise_sigmas):
+        self.name = name
+        self.base_median = base_stats["median"]
+        self.cur_median = cur_stats["median"]
+        if self.base_median > 0:
+            self.delta_pct = (
+                (self.cur_median - self.base_median) / self.base_median * 100.0
+            )
+            combined_stddev = math.hypot(
+                base_stats["stddev"], cur_stats["stddev"]
+            )
+            self.noise_pct = combined_stddev / self.base_median * 100.0
+        else:
+            self.delta_pct = 0.0
+            self.noise_pct = 0.0
+        self.threshold_pct = max(min_delta_pct, noise_sigmas * self.noise_pct)
+        if self.delta_pct > self.threshold_pct:
+            self.verdict = "REGRESSION"
+        elif self.delta_pct < -self.threshold_pct:
+            self.verdict = "IMPROVEMENT"
+        else:
+            self.verdict = "ok"
+
+    def __str__(self):
+        return (
+            f"{self.verdict:>11}  {self.name}: "
+            f"{self.base_median:.6f}s -> {self.cur_median:.6f}s "
+            f"({self.delta_pct:+.1f}%, noise ±{self.noise_pct:.1f}%, "
+            f"threshold {self.threshold_pct:.1f}%)"
+        )
+
+
+def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
+    """Returns (deltas, missing_names, added_names, notes)."""
+    notes = []
+    if baseline["harness"] != current["harness"]:
+        notes.append(
+            "harness mismatch: baseline "
+            f"'{baseline['harness']}' vs current '{current['harness']}' — "
+            "samples are matched by name anyway, interpret with care"
+        )
+    if baseline["params"] != current["params"]:
+        notes.append(
+            f"params differ: baseline {baseline['params']} vs "
+            f"current {current['params']}"
+        )
+    base_samples = {s["name"]: s for s in baseline["samples"]}
+    cur_samples = {s["name"]: s for s in current["samples"]}
+    deltas = [
+        Delta(name, base_samples[name]["wall_seconds"],
+              cur_samples[name]["wall_seconds"], min_delta_pct, noise_sigmas)
+        for name in base_samples
+        if name in cur_samples
+    ]
+    deltas.sort(key=lambda d: -d.delta_pct)
+    missing = sorted(set(base_samples) - set(cur_samples))
+    added = sorted(set(cur_samples) - set(base_samples))
+    base_rss = baseline["peak_rss_bytes"]
+    cur_rss = current["peak_rss_bytes"]
+    if base_rss > 0:
+        rss_pct = (cur_rss - base_rss) / base_rss * 100.0
+        notes.append(
+            f"peak RSS: {base_rss / 1048576.0:.1f} MiB -> "
+            f"{cur_rss / 1048576.0:.1f} MiB ({rss_pct:+.1f}%)"
+        )
+    return deltas, missing, added, notes
+
+
+def run_compare(args):
+    try:
+        baseline = load_record(args.baseline)
+        current = load_record(args.current)
+    except SchemaError as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    deltas, missing, added, notes = compare_records(
+        baseline, current, args.min_delta_pct, args.noise_sigmas
+    )
+    print(
+        f"bench_compare: {baseline['harness']} "
+        f"(baseline {baseline.get('git', {}).get('sha', '')[:12] or '?'} vs "
+        f"current {current.get('git', {}).get('sha', '')[:12] or '?'})"
+    )
+    for note in notes:
+        print(f"  note: {note}")
+    for name in missing:
+        print(f"  note: sample only in baseline: {name}")
+    for name in added:
+        print(f"  note: sample only in current: {name}")
+    for delta in deltas:
+        print(f"  {delta}")
+    if not deltas:
+        print("  no matching samples")
+    regressions = [d for d in deltas if d.verdict == "REGRESSION"]
+    if args.fail_above_pct is not None:
+        failing = [
+            d for d in regressions if d.delta_pct > args.fail_above_pct
+        ]
+        if failing:
+            print(
+                f"bench_compare: FAIL — {len(failing)} regression(s) beyond "
+                f"--fail_above_pct={args.fail_above_pct}"
+            )
+            return 1
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) (warn-only)")
+    else:
+        print("bench_compare: OK")
+    return 0
+
+
+def run_schema_check(paths):
+    status = 0
+    for path in paths:
+        try:
+            record = load_record(path)
+        except SchemaError as error:
+            print(f"bench_compare: {error}", file=sys.stderr)
+            status = 2
+            continue
+        print(
+            f"{path}: OK (schema v{record['schema_version']}, "
+            f"harness {record['harness']}, {len(record['samples'])} samples)"
+        )
+    return status
+
+
+# ---------------------------------------------------------------------------
+# Self test
+# ---------------------------------------------------------------------------
+
+
+def make_record(medians, stddev=0.001, harness="bench_selftest"):
+    """A synthetic v1 record with one sample per (name -> median wall s)."""
+    samples = []
+    for name, median in medians.items():
+        stats = {
+            "trials": 3,
+            "min": median - stddev,
+            "median": median,
+            "mean": median,
+            "stddev": stddev,
+            "max": median + stddev,
+        }
+        samples.append(
+            {
+                "name": name,
+                "wall_seconds": dict(stats),
+                "cpu_seconds": dict(stats),
+                "values": {"results": 42},
+            }
+        )
+    return {
+        "schema_version": 1,
+        "harness": harness,
+        "unix_time_seconds": 0.0,
+        "git": {"sha": "f" * 40, "dirty": False},
+        "build": {
+            "compiler": "testc 1.0",
+            "build_type": "Release",
+            "sanitizers": "",
+            "debug_checks": False,
+        },
+        "hardware": {"hardware_concurrency": 8, "page_size_bytes": 4096},
+        "params": {"threads": "1", "repeat": "3"},
+        "samples": samples,
+        "wall_seconds_total": sum(medians.values()) * 4,
+        "peak_rss_bytes": 100 << 20,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+
+
+def self_test(repo):
+    failures = []
+
+    def check(condition, what):
+        if not condition:
+            failures.append(what)
+
+    base = make_record({"eff tau=2": 1.0, "eff tau=3": 2.0})
+    validate_record(base, "synthetic")
+
+    # Identical runs: no regression, no improvement.
+    deltas, missing, added, _ = compare_records(base, make_record(
+        {"eff tau=2": 1.0, "eff tau=3": 2.0}))
+    check(all(d.verdict == "ok" for d in deltas), "identical runs flagged")
+    check(not missing and not added, "identical runs mismatched samples")
+
+    # A synthetic 20% slowdown on one sample must be detected.
+    slow = make_record({"eff tau=2": 1.2, "eff tau=3": 2.0})
+    deltas, _, _, _ = compare_records(base, slow)
+    by_name = {d.name: d for d in deltas}
+    check(by_name["eff tau=2"].verdict == "REGRESSION",
+          "20% slowdown not detected")
+    check(by_name["eff tau=3"].verdict == "ok",
+          "unchanged sample misflagged")
+
+    # A 20% speedup is an improvement, not a regression.
+    fast = make_record({"eff tau=2": 0.8, "eff tau=3": 2.0})
+    deltas, _, _, _ = compare_records(base, fast)
+    by_name = {d.name: d for d in deltas}
+    check(by_name["eff tau=2"].verdict == "IMPROVEMENT",
+          "20% speedup not reported as improvement")
+
+    # A 2% wobble on a noisy sample (stddev 5% of median) stays quiet ...
+    noisy_base = make_record({"eff noisy": 1.0}, stddev=0.05)
+    noisy_cur = make_record({"eff noisy": 1.02}, stddev=0.05)
+    deltas, _, _, _ = compare_records(noisy_base, noisy_cur)
+    check(deltas[0].verdict == "ok", "noisy 2% wobble misflagged")
+    # ... but the same 2% shift on a tight sample (stddev 0.1%) is real —
+    # noise awareness must scale the threshold, not blanket-suppress.
+    tight_base = make_record({"eff tight": 1.0}, stddev=0.001)
+    tight_cur = make_record({"eff tight": 1.05}, stddev=0.001)
+    deltas, _, _, _ = compare_records(tight_base, tight_cur)
+    check(deltas[0].verdict == "REGRESSION", "tight 5% shift missed")
+
+    # Added/removed samples are reported, not silently dropped.
+    deltas, missing, added, _ = compare_records(
+        base, make_record({"eff tau=2": 1.0, "eff tau=4": 1.0}))
+    check(missing == ["eff tau=3"], "missing sample not reported")
+    check(added == ["eff tau=4"], "added sample not reported")
+
+    # Schema validation: rejects wrong versions and missing fields.
+    bad_version = make_record({"x": 1.0})
+    bad_version["schema_version"] = 99
+    try:
+        validate_record(bad_version, "bad-version")
+        check(False, "schema_version 99 accepted")
+    except SchemaError:
+        pass
+    bad_fields = make_record({"x": 1.0})
+    del bad_fields["peak_rss_bytes"]
+    try:
+        validate_record(bad_fields, "bad-fields")
+        check(False, "missing peak_rss_bytes accepted")
+    except SchemaError:
+        pass
+
+    # The checked-in golden record (tests/golden) must satisfy the schema —
+    # it is the contract between the C++ writer and this reader.
+    golden = os.path.join(repo, "tests", "golden", "bench_result_v1.json")
+    if os.path.exists(golden):
+        try:
+            record = load_record(golden)
+            check(record["harness"] == "bench_golden",
+                  "golden record harness drifted")
+        except SchemaError as error:
+            check(False, f"golden record fails schema: {error}")
+    else:
+        check(False, f"golden record missing: {golden}")
+
+    for failure in failures:
+        print(f"self-test: {failure}")
+    if not failures:
+        print("self-test OK: 12 cases")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--fail_above_pct", type=float, default=None,
+                        help="exit 1 when a sample regresses beyond this "
+                             "percentage (default: warn-only)")
+    parser.add_argument("--min_delta_pct", type=float, default=2.0,
+                        help="ignore deltas smaller than this percentage")
+    parser.add_argument("--noise_sigmas", type=float, default=3.0,
+                        help="ignore deltas within this many combined trial "
+                             "standard deviations")
+    parser.add_argument("--schema-check", nargs="+", metavar="FILE",
+                        help="validate FILEs against the schema and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the comparator against synthetic runs")
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        sys.exit(self_test(repo))
+    if args.schema_check:
+        sys.exit(run_schema_check(args.schema_check))
+    if not args.baseline or not args.current:
+        parser.error("need BASELINE and CURRENT records (or --self-test / "
+                     "--schema-check)")
+    sys.exit(run_compare(args))
+
+
+if __name__ == "__main__":
+    main()

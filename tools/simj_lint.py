@@ -11,6 +11,11 @@ Rules (see DESIGN.md "Correctness tooling"):
                      to stdout/stderr directly; output goes through
                      metrics/trace/explain. bench/ and examples/ are also
                      linted so harness prints need an explicit allow(io).
+  no-raw-logging     src/ never logs with raw fprintf(stderr, ...),
+                     std::cerr, or std::cout — diagnostics go through
+                     SIMJ_LOG (util/log.h) so sinks, levels, and JSON
+                     output stay centralized. src/util/log.cc (the sink
+                     implementation) is exempt by path.
   no-naked-new       no bare `new`; owning allocations use containers or
                      smart pointers. Intentional leaky singletons carry an
                      allow(new) pragma.
@@ -55,6 +60,7 @@ PRAGMA_SHORTHAND = {
     "discard": "unconsumed-status",
     "exceptions": "no-exceptions",
     "random": "no-raw-random",
+    "logging": "no-raw-logging",
 }
 
 # ---------------------------------------------------------------------------
@@ -206,6 +212,7 @@ def in_dir(rel, *dirs):
 EXCEPTION_RE = re.compile(r"\b(throw)\b|\b(try)\s*\{|\b(catch)\s*\(")
 RANDOM_RE = re.compile(r"\b(rand|srand|time)\s*\(|\bstd::random_device\b")
 IO_RE = re.compile(r"\b(printf|fprintf|puts|fputs|putchar)\s*\(|\bstd::(cout|cerr|clog)\b")
+LOGGING_RE = re.compile(r"\b(fprintf)\s*\(\s*stderr\b|\bstd::(cerr|cout)\b")
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
 
@@ -259,6 +266,8 @@ def lint_file(source, status_functions):
         rel, "src/core", "src/ged", "src/graph", "src/matching", "bench",
         "examples"
     )
+    # The sink implementation itself is the one place raw stderr is legal.
+    check_logging = in_dir(rel, "src") and rel != "src/util/log.cc"
 
     bare_call_re = None
     if status_functions:
@@ -298,6 +307,16 @@ def lint_file(source, status_functions):
                     f"direct '{what}' I/O — route output through "
                     "metrics/trace/explain (or annotate a harness print "
                     "with allow(io))",
+                )
+        if check_logging:
+            match = LOGGING_RE.search(line)
+            if match:
+                what = match.group(1) or f"std::{match.group(2)}"
+                emit(
+                    "no-raw-logging", line_number,
+                    f"raw '{what}' logging in src/ — use SIMJ_LOG "
+                    "(util/log.h) so level filtering and JSON sinks apply "
+                    "(or annotate allow(logging))",
                 )
         match = NEW_RE.search(line)
         if match:
@@ -430,6 +449,15 @@ SELF_TEST_CASES = [
     ("src/core/bad_void.cc",
      "#include \"sparql/parser.h\"\nvoid F() { (void)ParseSparql(\"\", d); }\n",
      "unconsumed-status"),
+    ("src/util/bad_stderr.cc",
+     '#include <cstdio>\nvoid F() { fprintf(stderr, "x\\n"); }\n',
+     "no-raw-logging"),
+    ("src/nlp/bad_cerr.cc",
+     '#include <iostream>\nvoid F() { std::cerr << "x"; }\n',
+     "no-raw-logging"),
+    ("src/workload/bad_cout.cc",
+     "#include <iostream>\nvoid F() { std::cout << 1; }\n",
+     "no-raw-logging"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -449,6 +477,15 @@ SELF_TEST_CLEAN = [
     ("src/core/ok_ignore.cc",
      "#include \"sparql/parser.h\"\n"
      "void F() { SIMJ_IGNORE_STATUS(ParseSparql(\"\", d)); }\n"),
+    # The sink implementation is path-exempt from no-raw-logging.
+    ("src/util/log.cc",
+     '#include <cstdio>\nvoid F() { fprintf(stderr, "sink\\n"); }\n'),
+    ("src/workload/ok_logging_pragma.cc",
+     '#include <cstdio>\n'
+     'void F() { fprintf(stderr, "x\\n"); }  // simj-lint: allow(logging)\n'),
+    # fprintf to a real file (not stderr) is not raw logging.
+    ("src/util/ok_fprintf_file.cc",
+     "#include <cstdio>\nvoid F(FILE* f) { fprintf(f, \"x\\n\"); }\n"),
 ]
 
 def self_test(repo):
