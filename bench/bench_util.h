@@ -4,8 +4,10 @@
 // scaling rationale), join-configuration runners, quality accounting, and
 // the shared telemetry path: every harness that calls ParseBenchFlags gains
 // --threads/--repeat/--json_out/--metrics_out/--trace_out/--log_*/--explain*
-// support and emits a versioned BenchResult run record (util/run_record.h)
-// at exit when --json_out= is given — no per-harness wiring.
+// support plus live introspection (--statusz_port/--progress_every/
+// --stall_warn_ms, see util/statusz.h) and emits a versioned BenchResult
+// run record (util/run_record.h) at exit when --json_out= is given — no
+// per-harness wiring.
 
 #ifndef SIMJ_BENCH_BENCH_UTIL_H_
 #define SIMJ_BENCH_BENCH_UTIL_H_
@@ -22,11 +24,13 @@
 #include <vector>
 
 #include "core/join.h"
+#include "core/progress.h"
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
 #include "util/run_record.h"
+#include "util/statusz.h"
 #include "util/strings.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -53,6 +57,9 @@ struct BenchOptions {
   std::string log_level = "info";  // --log_level: debug|info|warn|error
   std::string log_json;       // --log_json: JSON-lines log sink path
   double slow_pair_ms = 1000.0;  // --slow_pair_ms: watchdog budget (0 = off)
+  double stall_warn_ms = 0.0;  // --stall_warn_ms: stall watchdog (0 = off)
+  int64_t progress_every = 0;  // --progress_every: progress line cadence
+  int statusz_port = 0;       // --statusz_port: introspection port (0 = off)
   bool explain = false;       // --explain: record per-pair prune explanations
   int explain_every = 1;      // --explain_every: sample every Nth pair
   std::string explain_out;    // --explain_out: explain dump path ("" = stdout)
@@ -115,6 +122,12 @@ inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
                    "text"},
       {"slow_pair_ms", "log pairs whose evaluation exceeds this many ms "
                        "(default 1000; 0 disables the watchdog)"},
+      {"stall_warn_ms", "warn when a worker sits inside one pair longer "
+                        "than this many ms (default 0 = off)"},
+      {"progress_every", "log a join progress line every N completed pairs "
+                         "(default 0 = off)"},
+      {"statusz_port", "serve /statusz /metricsz /tracez /healthz on "
+                       "127.0.0.1:PORT while running (default 0 = off)"},
       {"explain", "1 = record per-pair prune explanations"},
       {"explain_every", "sample every Nth pair in explain mode (default 1)"},
       {"explain_out", "write explain dump here instead of stdout"},
@@ -137,11 +150,20 @@ inline void PrintBenchUsage(const char* argv0,
   }
 }
 
+// The harness's statusz server, when --statusz_port was given. Leaky (the
+// accept thread may outlive main's locals) but stopped by the atexit
+// emitter so process teardown never races the accept loop.
+inline statusz::Server*& GlobalStatuszServer() {
+  static statusz::Server* server = nullptr;
+  return server;
+}
+
 // Dumps the sinks requested on the command line (metrics exposition, Chrome
 // trace, BenchResult run record). Registered via atexit so every harness
 // emits them on any successful exit path.
 inline void EmitBenchArtifacts() {
   const BenchOptions& options = GlobalBenchOptions();
+  if (statusz::Server* server = GlobalStatuszServer()) server->Stop();
   if (!options.metrics_out.empty()) {
     FILE* f = std::fopen(options.metrics_out.c_str(), "w");
     if (f == nullptr) {
@@ -201,6 +223,12 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
   options.log_json = flags.GetString("log_json", options.log_json);
   options.slow_pair_ms =
       flags.GetDouble("slow_pair_ms", options.slow_pair_ms);
+  options.stall_warn_ms =
+      flags.GetDouble("stall_warn_ms", options.stall_warn_ms);
+  options.progress_every =
+      flags.GetInt("progress_every", options.progress_every);
+  options.statusz_port =
+      static_cast<int>(flags.GetInt("statusz_port", options.statusz_port));
   options.explain = flags.GetBool("explain", options.explain);
   options.explain_every =
       static_cast<int>(flags.GetInt("explain_every", options.explain_every));
@@ -224,6 +252,29 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
     log::SetSink(std::move(sink));
   }
   if (!options.trace_out.empty()) trace::Tracer::Global().Start();
+
+  // Build provenance on every scrape and in every exposition dump.
+  run_record::PublishBuildInfoMetric();
+
+  if (options.statusz_port != 0 && GlobalStatuszServer() == nullptr) {
+    statusz::Server::Options server_options;
+    server_options.port = options.statusz_port;
+    server_options.sections.push_back(
+        {"join", [] { return core::JoinProgress::Global().StatusJson(); }});
+    auto* server = new statusz::Server();  // simj-lint: allow(new) leaky, stopped at exit
+    Status status = server->Start(server_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: --statusz_port=%d: %s\n",
+                   options.statusz_port, status.ToString().c_str());
+      std::exit(2);
+    }
+    GlobalStatuszServer() = server;
+    // Arm per-worker heartbeats so /statusz shows worker liveness even
+    // without the stall watchdog.
+    core::JoinProgress::Global().RequestHeartbeats(true);
+  }
+  // A collector may be live now (trace ring or full trace); label the lane.
+  trace::SetThisThreadName("main");
 
   BenchRecorder& recorder = GlobalBenchRecorder();
   std::string harness = argv0 == nullptr ? "" : argv0;
@@ -400,6 +451,8 @@ inline core::SimJParams ParamsFor(JoinConfig config, int tau, double alpha,
   params.group_count = config == JoinConfig::kSimJOpt ? group_count : 1;
   params.num_threads = GlobalBenchOptions().threads;
   params.slow_pair_log_ms = GlobalBenchOptions().slow_pair_ms;
+  params.stall_warn_ms = GlobalBenchOptions().stall_warn_ms;
+  params.progress_every = GlobalBenchOptions().progress_every;
   params.explain.enabled = GlobalBenchOptions().explain;
   params.explain.sample_every = GlobalBenchOptions().explain_every;
   return params;

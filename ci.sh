@@ -30,6 +30,7 @@ build_and_test() {
 echo "=== lint ==="
 python3 tools/simj_lint.py --self-test
 python3 tools/simj_lint.py
+python3 tools/statusz_poll.py --self-test
 if command -v clang-format >/dev/null 2>&1; then
   clang-format --dry-run --Werror src/*/*.h src/*/*.cc tests/*.cc \
     tests/*.h bench/*.h bench/*.cpp examples/*.cpp
@@ -113,6 +114,100 @@ python3 tools/bench_compare.py --schema-check "${SMOKE_DIR}/fig12.json"
 python3 tools/bench_compare.py bench/baselines/BENCH_smoke.json \
   "${SMOKE_DIR}/fig12.json" || true
 
+# 1d. Live-introspection smoke: the same join sweep twice, server-off then
+# with --statusz_port on a fixed loopback port. A concurrent scraper hits
+# all four endpoints mid-run and checks that /metricsz parses as Prometheus
+# exposition, /statusz join progress is monotone in (joins_started,
+# completed_pairs), and at least one sample shows nonzero progress with a
+# finite ETA. The explain dumps from both runs must be byte-identical: the
+# server observes the join, it never steers it.
+echo "=== live introspection smoke ==="
+STATUSZ_PORT=18573
+./build-release/bench/bench_fig13_group_number \
+  --num_certain=16 --num_uncertain=16 --threads=8 \
+  --explain=1 --explain_every=1 \
+  --explain_out="${SMOKE_DIR}/explains_off.txt" \
+  --json_out="${SMOKE_DIR}/live_off.json" > /dev/null
+./build-release/bench/bench_fig13_group_number \
+  --num_certain=16 --num_uncertain=16 --threads=8 \
+  --statusz_port="${STATUSZ_PORT}" --progress_every=64 \
+  --explain=1 --explain_every=1 \
+  --explain_out="${SMOKE_DIR}/explains_on.txt" \
+  --json_out="${SMOKE_DIR}/live_on.json" > /dev/null &
+BENCH_PID=$!
+python3 - "${STATUSZ_PORT}" <<'PY' || {
+import json, sys, time, urllib.error, urllib.request
+port = int(sys.argv[1])
+base = f"http://127.0.0.1:{port}"
+
+def get(path, timeout=2.0):
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+deadline = time.time() + 60
+samples = []
+metrics_ok = tracez_ok = healthz_ok = False
+server_seen = False
+while time.time() < deadline:
+    try:
+        status = json.loads(get("/statusz"))
+    except (urllib.error.URLError, OSError, ConnectionError):
+        if server_seen:
+            break  # server gone: the bench finished and stopped it
+        time.sleep(0.01)
+        continue
+    server_seen = True
+    join = status.get("join") or {}
+    samples.append((join.get("joins_started", 0),
+                    join.get("completed_pairs", 0),
+                    join.get("total_pairs", 0),
+                    join.get("eta_seconds", -1.0)))
+    try:
+        if not metrics_ok:
+            text = get("/metricsz")
+            # Minimal exposition parse: every non-comment line is
+            # `name[{labels}] value` with a float value.
+            for line in text.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                name, _, value = line.rpartition(" ")
+                assert name, f"bad exposition line: {line!r}"
+                float(value)
+            assert "simj_build_info{" in text, "missing simj_build_info gauge"
+            assert "simj_join_pairs_total" in text, "missing join counters"
+            metrics_ok = True
+        if not tracez_ok:
+            tracez = json.loads(get("/tracez"))
+            assert "threads" in tracez, tracez
+            tracez_ok = True
+        if not healthz_ok:
+            assert get("/healthz") == "ok\n"
+            healthz_ok = True
+    except (urllib.error.URLError, OSError, ConnectionError):
+        break
+assert samples, "never scraped /statusz while the bench ran"
+assert metrics_ok and tracez_ok and healthz_ok, \
+    (metrics_ok, tracez_ok, healthz_ok)
+previous = (0, 0)
+live = 0
+for joins, done, total, eta in samples:
+    key = (joins, done)
+    assert key >= previous, f"progress went backwards: {previous} -> {key}"
+    previous = key
+    if done > 0 and eta >= 0:
+        live += 1
+assert live > 0, f"no sample with nonzero progress and finite ETA: {samples}"
+print(f"live scrape OK: {len(samples)} /statusz samples, "
+      f"{live} with nonzero progress and finite ETA")
+PY
+  kill "${BENCH_PID}" 2>/dev/null || true
+  wait "${BENCH_PID}" 2>/dev/null || true
+  exit 1
+}
+wait "${BENCH_PID}"
+cmp "${SMOKE_DIR}/explains_off.txt" "${SMOKE_DIR}/explains_on.txt"
+echo "live introspection OK: server-on explain dump identical to server-off"
+
 # 2. ASan + UBSan: memory and UB bugs across the whole suite.
 build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMJ_SANITIZE="address;undefined" -DSIMJ_WERROR=ON
@@ -125,7 +220,7 @@ if [[ "${1:-}" != "--skip-tsan" ]]; then
     -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
-    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test'
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test'
 fi
 
 echo "CI OK"

@@ -1,9 +1,13 @@
 #include "core/join.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iterator>
+#include <thread>
 
+#include "core/progress.h"
 #include "ged/lower_bounds.h"
 #include "util/log.h"
 #include "util/mem.h"
@@ -318,6 +322,63 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
                JoinResult* result) {
   const bool explain_on = params.explain.enabled;
   const bool watchdog_on = params.slow_pair_log_ms > 0.0;
+  const bool stall_on = params.stall_warn_ms > 0.0;
+  JoinProgress& progress = JoinProgress::Global();
+  // Sticky per-join gates: captured once here so the per-pair path never
+  // reads the tracker's atomics.
+  const bool heartbeats_on = stall_on || progress.heartbeats_requested();
+  const int64_t progress_every = params.progress_every;
+  const int planned_workers =
+      params.num_threads == 1 ? 1 : ResolveThreadCount(params.num_threads);
+  progress.BeginJoin(num_pairs, planned_workers, heartbeats_on);
+
+  // Stall watchdog: a monitor thread samples the heartbeats and warns about
+  // any worker stuck inside one pair. It only ever reads tracker state —
+  // never join state — so results are unaffected.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor;
+  if (stall_on) {
+    monitor = std::thread([&progress, &monitor_stop, &params] {
+      trace::SetThisThreadName("stall-monitor");
+      const auto poll = std::chrono::duration<double, std::milli>(
+          std::clamp(params.stall_warn_ms / 4.0, 1.0, 200.0));
+      auto report = [&] {
+        for (const StallEvent& event :
+             progress.CheckStalls(params.stall_warn_ms)) {
+          SIMJ_LOG(WARN) << "stalled worker " << event.worker << ": pair <q="
+                         << event.q_index << ",g=" << event.g_index
+                         << "> running for " << event.stalled_ms
+                         << " ms (budget " << params.stall_warn_ms << " ms)";
+        }
+      };
+      while (!monitor_stop.load(std::memory_order_acquire)) {
+        report();
+        std::this_thread::sleep_for(poll);
+      }
+      report();  // final sweep: catches a stall between the last poll and exit
+    });
+  }
+
+  // Shared per-pair epilogue for both execution paths; logging only.
+  auto after_pair = [&](int worker, int qi, int gi, PairExplain* explain,
+                        WallTimer& pair_timer) {
+    if (watchdog_on) {
+      double elapsed_ms = pair_timer.ElapsedMillis();
+      if (elapsed_ms > params.slow_pair_log_ms) {
+        LogSlowPair(elapsed_ms, params, explain, qi, gi);
+      }
+    }
+    if (stall_on && progress.ConsumeStallFlag(worker)) {
+      explain->q_index = qi;
+      explain->g_index = gi;
+      SIMJ_LOG(WARN) << "stalled pair completed after "
+                     << pair_timer.ElapsedMillis() << " ms: "
+                     << FormatExplain(*explain, params);
+    }
+    if (heartbeats_on) progress.PairDone(worker);
+    if (progress_every > 0) progress.NotePairCompleted(progress_every);
+  };
+
   if (params.num_threads == 1) {
     // Legacy serial path: accumulate directly into result->stats.
     for (int64_t p = 0; p < num_pairs; ++p) {
@@ -327,7 +388,8 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
       const bool sampled =
           explain_on && params.explain.ShouldExplain(qi, gi);
       PairExplain* explain_slot =
-          sampled || watchdog_on ? &explain : nullptr;
+          sampled || watchdog_on || stall_on ? &explain : nullptr;
+      if (heartbeats_on) progress.Heartbeat(0, qi, gi);
       WallTimer pair_timer;
       if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair,
                        explain_slot)) {
@@ -335,12 +397,7 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
         pair.g_index = gi;
         result->pairs.push_back(std::move(pair));
       }
-      if (watchdog_on) {
-        double elapsed_ms = pair_timer.ElapsedMillis();
-        if (elapsed_ms > params.slow_pair_log_ms) {
-          LogSlowPair(elapsed_ms, params, &explain, qi, gi);
-        }
-      }
+      after_pair(0, qi, gi, &explain, pair_timer);
       if (sampled) {
         explain.q_index = qi;
         explain.g_index = gi;
@@ -365,7 +422,8 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
       const bool sampled =
           explain_on && params.explain.ShouldExplain(qi, gi);
       PairExplain* explain_slot =
-          sampled || watchdog_on ? &explain : nullptr;
+          sampled || watchdog_on || stall_on ? &explain : nullptr;
+      if (heartbeats_on) progress.Heartbeat(w, qi, gi);
       WallTimer pair_timer;
       if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair,
                        explain_slot)) {
@@ -373,12 +431,7 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
         pair.g_index = gi;
         worker_pairs[w].push_back(std::move(pair));
       }
-      if (watchdog_on) {
-        double elapsed_ms = pair_timer.ElapsedMillis();
-        if (elapsed_ms > params.slow_pair_log_ms) {
-          LogSlowPair(elapsed_ms, params, &explain, qi, gi);
-        }
-      }
+      after_pair(w, qi, gi, &explain, pair_timer);
       if (sampled) {
         explain.q_index = qi;
         explain.g_index = gi;
@@ -396,6 +449,11 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
           std::make_move_iterator(worker_explains[w].end()));
     }
   }
+  if (monitor.joinable()) {
+    monitor_stop.store(true, std::memory_order_release);
+    monitor.join();
+  }
+  progress.EndJoin();
   // Debug-mode join postcondition: every pair was either pruned by exactly
   // one stage or verified, never both — a pair that was pruned and then
   // re-verified (or double-counted by a worker) breaks this identity.

@@ -112,6 +112,19 @@ struct SimJParams {
   // thread count. 0 disables the watchdog (the per-pair clock read it
   // shares with explain capture is one steady_clock call, below noise).
   double slow_pair_log_ms = 1000.0;
+  // Stall watchdog (complements slow_pair_log_ms, which cannot see a pair
+  // that never finishes): when > 0, JoinPairs runs a monitor thread that
+  // samples per-worker heartbeats and logs SIMJ_LOG(WARN) as soon as a
+  // worker has been inside one pair longer than this many milliseconds; the
+  // stalled pair's full explain record is logged when it eventually
+  // completes. Logging only — results, stats, and explain output stay
+  // byte-identical. 0 (the default) disables the watchdog and its
+  // per-pair heartbeat stores.
+  double stall_warn_ms = 0.0;
+  // When > 0, log a SIMJ_LOG(INFO) progress line (completed/total, rate,
+  // ETA) every N completed pairs, rate-limited to one line per 100 ms
+  // across workers. 0 (the default) disables progress lines.
+  int64_t progress_every = 0;
   ged::GedOptions ged_options;
 };
 

@@ -1,0 +1,186 @@
+// Live join progress for the introspection endpoint and the stall watchdog.
+//
+// JoinProgress is a process-wide singleton sampled by readers (the statusz
+// server thread, the stall-watchdog monitor thread, the --progress_every
+// logger) while a join runs. It is deliberately cheap on the worker side:
+//
+//   * completed / per-stage pair counts are NOT new atomics — they are
+//     computed as deltas of the existing sharded registry counters against
+//     baselines captured at BeginJoin, so the join hot path pays nothing
+//     for them;
+//   * per-worker heartbeats (timestamp + current pair) are a handful of
+//     relaxed stores per pair, and only when heartbeats were armed for the
+//     join (stall watchdog on, or a statusz server requested them);
+//   * the throughput window behind the ETA lives entirely on the reader
+//     side — Snapshot() feeds it, workers never touch it.
+//
+// Everything here is observational: results, stats and explain output are
+// byte-identical with the tracker armed or idle, at every thread count.
+
+#ifndef SIMJ_CORE_PROGRESS_H_
+#define SIMJ_CORE_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simj::core {
+
+// Upper bound on tracked workers. Joins may run with more threads; extra
+// workers simply share slot kMaxTrackedWorkers - 1 (heartbeats stay
+// conservative: the slot always holds *a* live worker's beat).
+inline constexpr int kMaxTrackedWorkers = 256;
+
+// One stalled-worker observation from CheckStalls.
+struct StallEvent {
+  int worker = -1;
+  int q_index = -1;
+  int g_index = -1;
+  double stalled_ms = 0.0;  // age of the worker's heartbeat when observed
+};
+
+// Reader-side view of the running (or last) join.
+struct ProgressSnapshot {
+  bool active = false;
+  int64_t joins_started = 0;  // process-lifetime BeginJoin count
+  int64_t total_pairs = 0;
+  // Pairs that have entered evaluation (the registry counter increments at
+  // EvaluatePair entry), so this can run ahead of fully-finished pairs by
+  // at most `workers` in-flight pairs; it equals total_pairs when the join
+  // ends.
+  int64_t completed_pairs = 0;
+  // Per-stage completion (deltas of the registry counters over this join).
+  int64_t pruned_structural = 0;
+  int64_t pruned_probabilistic = 0;
+  int64_t candidates = 0;
+  int64_t results = 0;
+  int workers = 0;
+  double elapsed_seconds = 0.0;
+  // Throughput over the sliding sample window (whole-join average until the
+  // window has two samples). 0 when nothing completed yet.
+  double pairs_per_second = 0.0;
+  // Remaining / pairs_per_second; -1 while unknown (no completed pairs).
+  double eta_seconds = -1.0;
+
+  struct WorkerHeartbeat {
+    int worker = -1;
+    double age_ms = 0.0;  // time since the worker started its current pair
+    int q_index = -1;
+    int g_index = -1;
+  };
+  // Only workers currently inside a pair; empty when heartbeats were not
+  // armed (or every worker is between pairs).
+  std::vector<WorkerHeartbeat> heartbeats;
+};
+
+class JoinProgress {
+ public:
+  static JoinProgress& Global();
+
+  // Sticky request from the statusz wiring: arms heartbeats for every
+  // subsequent join so /statusz can show per-worker liveness even when the
+  // stall watchdog is off.
+  void RequestHeartbeats(bool enabled) {
+    heartbeats_requested_.store(enabled, std::memory_order_relaxed);
+  }
+  bool heartbeats_requested() const {
+    return heartbeats_requested_.load(std::memory_order_relaxed);
+  }
+
+  // Marks the start of a join over `total_pairs` pairs on `workers`
+  // workers. Captures registry-counter baselines so completed counts are
+  // deltas, resets heartbeat slots, and clears the ETA window. `heartbeats`
+  // arms the per-pair Heartbeat stores for this join.
+  void BeginJoin(int64_t total_pairs, int workers, bool heartbeats);
+  void EndJoin();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  bool heartbeats_armed() const {
+    return heartbeats_armed_.load(std::memory_order_relaxed);
+  }
+
+  // Worker-side, called once per pair before evaluation: relaxed stores of
+  // the pair identity and a steady-clock timestamp. Callers gate on
+  // heartbeats_armed() so the idle path never reaches here.
+  void Heartbeat(int worker, int q_index, int g_index);
+
+  // Worker-side, after the pair completes: clears the heartbeat so an idle
+  // worker (out of work while others finish) is never reported as stalled.
+  void PairDone(int worker);
+
+  // Worker-side: true when the watchdog flagged this worker's current pair
+  // as stalled; consuming clears the flag, so the caller logs the pair's
+  // explain record exactly once (when the stalled pair finally completes).
+  bool ConsumeStallFlag(int worker);
+
+  // Monitor-side: scans heartbeat slots and returns workers whose current
+  // pair has been running longer than `stall_warn_ms`. Each stalled
+  // heartbeat is reported once (deduped on the heartbeat timestamp) and its
+  // worker's stall flag is set, to be consumed by the worker when the pair
+  // finally completes. Single-caller (the JoinPairs monitor thread, or a
+  // test driving the tracker directly).
+  std::vector<StallEvent> CheckStalls(double stall_warn_ms);
+
+  // Worker-side, gated on params.progress_every > 0: counts a completed
+  // pair and logs a rate-limited SIMJ_LOG(INFO) progress line (completed /
+  // total, rate, ETA) every `progress_every` completions, at most one line
+  // per 100 ms across all workers.
+  void NotePairCompleted(int64_t progress_every);
+
+  // Reader-side: point-in-time view. Feeds the ETA throughput window as a
+  // side effect (the window is mutex-guarded and reader-only).
+  ProgressSnapshot Snapshot();
+
+  // Snapshot() rendered as a single JSON object, for the /statusz section.
+  std::string StatusJson();
+
+  // Pure ETA helper: seconds left for `remaining` pairs at `rate` pairs/s;
+  // -1 when the rate is not positive. Exposed for tests.
+  static double EtaSeconds(int64_t remaining, double rate);
+
+ private:
+  JoinProgress() = default;
+
+  struct alignas(64) WorkerSlot {
+    std::atomic<int64_t> heartbeat_ns{0};  // steady-clock ns; 0 = idle
+    std::atomic<int32_t> q_index{-1};
+    std::atomic<int32_t> g_index{-1};
+    std::atomic<bool> stall_flagged{false};
+    // Monitor-thread only (CheckStalls is single-caller): dedup key of the
+    // last heartbeat already reported as stalled.
+    int64_t last_stall_reported_ns = 0;
+  };
+
+  std::atomic<bool> heartbeats_requested_{false};
+  std::atomic<bool> heartbeats_armed_{false};
+  std::atomic<bool> active_{false};
+  std::atomic<int64_t> joins_started_{0};
+  std::atomic<int64_t> total_pairs_{0};
+  std::atomic<int> workers_{0};
+  std::atomic<int64_t> join_start_ns_{0};
+  // Registry-counter baselines captured at BeginJoin.
+  std::atomic<int64_t> base_pairs_{0};
+  std::atomic<int64_t> base_pruned_structural_{0};
+  std::atomic<int64_t> base_pruned_probabilistic_{0};
+  std::atomic<int64_t> base_candidates_{0};
+  std::atomic<int64_t> base_results_{0};
+
+  WorkerSlot slots_[kMaxTrackedWorkers];
+
+  // --progress_every state (worker-shared, relaxed).
+  std::atomic<int64_t> progress_counter_{0};
+  std::atomic<int64_t> last_progress_log_ns_{0};
+
+  // ETA throughput window: (steady ns, completed pairs) samples over the
+  // last kEtaWindowSeconds, appended by Snapshot() under eta_mu_.
+  static constexpr double kEtaWindowSeconds = 10.0;
+  std::mutex eta_mu_;
+  std::deque<std::pair<int64_t, int64_t>> eta_window_;
+  int64_t eta_window_join_ = -1;  // joins_started_ the window belongs to
+};
+
+}  // namespace simj::core
+
+#endif  // SIMJ_CORE_PROGRESS_H_

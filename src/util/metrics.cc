@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <limits>
+#include <set>
 
 namespace simj::metrics {
 
@@ -14,6 +15,58 @@ int ThisThreadShard() {
       next_slot.fetch_add(1, std::memory_order_relaxed) %
       static_cast<uint32_t>(kShardCount));
   return slot;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(
+    const std::string& family,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return family;
+  std::string out = family;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void SplitMetricName(const std::string& name, std::string* family,
+                     std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
 }
 
 int BucketIndexForSeconds(double seconds) {
@@ -186,7 +239,7 @@ void AppendLine(std::string& out, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 
 void AppendLine(std::string& out, const char* format, ...) {
-  char buffer[256];
+  char buffer[512];
   va_list args;
   va_start(args, format);
   int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
@@ -194,21 +247,51 @@ void AppendLine(std::string& out, const char* format, ...) {
   if (written > 0) out.append(buffer, std::min<size_t>(written, sizeof(buffer) - 1));
 }
 
+// Emits `# TYPE family kind` the first time a family is seen. Label sets
+// of the same family (and a bare series alongside labeled ones) share one
+// TYPE line, as the exposition format requires.
+void AppendTypeOnce(std::string& out, std::set<std::string>& emitted,
+                    const std::string& family, const char* kind) {
+  if (!emitted.insert(family).second) return;
+  AppendLine(out, "# TYPE %s %s\n", family.c_str(), kind);
+}
+
+// Series name for a histogram sub-series: `family_sum` when unlabeled,
+// `family_sum{labels}` otherwise.
+std::string SubSeries(const std::string& family, const char* suffix,
+                      const std::string& labels) {
+  std::string out = family;
+  out += suffix;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ExpositionText(const MetricsSnapshot& snapshot) {
   std::string out;
+  std::set<std::string> typed_families;
+  std::string family, labels;
   for (const auto& [name, value] : snapshot.counters) {
-    AppendLine(out, "# TYPE %s counter\n", name.c_str());
+    SplitMetricName(name, &family, &labels);
+    AppendTypeOnce(out, typed_families, family, "counter");
     AppendLine(out, "%s %lld\n", name.c_str(),
                static_cast<long long>(value));
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    AppendLine(out, "# TYPE %s gauge\n", name.c_str());
+    SplitMetricName(name, &family, &labels);
+    AppendTypeOnce(out, typed_families, family, "gauge");
     AppendLine(out, "%s %.9g\n", name.c_str(), value);
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    AppendLine(out, "# TYPE %s histogram\n", name.c_str());
+    SplitMetricName(name, &family, &labels);
+    AppendTypeOnce(out, typed_families, family, "histogram");
+    // `le` joins the metric's own labels inside one brace block.
+    const std::string le_prefix = labels.empty() ? "" : labels + ",";
     // Trim to the populated bucket range; the series stays a valid
     // cumulative histogram because the omitted leading buckets are zero.
     int last_nonzero = -1;
@@ -219,14 +302,16 @@ std::string ExpositionText(const MetricsSnapshot& snapshot) {
     for (int b = 0; b <= last_nonzero; ++b) {
       if (hist.bucket_counts[b] == 0 && cumulative == 0) continue;
       cumulative += hist.bucket_counts[b];
-      AppendLine(out, "%s_bucket{le=\"%.9g\"} %lld\n", name.c_str(),
-                 BucketUpperBoundSeconds(b),
+      AppendLine(out, "%s_bucket{%sle=\"%.9g\"} %lld\n", family.c_str(),
+                 le_prefix.c_str(), BucketUpperBoundSeconds(b),
                  static_cast<long long>(cumulative));
     }
-    AppendLine(out, "%s_bucket{le=\"+Inf\"} %lld\n", name.c_str(),
-               static_cast<long long>(hist.count));
-    AppendLine(out, "%s_sum %.9g\n", name.c_str(), hist.sum_seconds);
-    AppendLine(out, "%s_count %lld\n", name.c_str(),
+    AppendLine(out, "%s_bucket{%sle=\"+Inf\"} %lld\n", family.c_str(),
+               le_prefix.c_str(), static_cast<long long>(hist.count));
+    AppendLine(out, "%s %.9g\n",
+               SubSeries(family, "_sum", labels).c_str(), hist.sum_seconds);
+    AppendLine(out, "%s %lld\n",
+               SubSeries(family, "_count", labels).c_str(),
                static_cast<long long>(hist.count));
   }
   return out;

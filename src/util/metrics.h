@@ -35,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/timer.h"
@@ -53,6 +54,30 @@ inline constexpr int kHistogramBuckets = 44;
 
 // Stable per-thread shard slot in [0, kShardCount).
 int ThisThreadShard();
+
+// Prometheus label-value escaping: backslash, double quote, and newline
+// become \\, \" and \n (the exposition-format rules). Exposed for tests.
+std::string EscapeLabelValue(const std::string& value);
+
+// Builds a fully-qualified metric name `family{k1="v1",k2="v2"}` with the
+// label values escaped; with no labels returns `family` unchanged. The
+// result is the registry key, so two label sets of the same family are two
+// independent metrics that the exposition writer groups under one # TYPE
+// line:
+//
+//   Registry::Global()
+//       .GetGauge(LabeledName("simj_build_info", {{"git_sha", sha}}))
+//       .Set(1.0);
+std::string LabeledName(
+    const std::string& family,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+// Splits a registry key produced by LabeledName back into its family and
+// the inner label list (no braces; empty when unlabeled). Used by the
+// exposition writer to emit # TYPE per family and to splice `le=` into
+// histogram bucket series. Exposed for tests.
+void SplitMetricName(const std::string& name, std::string* family,
+                     std::string* labels);
 
 // Index of the bucket holding a duration of `seconds` (clamped to the
 // overflow bucket). Exposed for tests.

@@ -221,6 +221,17 @@ double NowUnixSeconds() {
       .count();
 }
 
+void PublishBuildInfoMetric() {
+  GitInfo git = QueryGitInfo();
+  BuildInfo build = CurrentBuildInfo();
+  metrics::Registry::Global()
+      .GetGauge(metrics::LabeledName(
+          "simj_build_info", {{"git_sha", git.sha},
+                              {"build_type", build.build_type},
+                              {"sanitizers", build.sanitizers}}))
+      .Set(1.0);
+}
+
 std::string ToJson(const BenchResult& result) {
   JsonWriter json;
   json.BeginObject();

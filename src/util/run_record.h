@@ -102,6 +102,11 @@ GitInfo QueryGitInfo();
 BuildInfo CurrentBuildInfo();
 HardwareInfo CurrentHardwareInfo();
 
+// Publishes the provenance above as a `simj_build_info` gauge (value 1,
+// labels git_sha / build_type / sanitizers) so every Prometheus scrape of
+// /metricsz carries build identity. Idempotent; call once at startup.
+void PublishBuildInfoMetric();
+
 // Seconds since the epoch (system clock).
 double NowUnixSeconds();
 

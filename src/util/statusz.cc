@@ -1,0 +1,245 @@
+#include "util/statusz.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/log.h"
+#include "util/mem.h"
+#include "util/metrics.h"
+#include "util/run_record.h"
+#include "util/trace.h"
+
+namespace simj::statusz {
+
+namespace {
+
+// Per-connection read budget: a request line plus headers; anything longer
+// is not a request we answer.
+constexpr size_t kMaxRequestBytes = 4096;
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                code, reason, content_type, body.size());
+  return std::string(header) + body;
+}
+
+std::string NotFound() {
+  return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+}
+
+std::string MethodNotAllowed() {
+  return HttpResponse(405, "Method Not Allowed", "text/plain",
+                      "only GET is supported\n");
+}
+
+}  // namespace
+
+std::string StatusBody(const std::vector<Section>& sections,
+                       double uptime_seconds) {
+  run_record::GitInfo git = run_record::QueryGitInfo();
+  run_record::BuildInfo build = run_record::CurrentBuildInfo();
+  std::string out = "{";
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"git_sha\":\"%s\",\"git_dirty\":%s,\"compiler\":\"%s\","
+                "\"build_type\":\"%s\",\"sanitizers\":\"%s\","
+                "\"debug_checks\":%s,\"uptime_seconds\":%.3f,"
+                "\"rss_bytes\":%lld,\"peak_rss_bytes\":%lld",
+                trace::JsonEscape(git.sha).c_str(),
+                git.dirty ? "true" : "false",
+                trace::JsonEscape(build.compiler).c_str(),
+                trace::JsonEscape(build.build_type).c_str(),
+                trace::JsonEscape(build.sanitizers).c_str(),
+                build.debug_checks ? "true" : "false", uptime_seconds,
+                static_cast<long long>(mem::CurrentRssBytes()),
+                static_cast<long long>(mem::PeakRssBytes()));
+  out += buffer;
+  for (const Section& section : sections) {
+    out += ",\"";
+    out += trace::JsonEscape(section.name);
+    out += "\":";
+    out += section.json ? section.json() : "null";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string TracezBody() {
+  std::string out = "{\"threads\":[";
+  char buffer[512];
+  bool first_thread = true;
+  for (const trace::RecentThreadSpans& thread :
+       trace::Tracer::Global().RecentSpans()) {
+    if (!first_thread) out += ",";
+    first_thread = false;
+    std::snprintf(buffer, sizeof(buffer), "{\"tid\":%d,\"name\":\"%s\",\"spans\":[",
+                  thread.tid, trace::JsonEscape(thread.name).c_str());
+    out += buffer;
+    bool first_span = true;
+    for (const trace::TraceEvent& span : thread.spans) {
+      if (!first_span) out += ",";
+      first_span = false;
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ts_us\":%.3f,"
+                    "\"dur_us\":%.3f}",
+                    trace::JsonEscape(span.name).c_str(),
+                    trace::JsonEscape(span.category).c_str(), span.ts_us,
+                    span.dur_us);
+      out += buffer;
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status Server::Start(const Options& options) {
+  if (running()) {
+    return FailedPreconditionError("statusz server already running");
+  }
+  options_ = options;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("statusz: socket() failed: ") +
+                         std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operator loopback only
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = InternalError(
+        std::string("statusz: bind(127.0.0.1:") +
+        std::to_string(options.port) + ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) < 0) {
+    Status status = InternalError(std::string("statusz: listen() failed: ") +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    Status status = InternalError(
+        std::string("statusz: getsockname() failed: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  bound_port_ = ntohs(addr.sin_port);
+  start_unix_seconds_ = run_record::NowUnixSeconds();
+
+  // Arm the live-trace ring so /tracez has spans to show. (Full tracing
+  // stays under its own --trace_out switch.)
+  trace::Tracer::Global().SetRecentRing(true);
+
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  SIMJ_LOG(INFO) << "statusz listening on http://127.0.0.1:" << bound_port_;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  // Wake the blocking accept(): shutdown makes it return with an error even
+  // on platforms where close() alone does not.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  bound_port_ = 0;
+  trace::Tracer::Global().SetRecentRing(false);
+}
+
+std::string Server::HandleRequest(const std::string& method,
+                                  const std::string& path) const {
+  if (method != "GET") return MethodNotAllowed();
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/metricsz") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                        metrics::Registry::Global().ExpositionText());
+  }
+  if (path == "/statusz") {
+    double uptime = run_record::NowUnixSeconds() - start_unix_seconds_;
+    return HttpResponse(200, "OK", "application/json",
+                        StatusBody(options_.sections, uptime));
+  }
+  if (path == "/tracez") {
+    return HttpResponse(200, "OK", "application/json", TracezBody());
+  }
+  return NotFound();
+}
+
+void Server::AcceptLoop() {
+  trace::SetThisThreadName("statusz");
+  while (running()) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (!running()) break;  // woken by Stop()
+      if (errno == EINTR) continue;
+      SIMJ_LOG(WARN) << "statusz: accept() failed: " << std::strerror(errno);
+      break;
+    }
+    // A stuck client must not wedge the single server thread.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+    // Read until the end of the headers (we never accept request bodies).
+    std::string request;
+    char chunk[1024];
+    while (request.size() < kMaxRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      request.append(chunk, static_cast<size_t>(n));
+    }
+
+    std::string response;
+    size_t method_end = request.find(' ');
+    size_t path_end = method_end == std::string::npos
+                          ? std::string::npos
+                          : request.find(' ', method_end + 1);
+    if (path_end == std::string::npos) {
+      response = HttpResponse(400, "Bad Request", "text/plain",
+                              "malformed request line\n");
+    } else {
+      response = HandleRequest(
+          request.substr(0, method_end),
+          request.substr(method_end + 1, path_end - method_end - 1));
+    }
+    size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t n = ::send(conn, response.data() + sent, response.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace simj::statusz

@@ -1,8 +1,10 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace simj {
 
@@ -77,6 +79,7 @@ bool ThreadPool::StealFrom(int thief, Task* task) {
 }
 
 void ThreadPool::WorkerLoop(int worker) {
+  trace::SetThisThreadName("join-worker-" + std::to_string(worker));
   while (true) {
     Task task;
     if (PopOwn(worker, &task) || StealFrom(worker, &task)) {

@@ -28,6 +28,32 @@ void Tracer::Start() {
 
 void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
 
+void Tracer::SetRecentRing(bool enabled) {
+  if (enabled) {
+    // Arming discards stale rings so /tracez never mixes runs.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->ring_count = 0;
+    }
+  }
+  recent_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::SetThreadNameForThisThread(const std::string& name) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->name = name;
+}
+
+void SetThisThreadName(const std::string& name) {
+  Tracer& tracer = Tracer::Global();
+  // Skipping the registration while idle keeps short-lived pools from
+  // accumulating dead ThreadBuffers in processes that never introspect.
+  if (!tracer.collecting()) return;
+  tracer.SetThreadNameForThisThread(name);
+}
+
 Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   // One buffer per (tracer, thread); the pointer is cached thread-locally
   // after the first registration. Buffers outlive their threads so events
@@ -45,7 +71,9 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 
 void Tracer::Record(const char* name, const char* category,
                     Clock::time_point begin, Clock::time_point end) {
-  if (!enabled()) return;
+  const bool to_events = enabled();
+  const bool to_ring = recent_ring_enabled();
+  if (!to_events && !to_ring) return;
   ThreadBuffer* buffer = BufferForThisThread();
   TraceEvent event;
   event.name = name;
@@ -55,7 +83,41 @@ void Tracer::Record(const char* name, const char* category,
       std::chrono::duration<double, std::micro>(begin - epoch_).count();
   event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
   std::lock_guard<std::mutex> lock(buffer->mu);
-  buffer->events.push_back(std::move(event));
+  if (to_ring) {
+    if (buffer->ring.size() < static_cast<size_t>(kRecentRingCapacity)) {
+      buffer->ring.resize(kRecentRingCapacity);
+    }
+    buffer->ring[buffer->ring_count % kRecentRingCapacity] = event;
+    ++buffer->ring_count;
+  }
+  if (to_events) buffer->events.push_back(std::move(event));
+}
+
+std::vector<RecentThreadSpans> Tracer::RecentSpans() const {
+  std::vector<RecentThreadSpans> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (buffer->ring_count == 0) continue;
+      RecentThreadSpans thread;
+      thread.tid = buffer->tid;
+      thread.name = buffer->name;
+      const int64_t kept = std::min<int64_t>(
+          buffer->ring_count, kRecentRingCapacity);
+      thread.spans.reserve(static_cast<size_t>(kept));
+      for (int64_t i = buffer->ring_count - kept; i < buffer->ring_count;
+           ++i) {
+        thread.spans.push_back(buffer->ring[i % kRecentRingCapacity]);
+      }
+      out.push_back(std::move(thread));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecentThreadSpans& a, const RecentThreadSpans& b) {
+              return a.tid < b.tid;
+            });
+  return out;
 }
 
 int64_t Tracer::event_count() const {
@@ -104,13 +166,13 @@ std::string JsonEscape(const std::string& s) {
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
   std::vector<TraceEvent> events;
-  std::vector<int> tids;
+  std::vector<std::pair<int, std::string>> lanes;  // (tid, registered name)
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& buffer : buffers_) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       if (buffer->events.empty()) continue;
-      tids.push_back(buffer->tid);
+      lanes.emplace_back(buffer->tid, buffer->name);
       events.insert(events.end(), buffer->events.begin(),
                     buffer->events.end());
     }
@@ -119,7 +181,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
             });
-  std::sort(tids.begin(), tids.end());
+  std::sort(lanes.begin(), lanes.end());
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -131,12 +193,14 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"simj\"}}";
   char line[256];
-  for (int tid : tids) {
+  for (const auto& [tid, name] : lanes) {
+    std::string lane_name =
+        name.empty() ? "thread-" + std::to_string(tid) : JsonEscape(name);
     comma();
     std::snprintf(line, sizeof(line),
                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"name\":\"thread-%d\"}}",
-                  tid, tid);
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  tid, lane_name.c_str());
     os << line;
   }
   for (const TraceEvent& event : events) {

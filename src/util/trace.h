@@ -12,8 +12,16 @@
 //    "ph":"X","pid":1,"tid":...,"ts":...,"dur":...}, ...]}
 //
 // which loads directly in chrome://tracing and https://ui.perfetto.dev.
-// Thread-name metadata events ("ph":"M") are emitted so Perfetto labels
-// each worker lane.
+// process_name/thread_name metadata events ("ph":"M") are emitted so
+// Perfetto labels each worker lane; threads that called SetThisThreadName
+// show their registered name ("join-worker-3", "statusz") instead of the
+// bare tid.
+//
+// Independently of full tracing, SetRecentRing(true) arms a small
+// per-thread ring buffer of the last kRecentRingCapacity completed spans,
+// sampled by the /tracez endpoint of util/statusz — cheap enough to leave
+// on for a whole production run (one mutex-guarded ring store per span).
+// While both collectors are off, ScopedSpan still costs one relaxed load.
 
 #ifndef SIMJ_UTIL_TRACE_H_
 #define SIMJ_UTIL_TRACE_H_
@@ -33,12 +41,28 @@ namespace simj::trace {
 // next, ...). Used as the Chrome-trace tid.
 int ThisThreadTraceId();
 
+// Capacity of the per-thread recent-span ring (see SetRecentRing).
+inline constexpr int kRecentRingCapacity = 64;
+
 struct TraceEvent {
   std::string name;
   const char* category = "";
   int tid = 0;
-  double ts_us = 0.0;   // microseconds since Tracer::Start()
+  double ts_us = 0.0;   // microseconds since the tracer epoch
   double dur_us = 0.0;  // span duration in microseconds
+};
+
+// Registers a human-readable name for the calling thread ("main",
+// "join-worker-3"). Shown in Chrome-trace thread_name metadata and in
+// /tracez output. A no-op while both collectors are off, so idle
+// processes never allocate trace buffers.
+void SetThisThreadName(const std::string& name);
+
+// The last completed spans of one thread, oldest first.
+struct RecentThreadSpans {
+  int tid = 0;
+  std::string name;  // registered via SetThisThreadName, may be empty
+  std::vector<TraceEvent> spans;
 };
 
 class Tracer {
@@ -50,6 +74,17 @@ class Tracer {
   void Start();
   void Stop();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Arms (or disarms) the per-thread recent-span rings. Independent of
+  // Start/Stop: the ring keeps the last kRecentRingCapacity completed
+  // spans per thread for live /tracez sampling.
+  void SetRecentRing(bool enabled);
+  bool recent_ring_enabled() const {
+    return recent_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // True when Record() would keep the span (full trace or recent ring).
+  bool collecting() const { return enabled() || recent_ring_enabled(); }
 
   using Clock = std::chrono::steady_clock;
 
@@ -65,19 +100,35 @@ class Tracer {
   // Chrome trace JSON. Call after the traced work has quiesced.
   void WriteChromeTrace(std::ostream& os) const;
 
+  // Point-in-time copy of every thread's recent-span ring (threads with no
+  // spans omitted), sorted by tid, spans oldest first. Safe to call from
+  // any thread while spans are still being recorded — each ring is copied
+  // under its buffer mutex.
+  std::vector<RecentThreadSpans> RecentSpans() const;
+
+  // Registers `name` for the calling thread. Prefer the free function
+  // SetThisThreadName, which skips the buffer allocation while idle.
+  void SetThreadNameForThisThread(const std::string& name);
+
  private:
-  Tracer() = default;
+  Tracer() : epoch_(Clock::now()) {}
 
   struct ThreadBuffer {
     std::mutex mu;  // recording thread vs. a concurrent dump
     int tid = 0;
+    std::string name;  // registered thread name, may stay empty
     std::vector<TraceEvent> events;
+    // Ring of the last completed spans; ring_count grows monotonically and
+    // (ring_count % kRecentRingCapacity) is the next write slot.
+    std::vector<TraceEvent> ring;
+    int64_t ring_count = 0;
   };
 
   ThreadBuffer* BufferForThisThread();
 
   std::atomic<bool> enabled_{false};
-  Clock::time_point epoch_{};
+  std::atomic<bool> recent_enabled_{false};
+  Clock::time_point epoch_;
 
   mutable std::mutex mu_;  // guards buffers_ registration and iteration
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
@@ -90,7 +141,7 @@ class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "join")
       : name_(name), category_(category),
-        active_(Tracer::Global().enabled()) {
+        active_(Tracer::Global().collecting()) {
     if (active_) begin_ = Tracer::Clock::now();
   }
   ~ScopedSpan() {

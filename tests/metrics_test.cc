@@ -161,6 +161,87 @@ TEST(RegistryTest, ExpositionTextHasPrometheusShape) {
   registry.ResetForTesting();
 }
 
+TEST(LabelTest, EscapeLabelValueHandlesSpecials) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(LabelTest, LabeledNameComposesAndEscapes) {
+  EXPECT_EQ(LabeledName("fam_total", {}), "fam_total");
+  EXPECT_EQ(LabeledName("fam_total", {{"k", "v"}}), "fam_total{k=\"v\"}");
+  EXPECT_EQ(LabeledName("fam_total", {{"a", "x"}, {"b", "q\"w\\e\nz"}}),
+            "fam_total{a=\"x\",b=\"q\\\"w\\\\e\\nz\"}");
+}
+
+TEST(LabelTest, SplitMetricNameRoundTrips) {
+  std::string family, labels;
+  SplitMetricName("fam_total", &family, &labels);
+  EXPECT_EQ(family, "fam_total");
+  EXPECT_EQ(labels, "");
+  SplitMetricName("fam_total{a=\"x\",b=\"y\"}", &family, &labels);
+  EXPECT_EQ(family, "fam_total");
+  EXPECT_EQ(labels, "a=\"x\",b=\"y\"");
+}
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(RegistryTest, TypeLineEmittedOncePerLabeledFamily) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.GetCounter(LabeledName("test_family_total", {{"k", "a"}})).Add(1);
+  registry.GetCounter(LabeledName("test_family_total", {{"k", "b"}})).Add(2);
+  std::string text = registry.ExpositionText();
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_family_total counter"), 1)
+      << text;
+  EXPECT_NE(text.find("test_family_total{k=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_family_total{k=\"b\"} 2"), std::string::npos);
+  registry.ResetForTesting();
+}
+
+TEST(RegistryTest, ExpositionEscapesLabelValues) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry
+      .GetGauge(LabeledName("test_escape_info", {{"v", "a\"b\\c\nd"}}))
+      .Set(1.0);
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("test_escape_info{v=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // The raw (unescaped) quote and newline must not leak into the series
+  // name, where they would corrupt the line-oriented format.
+  EXPECT_EQ(CountOccurrences(text, "a\"b"), 0);
+  EXPECT_EQ(CountOccurrences(text, "c\nd"), 0);
+  registry.ResetForTesting();
+}
+
+TEST(RegistryTest, LabeledHistogramSplicesLeIntoLabelBlock) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.GetHistogram(LabeledName("test_lh_seconds", {{"k", "v"}}))
+      .Observe(1e-3);
+  std::string text = registry.ExpositionText();
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_lh_seconds histogram"), 1);
+  EXPECT_NE(text.find("test_lh_seconds_bucket{k=\"v\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_lh_seconds_sum{k=\"v\"} "), std::string::npos);
+  EXPECT_NE(text.find("test_lh_seconds_count{k=\"v\"} 1"), std::string::npos);
+  // The malformed pre-fix shape (labels outside the bucket braces) is gone.
+  EXPECT_EQ(text.find("test_lh_seconds{k=\"v\"}_bucket"), std::string::npos);
+  registry.ResetForTesting();
+}
+
 TEST(ThreadingTest, EightThreadHistogramHammerMergesExactly) {
   Histogram hist("test_hammer_seconds");
   Counter counter("test_hammer_total");

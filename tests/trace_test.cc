@@ -103,6 +103,86 @@ TEST(TracerTest, WorkerSpanCarriesWorkerTid) {
       << json.substr(probe, event_end - probe);
 }
 
+TEST(TracerTest, RegisteredThreadNamesAppearInMetadata) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  SetThisThreadName("main");
+  { ScopedSpan span("named_main_span", "test"); }
+  std::thread worker([] {
+    SetThisThreadName("join-worker-probe");
+    ScopedSpan span("named_worker_span", "test");
+  });
+  worker.join();
+  tracer.Stop();
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"args\":{\"name\":\"main\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"join-worker-probe\"}"),
+            std::string::npos);
+}
+
+TEST(TracerTest, SetThisThreadNameIsNoOpWhileIdle) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Stop();
+  tracer.SetRecentRing(false);
+  // Must not register a buffer (and must not crash) while both collectors
+  // are off; nothing observable to assert beyond absence of new events.
+  SetThisThreadName("idle-name");
+  EXPECT_FALSE(tracer.collecting());
+}
+
+TEST(TracerTest, RecentRingKeepsLastSpansWithoutFullTrace) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();  // clear events left over from earlier tests
+  tracer.Stop();
+  tracer.SetRecentRing(true);
+  SetThisThreadName("ring-main");
+  for (int i = 0; i < kRecentRingCapacity + 10; ++i) {
+    ScopedSpan span("ring_span", "test");
+  }
+  tracer.SetRecentRing(false);
+
+  // The full-trace collector stayed off.
+  EXPECT_EQ(tracer.event_count(), 0);
+
+  std::vector<RecentThreadSpans> recent = tracer.RecentSpans();
+  int my_tid = ThisThreadTraceId();
+  bool found = false;
+  for (const RecentThreadSpans& thread : recent) {
+    if (thread.tid != my_tid) continue;
+    found = true;
+    EXPECT_EQ(thread.name, "ring-main");
+    EXPECT_EQ(static_cast<int>(thread.spans.size()), kRecentRingCapacity);
+    for (const TraceEvent& span : thread.spans) {
+      EXPECT_EQ(span.name, "ring_span");
+      EXPECT_EQ(span.tid, my_tid);
+    }
+    // Oldest-first ordering.
+    for (size_t i = 1; i < thread.spans.size(); ++i) {
+      EXPECT_LE(thread.spans[i - 1].ts_us, thread.spans[i].ts_us);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TracerTest, ReArmingRecentRingClearsStaleSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetRecentRing(true);
+  { ScopedSpan span("stale_span", "test"); }
+  tracer.SetRecentRing(true);  // re-arm: discards the stale ring
+  { ScopedSpan span("fresh_span", "test"); }
+  tracer.SetRecentRing(false);
+
+  int my_tid = ThisThreadTraceId();
+  for (const RecentThreadSpans& thread : tracer.RecentSpans()) {
+    if (thread.tid != my_tid) continue;
+    ASSERT_EQ(thread.spans.size(), 1u);
+    EXPECT_EQ(thread.spans[0].name, "fresh_span");
+  }
+}
+
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");

@@ -19,6 +19,11 @@ Rules (see DESIGN.md "Correctness tooling"):
   no-naked-new       no bare `new`; owning allocations use containers or
                      smart pointers. Intentional leaky singletons carry an
                      allow(new) pragma.
+  no-raw-sockets     src/ never opens sockets or includes socket headers;
+                     all network I/O lives in src/util/statusz.cc (the
+                     embedded introspection server), which is exempt by
+                     path. Keeps the "at most one file touches the
+                     network" audit surface honest.
   unconsumed-status  a call to a function returning Status/StatusOr (names
                      harvested from src/**/*.h) must not be a bare
                      discarded statement, and `(void)` discards must use
@@ -61,6 +66,7 @@ PRAGMA_SHORTHAND = {
     "exceptions": "no-exceptions",
     "random": "no-raw-random",
     "logging": "no-raw-logging",
+    "sockets": "no-raw-sockets",
 }
 
 # ---------------------------------------------------------------------------
@@ -214,6 +220,15 @@ RANDOM_RE = re.compile(r"\b(rand|srand|time)\s*\(|\bstd::random_device\b")
 IO_RE = re.compile(r"\b(printf|fprintf|puts|fputs|putchar)\s*\(|\bstd::(cout|cerr|clog)\b")
 LOGGING_RE = re.compile(r"\b(fprintf)\s*\(\s*stderr\b|\bstd::(cerr|cout)\b")
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+# Socket headers and ::-qualified POSIX socket calls. The lookbehind keeps
+# std::bind (the functional one) from matching `::bind(`.
+SOCKET_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](?:sys/socket\.h|netinet/[^>"]+|arpa/inet\.h)[>"]'
+)
+SOCKET_CALL_RE = re.compile(
+    r"(?<!std)::(socket|bind|listen|accept|connect|setsockopt|recv|send|"
+    r"shutdown|getsockname)\s*\("
+)
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
 
 STATUS_DECL_RE = re.compile(
@@ -268,6 +283,11 @@ def lint_file(source, status_functions):
     )
     # The sink implementation itself is the one place raw stderr is legal.
     check_logging = in_dir(rel, "src") and rel != "src/util/log.cc"
+    # The introspection server is the one file allowed to touch the network.
+    check_sockets = (
+        in_dir(rel, "src", "bench", "examples")
+        and rel != "src/util/statusz.cc"
+    )
 
     bare_call_re = None
     if status_functions:
@@ -325,6 +345,16 @@ def lint_file(source, status_functions):
                 "naked 'new' — own allocations with containers or "
                 "std::make_unique (leaky singletons: annotate allow(new))",
             )
+        if check_sockets:
+            match = SOCKET_INCLUDE_RE.search(line) or SOCKET_CALL_RE.search(line)
+            if match:
+                what = (match.group(1) if match.re is SOCKET_CALL_RE
+                        else "socket header include")
+                emit(
+                    "no-raw-sockets", line_number,
+                    f"raw socket use ('{what}') — all network I/O belongs "
+                    "in src/util/statusz.cc (or annotate allow(sockets))",
+                )
         if bare_call_re:
             match = bare_call_re.match(line)
             # `return Foo();`-style lines don't match (they start with
@@ -458,6 +488,13 @@ SELF_TEST_CASES = [
     ("src/workload/bad_cout.cc",
      "#include <iostream>\nvoid F() { std::cout << 1; }\n",
      "no-raw-logging"),
+    ("src/core/bad_socket_header.cc",
+     "#include <sys/socket.h>\nvoid F();\n", "no-raw-sockets"),
+    ("src/core/bad_socket_call.cc",
+     "void F() { int fd = ::socket(2, 1, 0); ::listen(fd, 16); }\n",
+     "no-raw-sockets"),
+    ("bench/bad_connect.cc",
+     "#include <netinet/in.h>\nvoid F();\n", "no-raw-sockets"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -486,6 +523,15 @@ SELF_TEST_CLEAN = [
     # fprintf to a real file (not stderr) is not raw logging.
     ("src/util/ok_fprintf_file.cc",
      "#include <cstdio>\nvoid F(FILE* f) { fprintf(f, \"x\\n\"); }\n"),
+    # The introspection server is path-exempt from no-raw-sockets.
+    ("src/util/statusz.cc",
+     "#include <sys/socket.h>\nvoid F() { ::socket(2, 1, 0); }\n"),
+    # std::bind (the functional one) is not ::bind(2).
+    ("src/core/ok_std_bind.cc",
+     "#include <functional>\nauto F() { return std::bind(G, 1); }\n"),
+    ("src/workload/ok_sockets_pragma.cc",
+     "// simj-lint: allow-file(sockets)\n#include <sys/socket.h>\n"
+     "void F() { ::socket(2, 1, 0); }\n"),
 ]
 
 def self_test(repo):

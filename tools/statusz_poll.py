@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Poll a running harness's /statusz and render a one-line live summary.
+
+A join launched with --statusz_port=8080 serves a JSON status document on
+127.0.0.1 (see src/util/statusz.h). This tool scrapes it and prints
+
+  [run] 1234/20000 pairs  6.2%  831.0 pairs/s  eta 22.6s  workers 8  rss 84 MB
+
+once (the default) or repeatedly with --watch, overwriting the line in
+place like a progress bar. Exit status: 0 on a successful scrape, 2 when
+the endpoint is unreachable or returns malformed JSON.
+
+Usage:
+  tools/statusz_poll.py [--port PORT] [--host HOST]
+      [--watch] [--interval SECONDS]
+  tools/statusz_poll.py --self-test
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_status(host: str, port: int, timeout: float = 2.0) -> dict:
+    url = f"http://{host}:{port}/statusz"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render_line(status: dict) -> str:
+    join = status.get("join") or {}
+    total = join.get("total_pairs", 0)
+    done = join.get("completed_pairs", 0)
+    pct = 100.0 * done / total if total else 0.0
+    rate = join.get("pairs_per_second", 0.0)
+    eta = join.get("eta_seconds", -1.0)
+    eta_text = f"eta {eta:.1f}s" if eta >= 0 else "eta ?"
+    state = "run" if join.get("active") else "idle"
+    rss_mb = status.get("rss_bytes", 0) / (1024.0 * 1024.0)
+    return (
+        f"[{state}] {done}/{total} pairs  {pct:.1f}%  {rate:.1f} pairs/s  "
+        f"{eta_text}  workers {join.get('workers', 0)}  rss {rss_mb:.0f} MB"
+    )
+
+
+def self_test() -> int:
+    status = {
+        "rss_bytes": 88 * 1024 * 1024,
+        "join": {
+            "active": True,
+            "total_pairs": 20000,
+            "completed_pairs": 1234,
+            "pairs_per_second": 831.0,
+            "eta_seconds": 22.6,
+            "workers": 8,
+        },
+    }
+    line = render_line(status)
+    assert "1234/20000 pairs" in line, line
+    assert "6.2%" in line, line
+    assert "eta 22.6s" in line, line
+    assert "workers 8" in line, line
+    assert "rss 88 MB" in line, line
+    assert line.startswith("[run]"), line
+
+    idle = render_line({"join": {"active": False, "total_pairs": 0}})
+    assert idle.startswith("[idle]"), idle
+    assert "eta ?" in idle, idle
+
+    # A status document with no join section (harness before its first
+    # join) must render, not crash.
+    bare = render_line({"rss_bytes": 0})
+    assert "0/0 pairs" in bare, bare
+    print("statusz_poll.py self-test: OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--watch", action="store_true",
+                        help="poll until interrupted, updating one line")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls with --watch")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        while True:
+            try:
+                status = fetch_status(args.host, args.port)
+            except (urllib.error.URLError, OSError, json.JSONDecodeError,
+                    ValueError) as error:
+                print(f"statusz_poll: cannot scrape "
+                      f"http://{args.host}:{args.port}/statusz: {error}",
+                      file=sys.stderr)
+                return 2
+            line = render_line(status)
+            if args.watch:
+                print("\r\x1b[K" + line, end="", flush=True)
+                time.sleep(args.interval)
+            else:
+                print(line)
+                return 0
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
