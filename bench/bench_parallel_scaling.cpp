@@ -75,6 +75,21 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   for (int threads : {1, 2, 4, 8}) {
     params.num_threads = threads;
+    // On hosts without 4 hardware threads a multi-thread row measures
+    // scheduler interleaving, not scaling: record it as skipped (the run
+    // record carries "skipped": true and bench_compare.py excludes it from
+    // delta comparison) instead of emitting a meaningless timing.
+    if (hardware_threads < 4 &&
+        threads > static_cast<int>(hardware_threads)) {
+      bench::RecordBenchSample(
+          bench::JoinSampleName("scaling", params), run_record::Stats{},
+          run_record::Stats{},
+          {{"hardware_threads", static_cast<double>(hardware_threads)}},
+          /*skipped=*/true);
+      std::printf("%8d %12s %10s %10s %10s\n", threads, "-", "-", "-",
+                  "skipped");
+      continue;
+    }
     // 1 warmup + --repeat timed trials; the table reports the median.
     std::vector<double> wall, cpu;
     core::JoinResult result;

@@ -89,7 +89,8 @@ inline BenchRecorder& GlobalBenchRecorder() {
 inline void RecordBenchSample(const std::string& name,
                               const run_record::Stats& wall,
                               const run_record::Stats& cpu,
-                              std::map<std::string, double> values = {}) {
+                              std::map<std::string, double> values = {},
+                              bool skipped = false) {
   BenchRecorder& recorder = GlobalBenchRecorder();
   int& count = recorder.name_counts[name];
   ++count;
@@ -98,6 +99,7 @@ inline void RecordBenchSample(const std::string& name,
   sample.wall_seconds = wall;
   sample.cpu_seconds = cpu;
   sample.values = std::move(values);
+  sample.skipped = skipped;
   recorder.result.samples.push_back(std::move(sample));
 }
 

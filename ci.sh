@@ -46,6 +46,15 @@ build_and_test build-release -DCMAKE_BUILD_TYPE=Release -DSIMJ_WERROR=ON
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 python3 tools/run_clang_tidy.py --build-dir build-release
 
+# 1x. Cluster simulator, widened: plain ctest runs the test's default seed
+# count; CI differential-tests the sharded join against the serial oracle
+# across 20 distinct fault schedules, both transports, 1-8 workers. Any
+# assertion carries the failing seed in its scope trace, so a red run is
+# reproducible with --seeds=1 after editing the seed base, or by rerunning
+# the printed seed.
+echo "=== cluster sim (20 seeds) ==="
+./build-release/tests/cluster_sim_test --seeds=20
+
 # 1a. Debug-checks: the full suite with every SIMJ_DCHECK live, so the
 # internal invariants (GED postconditions, join counter identities, SimP
 # ranges, per-input graph validation) are enforced on every test.
@@ -215,12 +224,15 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
 # 3. TSan: the property/determinism tests exercise the work-stealing pool
 # with up to 8 workers; run them (and the pool-heavy join tests) race-checked.
+# cluster_sim_test rides along for the coordinator + in-process transport
+# (its process transport self-disables under TSan: fork from a threaded
+# parent deadlocks the TSan runtime, and the child shares no memory anyway).
 if [[ "${1:-}" != "--skip-tsan" ]]; then
   build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
-    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test'
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test|cluster_sim_test'
 fi
 
 echo "CI OK"

@@ -18,6 +18,14 @@ CertainGraphIndex::CertainGraphIndex(
   }
 }
 
+bool CertainGraphIndex::SignatureSurvives(int vertices, int edges,
+                                          const graph::UncertainGraph& g,
+                                          int tau) {
+  const int dv = std::abs(vertices - g.num_vertices());
+  const int de = std::abs(edges - g.num_edges());
+  return dv + de <= tau;
+}
+
 std::vector<int> CertainGraphIndex::Candidates(
     const graph::UncertainGraph& g, int tau) const {
   static metrics::Histogram& probe_seconds =

@@ -33,6 +33,20 @@ class CertainGraphIndex {
 
   int64_t num_graphs() const { return num_graphs_; }
 
+  // The signature buckets, keyed by (|V|, |E|) ascending, each holding the
+  // indices into D with that signature (ascending). The shard planner
+  // (src/dist) partitions the candidate space along these buckets.
+  const std::map<std::pair<int, int>, std::vector<int>>& buckets() const {
+    return buckets_;
+  }
+
+  // The count lower bound test behind Candidates(): true when a graph with
+  // signature (`vertices`, `edges`) can be within `tau` edits of `g` in
+  // some possible world. Exposed so the shard planner prunes buckets with
+  // exactly the semantics of IndexedSimJoin.
+  static bool SignatureSurvives(int vertices, int edges,
+                                const graph::UncertainGraph& g, int tau);
+
  private:
   const std::vector<graph::LabeledGraph>* d_;
   // (|V|, |E|) -> indices into D.

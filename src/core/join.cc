@@ -313,21 +313,104 @@ void LogSlowPair(double elapsed_ms, const SimJParams& params,
                  << FormatExplain(*explain, params);
 }
 
+// Per-pair execution shared by the serial loop, the thread-pool workers,
+// and the shard-list entry point (EvaluatePairList): heartbeat, evaluate,
+// watchdog epilogue, explain capture. Gates are captured once at
+// construction so the per-pair path never re-reads tracker atomics.
+struct PairEvaluator {
+  const std::vector<LabeledGraph>& d;
+  const std::vector<UncertainGraph>& u;
+  const SimJParams& params;
+  const graph::LabelDictionary& dict;
+  JoinProgress& progress;
+  bool explain_on;
+  bool watchdog_on;
+  bool stall_on;
+  bool heartbeats_on;
+  int64_t progress_every;
+
+  PairEvaluator(const std::vector<LabeledGraph>& d_in,
+                const std::vector<UncertainGraph>& u_in,
+                const SimJParams& params_in,
+                const graph::LabelDictionary& dict_in, bool heartbeats)
+      : d(d_in),
+        u(u_in),
+        params(params_in),
+        dict(dict_in),
+        progress(JoinProgress::Global()),
+        explain_on(params_in.explain.enabled),
+        watchdog_on(params_in.slow_pair_log_ms > 0.0),
+        stall_on(params_in.stall_warn_ms > 0.0),
+        heartbeats_on(heartbeats),
+        progress_every(params_in.progress_every) {}
+
+  void Evaluate(int worker, int qi, int gi, JoinStats* stats,
+                std::vector<MatchedPair>* pairs_out,
+                std::vector<PairExplain>* explains_out) const {
+    MatchedPair pair;
+    PairExplain explain;
+    const bool sampled = explain_on && params.explain.ShouldExplain(qi, gi);
+    PairExplain* explain_slot =
+        sampled || watchdog_on || stall_on ? &explain : nullptr;
+    if (heartbeats_on) progress.Heartbeat(worker, qi, gi);
+    WallTimer pair_timer;
+    if (EvaluatePair(d[qi], u[gi], params, dict, stats, &pair,
+                     explain_slot)) {
+      pair.q_index = qi;
+      pair.g_index = gi;
+      pairs_out->push_back(std::move(pair));
+    }
+    // Epilogue: logging only — results, stats and explain output are
+    // byte-identical whether any of it fires.
+    if (watchdog_on) {
+      double elapsed_ms = pair_timer.ElapsedMillis();
+      if (elapsed_ms > params.slow_pair_log_ms) {
+        LogSlowPair(elapsed_ms, params, &explain, qi, gi);
+      }
+    }
+    if (stall_on && progress.ConsumeStallFlag(worker)) {
+      explain.q_index = qi;
+      explain.g_index = gi;
+      SIMJ_LOG(WARN) << "stalled pair completed after "
+                     << pair_timer.ElapsedMillis() << " ms: "
+                     << FormatExplain(explain, params);
+    }
+    if (heartbeats_on) progress.PairDone(worker);
+    if (progress_every > 0) progress.NotePairCompleted(progress_every);
+    if (sampled) {
+      explain.q_index = qi;
+      explain.g_index = gi;
+      explains_out->push_back(std::move(explain));
+    }
+  }
+};
+
 }  // namespace
+
+void EvaluatePairList(const std::vector<LabeledGraph>& d,
+                      const std::vector<UncertainGraph>& u,
+                      const SimJParams& params,
+                      const graph::LabelDictionary& dict,
+                      const std::vector<std::pair<int, int>>& pairs,
+                      int worker, JoinResult* result) {
+  PairEvaluator evaluator(d, u, params, dict,
+                          JoinProgress::Global().heartbeats_armed());
+  for (const auto& [qi, gi] : pairs) {
+    evaluator.Evaluate(worker, qi, gi, &result->stats, &result->pairs,
+                       &result->explains);
+  }
+}
 
 void JoinPairs(const std::vector<LabeledGraph>& d,
                const std::vector<UncertainGraph>& u, const SimJParams& params,
                const graph::LabelDictionary& dict, int64_t num_pairs,
                const std::function<std::pair<int, int>(int64_t)>& pair_at,
                JoinResult* result) {
-  const bool explain_on = params.explain.enabled;
-  const bool watchdog_on = params.slow_pair_log_ms > 0.0;
   const bool stall_on = params.stall_warn_ms > 0.0;
   JoinProgress& progress = JoinProgress::Global();
   // Sticky per-join gates: captured once here so the per-pair path never
   // reads the tracker's atomics.
   const bool heartbeats_on = stall_on || progress.heartbeats_requested();
-  const int64_t progress_every = params.progress_every;
   const int planned_workers =
       params.num_threads == 1 ? 1 : ResolveThreadCount(params.num_threads);
   progress.BeginJoin(num_pairs, planned_workers, heartbeats_on);
@@ -359,50 +442,14 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
     });
   }
 
-  // Shared per-pair epilogue for both execution paths; logging only.
-  auto after_pair = [&](int worker, int qi, int gi, PairExplain* explain,
-                        WallTimer& pair_timer) {
-    if (watchdog_on) {
-      double elapsed_ms = pair_timer.ElapsedMillis();
-      if (elapsed_ms > params.slow_pair_log_ms) {
-        LogSlowPair(elapsed_ms, params, explain, qi, gi);
-      }
-    }
-    if (stall_on && progress.ConsumeStallFlag(worker)) {
-      explain->q_index = qi;
-      explain->g_index = gi;
-      SIMJ_LOG(WARN) << "stalled pair completed after "
-                     << pair_timer.ElapsedMillis() << " ms: "
-                     << FormatExplain(*explain, params);
-    }
-    if (heartbeats_on) progress.PairDone(worker);
-    if (progress_every > 0) progress.NotePairCompleted(progress_every);
-  };
+  const PairEvaluator evaluator(d, u, params, dict, heartbeats_on);
 
   if (params.num_threads == 1) {
     // Legacy serial path: accumulate directly into result->stats.
     for (int64_t p = 0; p < num_pairs; ++p) {
       auto [qi, gi] = pair_at(p);
-      MatchedPair pair;
-      PairExplain explain;
-      const bool sampled =
-          explain_on && params.explain.ShouldExplain(qi, gi);
-      PairExplain* explain_slot =
-          sampled || watchdog_on || stall_on ? &explain : nullptr;
-      if (heartbeats_on) progress.Heartbeat(0, qi, gi);
-      WallTimer pair_timer;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &result->stats, &pair,
-                       explain_slot)) {
-        pair.q_index = qi;
-        pair.g_index = gi;
-        result->pairs.push_back(std::move(pair));
-      }
-      after_pair(0, qi, gi, &explain, pair_timer);
-      if (sampled) {
-        explain.q_index = qi;
-        explain.g_index = gi;
-        result->explains.push_back(std::move(explain));
-      }
+      evaluator.Evaluate(0, qi, gi, &result->stats, &result->pairs,
+                         &result->explains);
     }
   } else {
     // Workers may only read the dictionary (EvaluatePair never interns, but
@@ -417,26 +464,8 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
     std::vector<std::vector<PairExplain>> worker_explains(workers);
     ParallelFor(params.num_threads, num_pairs, [&](int w, int64_t p) {
       auto [qi, gi] = pair_at(p);
-      MatchedPair pair;
-      PairExplain explain;
-      const bool sampled =
-          explain_on && params.explain.ShouldExplain(qi, gi);
-      PairExplain* explain_slot =
-          sampled || watchdog_on || stall_on ? &explain : nullptr;
-      if (heartbeats_on) progress.Heartbeat(w, qi, gi);
-      WallTimer pair_timer;
-      if (EvaluatePair(d[qi], u[gi], params, dict, &worker_stats[w], &pair,
-                       explain_slot)) {
-        pair.q_index = qi;
-        pair.g_index = gi;
-        worker_pairs[w].push_back(std::move(pair));
-      }
-      after_pair(w, qi, gi, &explain, pair_timer);
-      if (sampled) {
-        explain.q_index = qi;
-        explain.g_index = gi;
-        worker_explains[w].push_back(std::move(explain));
-      }
+      evaluator.Evaluate(w, qi, gi, &worker_stats[w], &worker_pairs[w],
+                         &worker_explains[w]);
     });
     for (int w = 0; w < workers; ++w) {
       MergeJoinStats(worker_stats[w], &result->stats);

@@ -223,6 +223,22 @@ void JoinPairs(const std::vector<graph::LabeledGraph>& d,
                const std::function<std::pair<int, int>(int64_t)>& pair_at,
                JoinResult* result);
 
+// Shard-aware entry point for the distributed join (src/dist): evaluates an
+// explicit candidate list in order on the calling thread as logical worker
+// `worker`. Per-pair behavior — explain sampling, the slow-pair watchdog,
+// stall-flag consumption, heartbeats (gated on
+// JoinProgress::heartbeats_armed(), armed by the caller's BeginJoin) — is
+// bit-for-bit the same work JoinPairs does for those pairs. Stats
+// accumulate into result->stats; qualifying pairs and explain records are
+// appended UNSORTED: the caller owns BeginJoin/EndJoin, the stall monitor
+// thread, and the final (q_index, g_index) merge ordering.
+void EvaluatePairList(const std::vector<graph::LabeledGraph>& d,
+                      const std::vector<graph::UncertainGraph>& u,
+                      const SimJParams& params,
+                      const graph::LabelDictionary& dict,
+                      const std::vector<std::pair<int, int>>& pairs,
+                      int worker, JoinResult* result);
+
 }  // namespace simj::core
 
 #endif  // SIMJ_CORE_JOIN_H_

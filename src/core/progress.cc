@@ -178,6 +178,13 @@ ProgressSnapshot JoinProgress::Snapshot() {
   snapshot.total_pairs = total_pairs_.load(std::memory_order_relaxed);
   snapshot.completed_pairs =
       c.pairs.Value() - base_pairs_.load(std::memory_order_relaxed);
+  // The distributed join re-evaluates pairs from shards abandoned by dead
+  // workers, so the registry delta can overshoot the planned total. Clamp:
+  // completion must never read past 100% nor yield a negative ETA.
+  if (snapshot.total_pairs > 0 &&
+      snapshot.completed_pairs > snapshot.total_pairs) {
+    snapshot.completed_pairs = snapshot.total_pairs;
+  }
   snapshot.pruned_structural =
       c.pruned_structural.Value() -
       base_pruned_structural_.load(std::memory_order_relaxed);

@@ -1,0 +1,426 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/progress.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace simj::dist {
+
+namespace {
+
+// Canonical (q_index, g_index) output order — the same comparators
+// JoinPairs applies, so the merged result is byte-comparable against the
+// serial oracle.
+void SortByPairIdentity(std::vector<core::MatchedPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const core::MatchedPair& a, const core::MatchedPair& b) {
+              return a.q_index != b.q_index ? a.q_index < b.q_index
+                                            : a.g_index < b.g_index;
+            });
+}
+
+void SortByPairIdentity(std::vector<core::PairExplain>* explains) {
+  std::sort(explains->begin(), explains->end(),
+            [](const core::PairExplain& a, const core::PairExplain& b) {
+              return a.q_index != b.q_index ? a.q_index < b.q_index
+                                            : a.g_index < b.g_index;
+            });
+}
+
+// Folds a child worker's JoinStats into the registry counters that
+// EvaluatePair would have incremented in-process, so progress/statusz see
+// process-transport work at shard granularity.
+void ReplayStatsIntoRegistry(const core::JoinStats& stats) {
+  metrics::Registry& r = metrics::Registry::Global();
+  static metrics::Counter& pairs = r.GetCounter("simj_join_pairs_total");
+  static metrics::Counter& pruned_structural =
+      r.GetCounter("simj_join_pruned_structural_total");
+  static metrics::Counter& pruned_probabilistic =
+      r.GetCounter("simj_join_pruned_probabilistic_total");
+  static metrics::Counter& candidates =
+      r.GetCounter("simj_join_candidates_total");
+  static metrics::Counter& results = r.GetCounter("simj_join_results_total");
+  pairs.Add(stats.total_pairs);
+  pruned_structural.Add(stats.pruned_structural);
+  pruned_probabilistic.Add(stats.pruned_probabilistic);
+  candidates.Add(stats.candidates);
+  results.Add(stats.results);
+}
+
+class Coordinator {
+ public:
+  Coordinator(const ShardPlan& plan,
+              std::vector<std::unique_ptr<ShardWorker>>* workers,
+              const WorkerContext& ctx, const DistJoinParams& dist_params)
+      : plan_(plan),
+        workers_(workers),
+        ctx_(ctx),
+        dist_params_(dist_params),
+        num_workers_(static_cast<int>(workers->size())),
+        num_shards_(static_cast<int>(plan.shards.size())),
+        state_(plan.shards.size(), ShardState::kQueued),
+        attempts_(plan.shards.size(), 0),
+        results_(plan.shards.size()),
+        queues_(workers->size()) {
+    stats_.shards_planned = num_shards_;
+    stats_.workers.resize(workers->size());
+    // Deterministic round-robin deal; stealing rebalances at runtime.
+    for (int s = 0; s < num_shards_; ++s) {
+      queues_[s % num_workers_].push_back(s);
+    }
+  }
+
+  DistStats Run(core::JoinResult* result) {
+    core::JoinProgress& progress = core::JoinProgress::Global();
+    const double stall_warn_ms = ctx_.params->stall_warn_ms;
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+    if (stall_warn_ms > 0.0) {
+      monitor = std::thread([this, &progress, &monitor_stop, stall_warn_ms] {
+        trace::SetThisThreadName("dist-stall-monitor");
+        const auto poll = std::chrono::duration<double, std::milli>(
+            std::clamp(stall_warn_ms / 4.0, 1.0, 200.0));
+        auto report = [&] {
+          for (const core::StallEvent& event :
+               progress.CheckStalls(stall_warn_ms)) {
+            stall_events_.fetch_add(1, std::memory_order_relaxed);
+            SIMJ_LOG(WARN)
+                << "dist: stalled worker " << event.worker << ": pair <q="
+                << event.q_index << ",g=" << event.g_index << "> running for "
+                << event.stalled_ms << " ms (budget " << stall_warn_ms
+                << " ms)";
+          }
+        };
+        while (!monitor_stop.load(std::memory_order_acquire)) {
+          report();
+          std::this_thread::sleep_for(poll);
+        }
+        report();
+      });
+    }
+
+    std::vector<std::thread> dispatchers;
+    dispatchers.reserve(static_cast<size_t>(num_workers_));
+    for (int w = 0; w < num_workers_; ++w) {
+      dispatchers.emplace_back([this, w] {
+        trace::SetThisThreadName("dist-dispatch-" + std::to_string(w));
+        DispatchLoop(w);
+      });
+    }
+    for (std::thread& t : dispatchers) t.join();
+
+    // Convergence guarantee: whatever the fault schedule left unfinished
+    // runs inline, fault-free, on this thread.
+    RunFallback();
+
+    if (monitor.joinable()) {
+      monitor_stop.store(true, std::memory_order_release);
+      monitor.join();
+    }
+
+    Merge(result);
+    stats_.stall_events =
+        static_cast<int>(stall_events_.load(std::memory_order_relaxed));
+    return std::move(stats_);
+  }
+
+ private:
+  enum class ShardState { kQueued, kRunning, kDone };
+
+  void DispatchLoop(int w) {
+    ShardWorker& worker = *(*workers_)[w];
+    core::JoinProgress& progress = core::JoinProgress::Global();
+    const bool heartbeats = progress.heartbeats_armed();
+    for (;;) {
+      int attempt = 0;
+      bool stolen = false;
+      const int shard_id = NextShard(w, &attempt, &stolen);
+      if (shard_id < 0) return;
+      const Shard& shard = plan_.shards[static_cast<size_t>(shard_id)];
+      const FaultSpec fault =
+          dist_params_.fault_hook
+              ? dist_params_.fault_hook(w, shard_id, attempt,
+                                        static_cast<int>(shard.pairs.size()))
+              : FaultSpec{};
+      // Beat on the shard's first pair before handing it off: a worker
+      // that stalls or dies inside the shard ages this heartbeat, which is
+      // what the stall watchdog samples — transport-independent liveness.
+      if (heartbeats && !shard.pairs.empty()) {
+        progress.Heartbeat(w, shard.pairs.front().first,
+                           shard.pairs.front().second);
+      }
+      WallTimer timer;
+      StatusOr<ShardResult> result = worker.RunShard(shard, fault);
+      if (heartbeats) progress.PairDone(w);
+      if (result.ok()) {
+        CompleteShard(w, shard_id, std::move(result).value(),
+                      timer.ElapsedSeconds(), worker.counts_in_process());
+      } else if (!HandleFailure(w, shard_id, result.status())) {
+        return;  // worker is permanently dead; its queue remains stealable
+      }
+    }
+  }
+
+  // Blocks until a shard is available (own queue, then stealing from the
+  // back of the longest other queue) or the join is complete (-1).
+  int NextShard(int w, int* attempt, bool* stolen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (done_count_ == num_shards_) return -1;
+      int shard_id = -1;
+      if (!queues_[w].empty()) {
+        shard_id = queues_[w].front();
+        queues_[w].pop_front();
+        *stolen = false;
+      } else {
+        int victim = -1;
+        size_t longest = 0;
+        for (int other = 0; other < num_workers_; ++other) {
+          if (other == w || queues_[other].empty()) continue;
+          if (queues_[other].size() > longest) {
+            longest = queues_[other].size();
+            victim = other;
+          }
+        }
+        if (victim >= 0) {
+          shard_id = queues_[victim].back();
+          queues_[victim].pop_back();
+          *stolen = true;
+          ++stats_.workers[static_cast<size_t>(w)].steals;
+        }
+      }
+      if (shard_id >= 0) {
+        SIMJ_DCHECK(state_[static_cast<size_t>(shard_id)] ==
+                    ShardState::kQueued);
+        state_[static_cast<size_t>(shard_id)] = ShardState::kRunning;
+        *attempt = attempts_[static_cast<size_t>(shard_id)]++;
+        return shard_id;
+      }
+      // Nothing queued, join unfinished: shards running elsewhere may yet
+      // fail and be requeued. Woken by requeue or completion.
+      cv_.wait(lock);
+    }
+  }
+
+  void CompleteShard(int w, int shard_id, ShardResult result,
+                     double elapsed_seconds, bool counts_in_process) {
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto id = static_cast<size_t>(shard_id);
+      if (state_[id] == ShardState::kDone) {
+        duplicate = true;
+        ++stats_.duplicate_results_discarded;
+      } else {
+        state_[id] = ShardState::kDone;
+        results_[id] = std::move(result);
+        ++done_count_;
+        WorkerReport& report = stats_.workers[static_cast<size_t>(w)];
+        ++report.shards_completed;
+        report.busy_seconds += elapsed_seconds;
+      }
+      cv_.notify_all();
+    }
+    if (!duplicate && !counts_in_process) {
+      ReplayStatsIntoRegistry(results_[static_cast<size_t>(shard_id)].stats);
+    }
+  }
+
+  // Requeues the failed shard and restarts the worker. Returns false when
+  // the worker is permanently dead and its dispatch loop must exit.
+  bool HandleFailure(int w, int shard_id, const Status& status) {
+    bool exhausted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SIMJ_DCHECK(state_[static_cast<size_t>(shard_id)] ==
+                  ShardState::kRunning);
+      state_[static_cast<size_t>(shard_id)] = ShardState::kQueued;
+      queues_[static_cast<size_t>(w)].push_back(shard_id);
+      ++stats_.shards_requeued;
+      ++stats_.workers[static_cast<size_t>(w)].shards_failed;
+      exhausted = stats_.workers[static_cast<size_t>(w)].restarts >=
+                  dist_params_.max_worker_restarts;
+      cv_.notify_all();
+    }
+    SIMJ_LOG(WARN) << "dist: worker " << w << " failed shard " << shard_id
+                   << " (" << status.ToString() << "); shard requeued";
+    if (!exhausted) {
+      // Restart outside the lock: the process transport forks here.
+      Status restarted = (*workers_)[static_cast<size_t>(w)]->Restart();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.workers[static_cast<size_t>(w)].restarts;
+      if (restarted.ok()) return true;
+      SIMJ_LOG(ERROR) << "dist: worker " << w
+                      << " restart failed: " << restarted.ToString();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.workers[static_cast<size_t>(w)].permanently_dead = true;
+    }
+    SIMJ_LOG(WARN) << "dist: worker " << w << " is permanently dead after "
+                   << dist_params_.max_worker_restarts << " restarts";
+    return false;
+  }
+
+  void RunFallback() {
+    // Dispatch threads have all exited; state is ours alone (the monitor
+    // thread never reads it).
+    std::vector<int> remaining;
+    for (int s = 0; s < num_shards_; ++s) {
+      if (state_[static_cast<size_t>(s)] != ShardState::kDone) {
+        remaining.push_back(s);
+      }
+    }
+    if (remaining.empty()) return;
+    SIMJ_LOG(WARN) << "dist: all workers dead with " << remaining.size()
+                   << " shard(s) unfinished; running them inline";
+    std::unique_ptr<ShardWorker> inline_worker =
+        MakeThreadWorker(ctx_, /*worker_index=*/0);
+    for (int shard_id : remaining) {
+      const auto id = static_cast<size_t>(shard_id);
+      StatusOr<ShardResult> result =
+          inline_worker->RunShard(plan_.shards[id], FaultSpec{});
+      // A fault-free thread-transport shard cannot fail.
+      SIMJ_CHECK_OK(result.status());
+      state_[id] = ShardState::kDone;
+      results_[id] = std::move(result).value();
+      ++done_count_;
+      ++stats_.fallback_shards;
+    }
+  }
+
+  // Deterministic merge: stats fold in ascending shard_id order, then the
+  // global (q_index, g_index) sort erases scheduling order entirely.
+  void Merge(core::JoinResult* result) {
+    for (int s = 0; s < num_shards_; ++s) {
+      ShardResult& shard = results_[static_cast<size_t>(s)];
+      SIMJ_CHECK(state_[static_cast<size_t>(s)] == ShardState::kDone);
+      core::MergeJoinStats(shard.stats, &result->stats);
+      result->pairs.insert(result->pairs.end(),
+                           std::make_move_iterator(shard.pairs.begin()),
+                           std::make_move_iterator(shard.pairs.end()));
+      result->explains.insert(result->explains.end(),
+                              std::make_move_iterator(shard.explains.begin()),
+                              std::make_move_iterator(shard.explains.end()));
+    }
+    SortByPairIdentity(&result->pairs);
+    SortByPairIdentity(&result->explains);
+  }
+
+  const ShardPlan& plan_;
+  std::vector<std::unique_ptr<ShardWorker>>* workers_;
+  const WorkerContext ctx_;
+  const DistJoinParams& dist_params_;
+  const int num_workers_;
+  const int num_shards_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ShardState> state_;
+  std::vector<int> attempts_;
+  std::vector<ShardResult> results_;
+  std::vector<std::deque<int>> queues_;
+  int done_count_ = 0;
+  DistStats stats_;
+  std::atomic<int64_t> stall_events_{0};
+};
+
+}  // namespace
+
+DistJoinResult ShardedSimJoin(const std::vector<graph::LabeledGraph>& d,
+                              const std::vector<graph::UncertainGraph>& u,
+                              const core::SimJParams& params,
+                              const graph::LabelDictionary& dict,
+                              const DistJoinParams& dist_params) {
+  SIMJ_CHECK(dist_params.num_workers >= 1);
+  metrics::Registry& registry = metrics::Registry::Global();
+  static metrics::Counter& shards_planned_total =
+      registry.GetCounter("simj_dist_shards_planned_total");
+  static metrics::Counter& shards_requeued_total =
+      registry.GetCounter("simj_dist_shards_requeued_total");
+  static metrics::Counter& worker_restarts_total =
+      registry.GetCounter("simj_dist_worker_restarts_total");
+  static metrics::Gauge& workers_gauge = registry.GetGauge("simj_dist_workers");
+
+  WallTimer wall;
+  trace::ScopedSpan span("sharded_simjoin", "dist");
+
+  ShardPlanOptions plan_options;
+  plan_options.max_pairs_per_shard = dist_params.max_pairs_per_shard;
+  plan_options.use_index = dist_params.use_index;
+  ShardPlan plan = PlanShards(d, u, params, plan_options);
+
+  DistJoinResult out;
+  out.join.stats = plan.pre_stats;
+  out.join.explains = std::move(plan.pre_explains);
+
+  // Workers share the dictionary concurrently (and process workers fork a
+  // snapshot of it); freeze for the duration, like the parallel JoinPairs
+  // path does.
+  dict.Freeze();
+  WorkerContext ctx;
+  ctx.d = &d;
+  ctx.u = &u;
+  ctx.params = &params;
+  ctx.dict = &dict;
+
+  // Spawn workers before any dispatch thread exists: the first fork of
+  // each process worker happens while this process is single-threaded.
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  workers.reserve(static_cast<size_t>(dist_params.num_workers));
+  for (int w = 0; w < dist_params.num_workers; ++w) {
+    if (dist_params.transport == Transport::kProcess) {
+      StatusOr<std::unique_ptr<ShardWorker>> worker = MakeProcessWorker(ctx, w);
+      if (worker.ok()) {
+        workers.push_back(std::move(worker).value());
+        continue;
+      }
+      SIMJ_LOG(ERROR) << "dist: spawning process worker " << w
+                      << " failed (" << worker.status().ToString()
+                      << "); degrading this slot to the thread transport";
+    }
+    workers.push_back(MakeThreadWorker(ctx, w));
+  }
+
+  core::JoinProgress& progress = core::JoinProgress::Global();
+  const bool stall_on = params.stall_warn_ms > 0.0;
+  const bool heartbeats_on = stall_on || progress.heartbeats_requested();
+  progress.BeginJoin(plan.planned_pairs, dist_params.num_workers,
+                     heartbeats_on);
+  workers_gauge.Set(static_cast<double>(dist_params.num_workers));
+
+  Coordinator coordinator(plan, &workers, ctx, dist_params);
+  out.dist = coordinator.Run(&out.join);
+
+  progress.EndJoin();
+
+  shards_planned_total.Add(out.dist.shards_planned);
+  shards_requeued_total.Add(out.dist.shards_requeued);
+  for (const WorkerReport& report : out.dist.workers) {
+    worker_restarts_total.Add(report.restarts);
+  }
+
+  // The same join postcondition JoinPairs enforces, across the merge.
+  SIMJ_DCHECK_EQ(out.join.stats.total_pairs,
+                 out.join.stats.pruned_structural +
+                     out.join.stats.pruned_probabilistic +
+                     out.join.stats.candidates);
+  SIMJ_DCHECK_LE(out.join.stats.results, out.join.stats.candidates);
+  out.join.stats.wall_seconds = wall.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace simj::dist

@@ -1,0 +1,103 @@
+// Shard coordinator for the distributed join (DESIGN.md §9).
+//
+// The coordinator deals the planned shards round-robin onto per-worker
+// queues, runs one dispatch loop per worker, and merges the per-shard
+// results into a JoinResult that is byte-identical (pairs, mappings,
+// counters — never wall/CPU timing) to SimJoin (use_index off) or
+// IndexedSimJoin (use_index on), at any worker count, either transport,
+// and under any fault schedule:
+//
+//   * work stealing — a worker whose own queue drains steals from the back
+//     of the longest remaining queue, so stragglers shed load;
+//   * requeue — a shard whose execution fails (dead child, injected fault)
+//     goes back to the queues and the worker is restarted, up to
+//     max_worker_restarts times before it is declared permanently dead;
+//   * inline fallback — shards still unfinished after every worker died
+//     run on the coordinator thread itself, so the join always converges;
+//   * deterministic merge — per-shard stats fold in ascending shard_id
+//     order and matched pairs / explain records are globally sorted by
+//     (q_index, g_index), erasing scheduling nondeterminism.
+//
+// The stall watchdog (params.stall_warn_ms) and heartbeats work unchanged:
+// the dispatch thread heartbeats the shard's first pair before handing it
+// to the worker, so a stuck or slow worker ages a heartbeat the monitor
+// thread can flag — regardless of transport.
+
+#ifndef SIMJ_DIST_COORDINATOR_H_
+#define SIMJ_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/join.h"
+#include "dist/shard.h"
+#include "dist/worker.h"
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+
+namespace simj::dist {
+
+struct DistJoinParams {
+  int num_workers = 2;
+  Transport transport = Transport::kThread;
+  // Shard planning (see ShardPlanOptions).
+  int max_pairs_per_shard = 64;
+  bool use_index = true;
+  // Restarts allowed per worker before it is declared permanently dead.
+  int max_worker_restarts = 4;
+  // Simulator hook (tests only): decides the fault injected into one shard
+  // execution. Called from dispatch threads; `attempt` counts executions of
+  // that shard (0 = first) and `shard_pairs` is the shard's size (bounds
+  // the injected death point). Null/empty = no faults.
+  std::function<FaultSpec(int worker, int shard_id, int attempt,
+                          int shard_pairs)>
+      fault_hook;
+};
+
+// Per-worker accounting for the run, for the balance tests and statusz.
+struct WorkerReport {
+  int shards_completed = 0;
+  int shards_failed = 0;  // executions that returned an error
+  int steals = 0;         // shards taken from another worker's queue
+  int restarts = 0;
+  bool permanently_dead = false;
+  // Wall time spent inside RunShard for shards this worker COMPLETED
+  // (failed executions excluded — an abandoned shard's time is attributed
+  // to nobody, like a crashed machine's).
+  double busy_seconds = 0.0;
+};
+
+struct DistStats {
+  int shards_planned = 0;
+  int shards_requeued = 0;
+  // Completions discarded because the shard was already done (defensive;
+  // the current requeue-on-error-only policy never double-runs a shard to
+  // completion, but the merge must stay correct if a future policy does).
+  int duplicate_results_discarded = 0;
+  // Shards the coordinator ran inline after every worker died.
+  int fallback_shards = 0;
+  // Stall observations the watchdog reported during the run.
+  int stall_events = 0;
+  std::vector<WorkerReport> workers;
+};
+
+struct DistJoinResult {
+  core::JoinResult join;
+  DistStats dist;
+};
+
+// Plans, executes, and merges the full distributed join. Freezes `dict`
+// for the duration (workers share it concurrently; process workers fork a
+// frozen snapshot). params.num_threads is ignored — parallelism is
+// dist_params.num_workers, each worker evaluating serially.
+[[nodiscard]] DistJoinResult ShardedSimJoin(
+    const std::vector<graph::LabeledGraph>& d,
+    const std::vector<graph::UncertainGraph>& u,
+    const core::SimJParams& params, const graph::LabelDictionary& dict,
+    const DistJoinParams& dist_params);
+
+}  // namespace simj::dist
+
+#endif  // SIMJ_DIST_COORDINATOR_H_

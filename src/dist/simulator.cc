@@ -1,0 +1,58 @@
+#include "dist/simulator.h"
+
+#include "util/rng.h"
+
+namespace simj::dist {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the (seed, shard_id, attempt) key into
+// an independent stream seed, so neighboring shards/attempts do not share
+// fault fates.
+uint64_t MixKey(uint64_t seed, int shard_id, int attempt) {
+  uint64_t z = seed;
+  z += 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(shard_id) * 2654435761ull +
+                               static_cast<uint64_t>(attempt) + 1ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultSpec ClusterSim::Decide(int shard_id, int attempt, int shard_pairs) {
+  Rng rng(MixKey(options_.seed, shard_id, attempt));
+  FaultSpec fault;
+  // Fixed draw order keeps the plan stable if more fault kinds are added
+  // after these.
+  const bool die = rng.Bernoulli(options_.death_probability);
+  const bool slow = rng.Bernoulli(options_.slow_probability);
+  if (slow) {
+    fault.delay_ms =
+        options_.slow_min_ms +
+        rng.UniformDouble() * (options_.slow_max_ms - options_.slow_min_ms);
+    injected_delays_.fetch_add(1, std::memory_order_relaxed);
+    injected_delay_us_.fetch_add(static_cast<int64_t>(fault.delay_ms * 1000.0),
+                                 std::memory_order_relaxed);
+  }
+  if (die) {
+    fault.die_after_pairs =
+        static_cast<int>(rng.Uniform(0, shard_pairs > 0 ? shard_pairs : 0));
+    injected_deaths_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fault;
+}
+
+std::function<FaultSpec(int, int, int, int)> ClusterSim::Hook() {
+  return [this](int /*worker*/, int shard_id, int attempt, int shard_pairs) {
+    return Decide(shard_id, attempt, shard_pairs);
+  };
+}
+
+double ClusterSim::injected_delay_ms() const {
+  return static_cast<double>(
+             injected_delay_us_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+}  // namespace simj::dist

@@ -1,0 +1,78 @@
+// Deterministic fault-injecting cluster simulator for the distributed join.
+//
+// ClusterSim plugs into DistJoinParams::fault_hook and decides, for every
+// shard execution, whether the executing worker is slow (sleeps before
+// evaluating), dies mid-shard (abandons the shard after a prefix of its
+// pairs), or runs clean. Decisions are a PURE FUNCTION of
+// (seed, shard_id, attempt) — not of wall time, thread interleaving, or
+// which worker the scheduler happened to hand the shard to — so a seed
+// fully reproduces its fault plan: re-running a failing seed replays the
+// exact same slow/dead/restart schedule even though OS scheduling differs.
+//
+// A "restarting worker" emerges from the composition: an injected death
+// fails the shard execution, the coordinator requeues the shard and
+// restarts the worker (up to max_worker_restarts), and the retried attempt
+// re-rolls its fate with attempt+1 — so a shard can die several times on
+// the way to completion and still merge byte-identically.
+
+#ifndef SIMJ_DIST_SIMULATOR_H_
+#define SIMJ_DIST_SIMULATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "dist/worker.h"
+
+namespace simj::dist {
+
+struct SimOptions {
+  uint64_t seed = 1;
+  // Probability a shard execution runs on a slow worker, and the injected
+  // delay range (uniform, milliseconds).
+  double slow_probability = 0.0;
+  double slow_min_ms = 5.0;
+  double slow_max_ms = 20.0;
+  // Probability a shard execution dies mid-shard. The death point is a
+  // uniform draw over the shard prefix [0, |shard| pairs]; the worker
+  // evaluates that many pairs and abandons the rest.
+  double death_probability = 0.0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const SimOptions& options) : options_(options) {}
+
+  // The fault decision for one shard execution. `attempt` counts
+  // executions of that shard (the coordinator increments it on every
+  // requeue), so retries re-roll independently. `worker` and
+  // `shard_pairs` only shape the draw (death point bound); they never
+  // influence WHETHER a fault fires.
+  FaultSpec Decide(int shard_id, int attempt, int shard_pairs);
+
+  // Binds Decide as a coordinator fault hook (the ClusterSim must outlive
+  // the join it is injected into).
+  std::function<FaultSpec(int worker, int shard_id, int attempt,
+                          int shard_pairs)>
+  Hook();
+
+  // Injection tallies (across all hook calls; thread-safe).
+  int64_t injected_delays() const {
+    return injected_delays_.load(std::memory_order_relaxed);
+  }
+  int64_t injected_deaths() const {
+    return injected_deaths_.load(std::memory_order_relaxed);
+  }
+  // Total milliseconds of injected delay (for stall-budget assertions).
+  double injected_delay_ms() const;
+
+ private:
+  const SimOptions options_;
+  std::atomic<int64_t> injected_delays_{0};
+  std::atomic<int64_t> injected_deaths_{0};
+  std::atomic<int64_t> injected_delay_us_{0};
+};
+
+}  // namespace simj::dist
+
+#endif  // SIMJ_DIST_SIMULATOR_H_

@@ -1,0 +1,418 @@
+#include "dist/worker.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/join.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/subprocess.h"
+
+namespace simj::dist {
+
+const char* TransportName(Transport transport) {
+  switch (transport) {
+    case Transport::kThread:
+      return "thread";
+    case Transport::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (DESIGN.md §9). Fixed-width little-endian scalars appended to a
+// std::string; the reader is bounds-checked and reports corruption through
+// ok() instead of crashing on a torn frame.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    // Little-endian hosts only (the child is a fork of this very process,
+    // so parent and child always agree on representation).
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == buf_.size(); }
+
+ private:
+  void Raw(void* p, size_t n) {
+    if (!ok_ || buf_.size() - pos_ < n) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::string& buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Request: shard id + fault to honor + the pair list.
+std::string EncodeRequest(const Shard& shard, const FaultSpec& fault) {
+  ByteWriter w;
+  w.I32(shard.shard_id);
+  w.F64(fault.delay_ms);
+  w.I32(fault.die_after_pairs);
+  w.I32(static_cast<int32_t>(shard.pairs.size()));
+  for (const auto& [qi, gi] : shard.pairs) {
+    w.I32(qi);
+    w.I32(gi);
+  }
+  return w.Take();
+}
+
+struct Request {
+  int shard_id = -1;
+  FaultSpec fault;
+  std::vector<std::pair<int, int>> pairs;
+};
+
+bool DecodeRequest(const std::string& frame, Request* out) {
+  ByteReader r(frame);
+  out->shard_id = r.I32();
+  out->fault.delay_ms = r.F64();
+  out->fault.die_after_pairs = r.I32();
+  const int32_t n = r.I32();
+  if (!r.ok() || n < 0) return false;
+  out->pairs.clear();
+  out->pairs.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t qi = r.I32();
+    const int32_t gi = r.I32();
+    out->pairs.emplace_back(qi, gi);
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeResult(const ShardResult& result) {
+  ByteWriter w;
+  w.I32(result.shard_id);
+  const core::JoinStats& s = result.stats;
+  w.I64(s.total_pairs);
+  w.I64(s.pruned_structural);
+  w.I64(s.pruned_probabilistic);
+  w.I64(s.candidates);
+  w.I64(s.results);
+  w.I64(s.verify.worlds_enumerated);
+  w.I64(s.verify.worlds_pruned_by_bound);
+  w.I64(s.verify.worlds_accepted_by_upper_bound);
+  w.I64(s.verify.ged_calls);
+  w.I64(s.verify.ged_aborted);
+  w.F64(s.pruning_cpu_seconds);
+  w.F64(s.verification_cpu_seconds);
+  w.I32(static_cast<int32_t>(result.pairs.size()));
+  for (const core::MatchedPair& p : result.pairs) {
+    w.I32(p.q_index);
+    w.I32(p.g_index);
+    w.F64(p.similarity_probability);
+    w.I32(p.best_world_ged);
+    w.I32(static_cast<int32_t>(p.mapping.size()));
+    for (int m : p.mapping) w.I32(m);
+  }
+  w.I32(static_cast<int32_t>(result.explains.size()));
+  for (const core::PairExplain& e : result.explains) {
+    w.I32(e.q_index);
+    w.I32(e.g_index);
+    w.I32(static_cast<int32_t>(e.pruned_by));
+    w.U8(e.accepted ? 1 : 0);
+    w.I32(e.css_lower_bound);
+    w.F64(e.simp_upper_bound);
+    w.I32(e.live_groups);
+    w.F64(e.live_mass);
+    w.F64(e.simp_probability);
+    w.U8(e.early_accept ? 1 : 0);
+    w.U8(e.early_reject ? 1 : 0);
+    w.I64(e.worlds_enumerated);
+    w.I64(e.ged_calls);
+    w.I32(e.best_world_ged);
+  }
+  return w.Take();
+}
+
+StatusOr<ShardResult> DecodeResult(const std::string& frame) {
+  ByteReader r(frame);
+  ShardResult result;
+  result.shard_id = r.I32();
+  core::JoinStats& s = result.stats;
+  s.total_pairs = r.I64();
+  s.pruned_structural = r.I64();
+  s.pruned_probabilistic = r.I64();
+  s.candidates = r.I64();
+  s.results = r.I64();
+  s.verify.worlds_enumerated = r.I64();
+  s.verify.worlds_pruned_by_bound = r.I64();
+  s.verify.worlds_accepted_by_upper_bound = r.I64();
+  s.verify.ged_calls = r.I64();
+  s.verify.ged_aborted = r.I64();
+  s.pruning_cpu_seconds = r.F64();
+  s.verification_cpu_seconds = r.F64();
+  const int32_t npairs = r.I32();
+  if (!r.ok() || npairs < 0) {
+    return InternalError("shard response corrupt (pair count)");
+  }
+  result.pairs.reserve(static_cast<size_t>(npairs));
+  for (int32_t i = 0; i < npairs; ++i) {
+    core::MatchedPair p;
+    p.q_index = r.I32();
+    p.g_index = r.I32();
+    p.similarity_probability = r.F64();
+    p.best_world_ged = r.I32();
+    const int32_t maplen = r.I32();
+    if (!r.ok() || maplen < 0) {
+      return InternalError("shard response corrupt (mapping)");
+    }
+    p.mapping.reserve(static_cast<size_t>(maplen));
+    for (int32_t m = 0; m < maplen; ++m) p.mapping.push_back(r.I32());
+    result.pairs.push_back(std::move(p));
+  }
+  const int32_t nexplains = r.I32();
+  if (!r.ok() || nexplains < 0) {
+    return InternalError("shard response corrupt (explain count)");
+  }
+  result.explains.reserve(static_cast<size_t>(nexplains));
+  for (int32_t i = 0; i < nexplains; ++i) {
+    core::PairExplain e;
+    e.q_index = r.I32();
+    e.g_index = r.I32();
+    e.pruned_by = static_cast<core::PruneStage>(r.I32());
+    e.accepted = r.U8() != 0;
+    e.css_lower_bound = r.I32();
+    e.simp_upper_bound = r.F64();
+    e.live_groups = r.I32();
+    e.live_mass = r.F64();
+    e.simp_probability = r.F64();
+    e.early_accept = r.U8() != 0;
+    e.early_reject = r.U8() != 0;
+    e.worlds_enumerated = r.I64();
+    e.ged_calls = r.I64();
+    e.best_world_ged = r.I32();
+    result.explains.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) {
+    return InternalError("shard response corrupt (trailing bytes)");
+  }
+  return result;
+}
+
+// Evaluates `pairs` into a ShardResult via the shared core evaluator.
+ShardResult EvaluateShardPairs(const WorkerContext& ctx,
+                               const core::SimJParams& params, int shard_id,
+                               const std::vector<std::pair<int, int>>& pairs,
+                               int worker_index) {
+  core::JoinResult r;
+  core::EvaluatePairList(*ctx.d, *ctx.u, params, *ctx.dict, pairs,
+                         worker_index, &r);
+  ShardResult out;
+  out.shard_id = shard_id;
+  out.stats = r.stats;
+  out.pairs = std::move(r.pairs);
+  out.explains = std::move(r.explains);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Thread transport.
+
+class ThreadWorker final : public ShardWorker {
+ public:
+  ThreadWorker(const WorkerContext& ctx, int worker_index)
+      : ctx_(ctx), worker_index_(worker_index) {}
+
+  StatusOr<ShardResult> RunShard(const Shard& shard,
+                                 const FaultSpec& fault) override {
+    SleepMs(fault.delay_ms);
+    if (fault.die_after_pairs >= 0) {
+      // Die mid-shard: evaluate the prefix (its registry increments stand,
+      // exactly as a crashed worker's side effects would), then abandon
+      // the shard without returning the partial result.
+      const size_t prefix = std::min(shard.pairs.size(),
+                                     static_cast<size_t>(fault.die_after_pairs));
+      const std::vector<std::pair<int, int>> partial(
+          shard.pairs.begin(),
+          shard.pairs.begin() + static_cast<long>(prefix));
+      (void)EvaluateShardPairs(ctx_, *ctx_.params, shard.shard_id, partial,
+                               worker_index_);
+      return InternalError("injected death: thread worker abandoned shard " +
+                           std::to_string(shard.shard_id) + " after " +
+                           std::to_string(prefix) + " pairs");
+    }
+    return EvaluateShardPairs(ctx_, *ctx_.params, shard.shard_id, shard.pairs,
+                              worker_index_);
+  }
+
+  Status Restart() override { return Status::Ok(); }
+  bool counts_in_process() const override { return true; }
+  Transport transport() const override { return Transport::kThread; }
+
+ private:
+  const WorkerContext ctx_;
+  const int worker_index_;
+};
+
+// ---------------------------------------------------------------------------
+// Process transport.
+
+// Child-side serve loop: read a request frame, evaluate, respond; exit
+// cleanly on EOF. An injected death _exit()s without responding, so the
+// parent observes EOF mid-conversation. The child runs against its
+// inherited memory snapshot with sanitized params: no logging, watchdogs,
+// progress, or extra threads — it must never touch locks a parent thread
+// might have held at fork time.
+int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
+  core::SimJParams params = *ctx.params;
+  params.num_threads = 1;
+  params.slow_pair_log_ms = 0.0;
+  params.stall_warn_ms = 0.0;
+  params.progress_every = 0;
+  for (;;) {
+    StatusOr<std::string> frame = subprocess::ReadFrame(request_fd);
+    if (!frame.ok()) {
+      // Clean EOF = coordinator shut us down; anything else is a torn pipe.
+      return frame.status().code() == StatusCode::kNotFound ? 0 : 2;
+    }
+    Request request;
+    if (!DecodeRequest(frame.value(), &request)) return 2;
+    SleepMs(request.fault.delay_ms);
+    if (request.fault.die_after_pairs >= 0) {
+      const size_t prefix =
+          std::min(request.pairs.size(),
+                   static_cast<size_t>(request.fault.die_after_pairs));
+      const std::vector<std::pair<int, int>> partial(
+          request.pairs.begin(),
+          request.pairs.begin() + static_cast<long>(prefix));
+      (void)EvaluateShardPairs(ctx, params, request.shard_id, partial,
+                               /*worker_index=*/0);
+      return 3;  // _exit(3): died mid-shard without responding
+    }
+    const ShardResult result = EvaluateShardPairs(
+        ctx, params, request.shard_id, request.pairs, /*worker_index=*/0);
+    Status status =
+        subprocess::WriteFrame(response_fd, EncodeResult(result));
+    if (!status.ok()) return 2;
+  }
+}
+
+class ProcessWorker final : public ShardWorker {
+ public:
+  ProcessWorker(const WorkerContext& ctx, int worker_index)
+      : ctx_(ctx), worker_index_(worker_index) {}
+
+  Status SpawnChild() {
+    const WorkerContext ctx = ctx_;
+    StatusOr<subprocess::ChildProcess> child = subprocess::ChildProcess::Spawn(
+        [ctx](int request_fd, int response_fd) {
+          return ServeShards(ctx, request_fd, response_fd);
+        });
+    if (!child.ok()) return child.status();
+    child_ = std::move(child).value();
+    return Status::Ok();
+  }
+
+  StatusOr<ShardResult> RunShard(const Shard& shard,
+                                 const FaultSpec& fault) override {
+    if (!child_.running()) {
+      return FailedPreconditionError("process worker " +
+                                     std::to_string(worker_index_) +
+                                     " has no live child");
+    }
+    Status status =
+        subprocess::WriteFrame(child_.request_fd(), EncodeRequest(shard, fault));
+    if (!status.ok()) return status;
+    StatusOr<std::string> response = subprocess::ReadFrame(child_.response_fd());
+    if (!response.ok()) {
+      // EOF here means the child died mid-shard (injected or real).
+      return InternalError("process worker " + std::to_string(worker_index_) +
+                           " died on shard " + std::to_string(shard.shard_id) +
+                           ": " + response.status().message());
+    }
+    StatusOr<ShardResult> result = DecodeResult(response.value());
+    if (result.ok() && result.value().shard_id != shard.shard_id) {
+      return InternalError("shard response id mismatch: sent " +
+                           std::to_string(shard.shard_id) + ", got " +
+                           std::to_string(result.value().shard_id));
+    }
+    return result;
+  }
+
+  Status Restart() override {
+    child_.Kill();
+    (void)child_.Wait();
+    return SpawnChild();
+  }
+
+  bool counts_in_process() const override { return false; }
+  Transport transport() const override { return Transport::kProcess; }
+
+ private:
+  const WorkerContext ctx_;
+  const int worker_index_;
+  subprocess::ChildProcess child_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardWorker> MakeThreadWorker(const WorkerContext& ctx,
+                                              int worker_index) {
+  SIMJ_CHECK(ctx.d != nullptr && ctx.u != nullptr && ctx.params != nullptr &&
+             ctx.dict != nullptr);
+  return std::make_unique<ThreadWorker>(ctx, worker_index);
+}
+
+StatusOr<std::unique_ptr<ShardWorker>> MakeProcessWorker(
+    const WorkerContext& ctx, int worker_index) {
+  SIMJ_CHECK(ctx.d != nullptr && ctx.u != nullptr && ctx.params != nullptr &&
+             ctx.dict != nullptr);
+  auto worker = std::make_unique<ProcessWorker>(ctx, worker_index);
+  Status status = worker->SpawnChild();
+  if (!status.ok()) return status;
+  return std::unique_ptr<ShardWorker>(std::move(worker));
+}
+
+}  // namespace simj::dist

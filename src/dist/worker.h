@@ -1,0 +1,111 @@
+// Shard workers for the distributed join: one abstraction, two transports.
+//
+//   * kThread  — the shard is evaluated on the coordinator's dispatch
+//     thread via core::EvaluatePairList; zero copies, counters land in the
+//     process registry directly.
+//   * kProcess — a fork()ed child (util/subprocess) inherits the workload
+//     memory and serves shards over a length-prefixed pipe protocol; the
+//     request carries only pair indices, the response only stats, matched
+//     pairs, and explain records. Child-side counter increments die with
+//     the child, so the coordinator replays the returned JoinStats into the
+//     registry (see counts_in_process()).
+//
+// RunShard takes a FaultSpec so the deterministic cluster simulator
+// (dist/simulator.h) can inject stragglers and mid-shard deaths through the
+// exact production code path; production callers pass FaultSpec{}.
+
+#ifndef SIMJ_DIST_WORKER_H_
+#define SIMJ_DIST_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/join.h"
+#include "dist/shard.h"
+#include "graph/label.h"
+#include "graph/labeled_graph.h"
+#include "graph/uncertain_graph.h"
+#include "util/status.h"
+
+namespace simj::dist {
+
+enum class Transport {
+  kThread = 0,  // in-process: shard runs on the dispatch thread
+  kProcess,     // fork()ed child behind a frame pipe
+};
+
+const char* TransportName(Transport transport);
+
+// Fault injected into a single shard execution (simulator only).
+struct FaultSpec {
+  // Sleep this long before evaluating (straggler). The coordinator
+  // heartbeats the shard's first pair before RunShard, so the sleep ages
+  // that heartbeat and the stall watchdog can see it.
+  double delay_ms = 0.0;
+  // >= 0: evaluate exactly min(die_after_pairs, |shard|) pairs, then die
+  // mid-shard — the thread transport discards the partial result and
+  // returns an error; the process transport _exit()s without responding,
+  // so the parent sees EOF. Either way the shard is abandoned and the
+  // coordinator requeues it. -1 disables.
+  int die_after_pairs = -1;
+
+  bool none() const { return delay_ms <= 0.0 && die_after_pairs < 0; }
+};
+
+// Immutable view of the join workload shared by every worker. The caller
+// owns the pointees and keeps them alive for the workers' lifetime.
+struct WorkerContext {
+  const std::vector<graph::LabeledGraph>* d = nullptr;
+  const std::vector<graph::UncertainGraph>* u = nullptr;
+  const core::SimJParams* params = nullptr;
+  const graph::LabelDictionary* dict = nullptr;
+};
+
+// Everything a completed shard contributes to the merge. pairs/explains
+// are in shard-local evaluation order; the coordinator's merge sorts
+// globally by (q_index, g_index).
+struct ShardResult {
+  int shard_id = -1;
+  core::JoinStats stats;
+  std::vector<core::MatchedPair> pairs;
+  std::vector<core::PairExplain> explains;
+};
+
+class ShardWorker {
+ public:
+  virtual ~ShardWorker() = default;
+
+  // Blocking: evaluates `shard` and returns its result. A non-OK status
+  // means the worker is broken (dead child, torn pipe, injected death) and
+  // produced nothing usable — the coordinator requeues the shard and
+  // decides whether to Restart() the worker.
+  [[nodiscard]] virtual StatusOr<ShardResult> RunShard(
+      const Shard& shard, const FaultSpec& fault) = 0;
+
+  // Brings a dead worker back (respawns the child for the process
+  // transport; a no-op for the thread transport). Non-OK when the worker
+  // cannot be revived.
+  [[nodiscard]] virtual Status Restart() = 0;
+
+  // True when this worker's EvaluatePair calls increment THIS process's
+  // metrics registry (thread transport). False when the work happened in a
+  // child whose counters died with it — the coordinator then replays the
+  // returned JoinStats into the registry so progress/statusz stay live.
+  virtual bool counts_in_process() const = 0;
+
+  virtual Transport transport() const = 0;
+};
+
+// The dispatch-thread worker. `worker_index` is the logical worker slot
+// used for heartbeats and stall attribution.
+std::unique_ptr<ShardWorker> MakeThreadWorker(const WorkerContext& ctx,
+                                              int worker_index);
+
+// Forks the serving child immediately (call before starting dispatch
+// threads so the first fork happens while the process is single-threaded).
+StatusOr<std::unique_ptr<ShardWorker>> MakeProcessWorker(
+    const WorkerContext& ctx, int worker_index);
+
+}  // namespace simj::dist
+
+#endif  // SIMJ_DIST_WORKER_H_

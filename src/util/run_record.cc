@@ -264,6 +264,7 @@ std::string ToJson(const BenchResult& result) {
   for (const Sample& sample : result.samples) {
     json.BeginObject();
     json.String("name", sample.name);
+    if (sample.skipped) json.Bool("skipped", true);
     WriteStats(&json, "wall_seconds", sample.wall_seconds);
     WriteStats(&json, "cpu_seconds", sample.cpu_seconds);
     json.BeginObject("values");

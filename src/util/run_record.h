@@ -60,6 +60,11 @@ struct Sample {
   // Additional scalar facts about the sample (results, candidate_ratio,
   // precision, speedup, ...). Compared as point values.
   std::map<std::string, double> values;
+  // True when the harness decided not to measure this configuration (e.g.
+  // a 4-thread scaling row on a 2-core host). Serialized only when true,
+  // so existing records and goldens are unchanged — absence means false.
+  // bench_compare.py excludes skipped samples from delta comparison.
+  bool skipped = false;
 };
 
 struct GitInfo {

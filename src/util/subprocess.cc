@@ -1,0 +1,234 @@
+#include "util/subprocess.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace simj::subprocess {
+
+namespace {
+
+// Full write with EINTR/short-write handling.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("pipe write failed: ") +
+                           std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Full read. Returns the number of bytes read: `size` on success, 0 on
+// clean EOF before the first byte, and a negative errno-style failure is
+// reported through *error. Short reads mid-buffer report EOF via *eof.
+Status ReadAll(int fd, char* data, size_t size, bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("pipe read failed: ") +
+                           std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::Ok();
+      }
+      return InternalError("pipe closed mid-frame (truncated)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void IgnoreSigpipeOnce() {
+  static const bool installed = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+// Child-side: close every inherited descriptor except stdio and the
+// child's own pipe ends. fork() duplicates ALL parent fds — including the
+// pipes of every OTHER ChildProcess — and a leaked write end keeps a dead
+// sibling's response pipe from ever reaching EOF in the parent (the
+// coordinator would block forever waiting for a worker it believes is
+// alive). Enumerates /proc/self/fd to avoid scanning the whole rlimit
+// range; falls back to a bounded sweep if /proc is unavailable.
+void CloseAllFdsExcept(int keep1, int keep2) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir != nullptr) {
+    const int dir_fd = ::dirfd(dir);
+    std::vector<int> to_close;
+    while (struct dirent* entry = ::readdir(dir)) {
+      char* end = nullptr;
+      const long fd = std::strtol(entry->d_name, &end, 10);
+      if (end == entry->d_name || *end != '\0') continue;
+      if (fd <= 2 || fd == keep1 || fd == keep2 || fd == dir_fd) continue;
+      to_close.push_back(static_cast<int>(fd));
+    }
+    ::closedir(dir);
+    for (int fd : to_close) ::close(fd);
+    return;
+  }
+  for (int fd = 3; fd < 4096; ++fd) {
+    if (fd != keep1 && fd != keep2) ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgumentError("frame exceeds kMaxFrameBytes");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(length & 0xff);
+  prefix[1] = static_cast<char>((length >> 8) & 0xff);
+  prefix[2] = static_cast<char>((length >> 16) & 0xff);
+  prefix[3] = static_cast<char>((length >> 24) & 0xff);
+  Status status = WriteAll(fd, prefix, sizeof(prefix));
+  if (!status.ok()) return status;
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+StatusOr<std::string> ReadFrame(int fd) {
+  char prefix[4];
+  bool clean_eof = false;
+  Status status = ReadAll(fd, prefix, sizeof(prefix), &clean_eof);
+  if (!status.ok()) return status;
+  if (clean_eof) return NotFoundError("pipe closed (EOF at frame boundary)");
+  const uint32_t length = (static_cast<uint32_t>(prefix[0]) & 0xff) |
+                          ((static_cast<uint32_t>(prefix[1]) & 0xff) << 8) |
+                          ((static_cast<uint32_t>(prefix[2]) & 0xff) << 16) |
+                          ((static_cast<uint32_t>(prefix[3]) & 0xff) << 24);
+  if (length > kMaxFrameBytes) {
+    return InternalError("frame length prefix exceeds kMaxFrameBytes "
+                         "(protocol corruption)");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    status = ReadAll(fd, payload.data(), length, &clean_eof);
+    if (!status.ok()) return status;
+    if (clean_eof) return InternalError("pipe closed mid-frame (truncated)");
+  }
+  return payload;
+}
+
+ChildProcess::~ChildProcess() {
+  CloseFds();
+  if (pid_ > 0) {
+    Kill();
+    Wait();
+  }
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      request_write_fd_(std::exchange(other.request_write_fd_, -1)),
+      response_read_fd_(std::exchange(other.response_read_fd_, -1)) {}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    CloseFds();
+    if (pid_ > 0) {
+      Kill();
+      Wait();
+    }
+    pid_ = std::exchange(other.pid_, -1);
+    request_write_fd_ = std::exchange(other.request_write_fd_, -1);
+    response_read_fd_ = std::exchange(other.response_read_fd_, -1);
+  }
+  return *this;
+}
+
+void ChildProcess::CloseFds() {
+  if (request_write_fd_ >= 0) ::close(request_write_fd_);
+  if (response_read_fd_ >= 0) ::close(response_read_fd_);
+  request_write_fd_ = -1;
+  response_read_fd_ = -1;
+}
+
+StatusOr<ChildProcess> ChildProcess::Spawn(
+    const std::function<int(int request_fd, int response_fd)>& child_main) {
+  IgnoreSigpipeOnce();
+  int request_pipe[2];  // parent writes [1], child reads [0]
+  int response_pipe[2];  // child writes [1], parent reads [0]
+  if (::pipe(request_pipe) != 0) {
+    return InternalError(std::string("pipe() failed: ") +
+                         std::strerror(errno));
+  }
+  if (::pipe(response_pipe) != 0) {
+    int saved = errno;
+    ::close(request_pipe[0]);
+    ::close(request_pipe[1]);
+    return InternalError(std::string("pipe() failed: ") +
+                         std::strerror(saved));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int saved = errno;
+    ::close(request_pipe[0]);
+    ::close(request_pipe[1]);
+    ::close(response_pipe[0]);
+    ::close(response_pipe[1]);
+    return InternalError(std::string("fork() failed: ") +
+                         std::strerror(saved));
+  }
+  if (pid == 0) {
+    // Child: keep only its own pipe ends (dropping, in particular, fds of
+    // sibling children's pipes — see CloseAllFdsExcept), run, and _exit
+    // without touching atexit handlers (they belong to the parent's
+    // lifecycle).
+    CloseAllFdsExcept(request_pipe[0], response_pipe[1]);
+    int code = child_main(request_pipe[0], response_pipe[1]);
+    ::close(request_pipe[0]);
+    ::close(response_pipe[1]);
+    ::_exit(code);
+  }
+  ::close(request_pipe[0]);
+  ::close(response_pipe[1]);
+  ChildProcess child;
+  child.pid_ = pid;
+  child.request_write_fd_ = request_pipe[1];
+  child.response_read_fd_ = response_pipe[0];
+  return child;
+}
+
+void ChildProcess::Kill() {
+  if (pid_ > 0) ::kill(pid_, SIGKILL);
+}
+
+int ChildProcess::Wait() {
+  if (pid_ <= 0) return 0;
+  int wstatus = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid_, &wstatus, 0);
+  } while (reaped < 0 && errno == EINTR);
+  pid_ = -1;
+  if (reaped < 0) return 0;
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return -WTERMSIG(wstatus);
+  return 0;
+}
+
+}  // namespace simj::subprocess

@@ -1,0 +1,98 @@
+// Child-process plumbing for the multi-process sharded join: anonymous
+// pipes, a length-prefixed frame protocol, and a fork-based child runner.
+//
+// This is the ONLY translation unit in the tree allowed to issue process
+// syscalls (fork/pipe/waitpid/kill) — tools/simj_lint.py's
+// no-raw-subprocess rule confines them here, mirroring the no-raw-sockets
+// rule that confines network I/O to util/statusz.cc. Everything above this
+// layer (src/dist) speaks Status and frames, never file descriptors
+// directly acquired from the OS.
+//
+// Frame protocol: every message on a pipe is a 4-byte little-endian
+// unsigned length followed by that many payload bytes. ReadFrame
+// distinguishes clean EOF (the peer closed the pipe between frames,
+// StatusCode::kNotFound) from a truncated frame or I/O error
+// (StatusCode::kInternal), because the sharded-join coordinator treats the
+// former as "worker died, requeue its shard" and the latter identically —
+// but the distinction keeps error messages honest.
+//
+// Children are created with fork() WITHOUT exec: the child inherits the
+// parent's address space — in particular the already-built join workload
+// (graphs, label dictionary) — so the shard protocol only ever carries
+// pair indices and results, never graphs. The child runs a caller-provided
+// function against its inherited memory snapshot and _exit()s; it must not
+// touch parent-held locks, so dist workers sanitize their parameters
+// (logging, watchdogs, progress off) before evaluating anything in a child.
+
+#ifndef SIMJ_UTIL_SUBPROCESS_H_
+#define SIMJ_UTIL_SUBPROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace simj::subprocess {
+
+// Upper bound on a single frame payload; a length prefix beyond this is
+// treated as protocol corruption rather than an allocation request.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+// Appends/reads one length-prefixed frame. Blocking; EINTR is retried.
+// WriteFrame fails with kInternal when the pipe is closed (EPIPE surfaces
+// as a Status, not a signal: the caller is expected to have SIGPIPE
+// ignored, which ChildProcess::Spawn arranges process-wide).
+Status WriteFrame(int fd, const std::string& payload);
+
+// Reads one frame. kNotFound = clean EOF at a frame boundary (peer gone);
+// kInternal = truncated frame, oversized length prefix, or read error.
+StatusOr<std::string> ReadFrame(int fd);
+
+// A forked child running `child_main(request_fd, response_fd)` over a pair
+// of anonymous pipes. The parent writes requests to request_fd() and reads
+// responses from response_fd(); the child sees the opposite ends. The
+// child's return value becomes its exit status.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess();  // closes fds; reaps the child if still running
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  // Forks a child that runs `child_main` and _exit()s with its return
+  // value. Installs SIG_IGN for SIGPIPE process-wide (once) so a dead
+  // peer surfaces as a Status from WriteFrame instead of killing the
+  // process. The child closes every parent-side pipe end before running.
+  static StatusOr<ChildProcess> Spawn(
+      const std::function<int(int request_fd, int response_fd)>& child_main);
+
+  bool running() const { return pid_ > 0; }
+  int pid() const { return pid_; }
+
+  // Parent-side pipe ends.
+  int request_fd() const { return request_write_fd_; }
+  int response_fd() const { return response_read_fd_; }
+
+  // SIGKILLs the child (no-op when already reaped). Used by the fault
+  // injector to simulate a worker dying mid-shard, and by Shutdown paths.
+  void Kill();
+
+  // Blocks until the child exits and reaps it. Returns the exit status
+  // (or the negated signal number when signalled); 0 when already reaped.
+  int Wait();
+
+ private:
+  void CloseFds();
+
+  int pid_ = -1;
+  int request_write_fd_ = -1;  // parent writes requests here
+  int response_read_fd_ = -1;  // parent reads responses here
+};
+
+}  // namespace simj::subprocess
+
+#endif  // SIMJ_UTIL_SUBPROCESS_H_

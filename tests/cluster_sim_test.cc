@@ -1,0 +1,398 @@
+// The distributed-join cluster simulator test (the headline of the shard-out
+// work): differential tests of ShardedSimJoin against the serial oracles
+// (IndexedSimJoin / SimJoin) across many seeds, every worker count in
+// {1, 2, 4, 8}, and both transports, under rng-driven fault plans mixing
+// slow, dying, and restarting workers — plus targeted tests that the stall
+// watchdog sees every injected straggler, that work stealing balances a
+// skewed-bucket workload, and that the all-workers-dead fallback converges.
+//
+// Seed count: `--seeds=N` (default 8 for a quick ctest run; ci.sh runs the
+// dedicated leg with --seeds=20). On failure the offending seed / worker
+// count / transport are in the SCOPED_TRACE output — rerun with that seed
+// to replay the exact fault plan.
+//
+// Under ThreadSanitizer only the in-process transport runs: fork() from a
+// multi-threaded TSan process (worker restarts fork mid-run) can deadlock
+// in the child, and the ISSUE's TSan requirement covers the in-process
+// transport.
+
+#include "dist/simulator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/join.h"
+#include "dist/coordinator.h"
+#include "dist/shard.h"
+#include "dist/worker.h"
+#include "test_util.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define SIMJ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIMJ_TSAN 1
+#endif
+#endif
+
+namespace simj::dist {
+namespace {
+
+using simj::testing::MakeRandomJoinWorkload;
+using simj::testing::MakeSkewedBucketWorkload;
+using simj::testing::RandomJoinWorkload;
+
+int g_seeds = 8;  // overridden by --seeds=N (see main below)
+
+std::vector<Transport> TransportsUnderTest() {
+#ifdef SIMJ_TSAN
+  return {Transport::kThread};
+#else
+  return {Transport::kThread, Transport::kProcess};
+#endif
+}
+
+core::SimJParams BaseParams() {
+  core::SimJParams params;
+  params.tau = 2;
+  params.alpha = 0.3;
+  params.group_count = 2;
+  params.slow_pair_log_ms = 0.0;
+  params.explain.enabled = true;  // the merge must reproduce explains too
+  params.explain.sample_every = 2;
+  return params;
+}
+
+// Byte-identity on everything deterministic: matched pairs (indices, exact
+// probabilities, mappings, GED), all counters, and explain records. Timing
+// fields (wall/CPU seconds) are excluded by construction.
+void ExpectIdenticalJoin(const core::JoinResult& expected,
+                         const core::JoinResult& actual) {
+  ASSERT_EQ(expected.pairs.size(), actual.pairs.size());
+  for (size_t i = 0; i < expected.pairs.size(); ++i) {
+    const core::MatchedPair& e = expected.pairs[i];
+    const core::MatchedPair& a = actual.pairs[i];
+    EXPECT_EQ(e.q_index, a.q_index) << "pair " << i;
+    EXPECT_EQ(e.g_index, a.g_index) << "pair " << i;
+    EXPECT_EQ(e.similarity_probability, a.similarity_probability)
+        << "pair " << i;
+    EXPECT_EQ(e.mapping, a.mapping) << "pair " << i;
+    EXPECT_EQ(e.best_world_ged, a.best_world_ged) << "pair " << i;
+  }
+  EXPECT_EQ(expected.stats.total_pairs, actual.stats.total_pairs);
+  EXPECT_EQ(expected.stats.pruned_structural, actual.stats.pruned_structural);
+  EXPECT_EQ(expected.stats.pruned_probabilistic,
+            actual.stats.pruned_probabilistic);
+  EXPECT_EQ(expected.stats.candidates, actual.stats.candidates);
+  EXPECT_EQ(expected.stats.results, actual.stats.results);
+  EXPECT_EQ(expected.stats.verify.worlds_enumerated,
+            actual.stats.verify.worlds_enumerated);
+  EXPECT_EQ(expected.stats.verify.worlds_pruned_by_bound,
+            actual.stats.verify.worlds_pruned_by_bound);
+  EXPECT_EQ(expected.stats.verify.worlds_accepted_by_upper_bound,
+            actual.stats.verify.worlds_accepted_by_upper_bound);
+  EXPECT_EQ(expected.stats.verify.ged_calls, actual.stats.verify.ged_calls);
+  EXPECT_EQ(expected.stats.verify.ged_aborted, actual.stats.verify.ged_aborted);
+  ASSERT_EQ(expected.explains.size(), actual.explains.size());
+  for (size_t i = 0; i < expected.explains.size(); ++i) {
+    const core::PairExplain& e = expected.explains[i];
+    const core::PairExplain& a = actual.explains[i];
+    EXPECT_EQ(e.q_index, a.q_index) << "explain " << i;
+    EXPECT_EQ(e.g_index, a.g_index) << "explain " << i;
+    EXPECT_EQ(e.pruned_by, a.pruned_by) << "explain " << i;
+    EXPECT_EQ(e.accepted, a.accepted) << "explain " << i;
+    EXPECT_EQ(e.css_lower_bound, a.css_lower_bound) << "explain " << i;
+    EXPECT_EQ(e.simp_upper_bound, a.simp_upper_bound) << "explain " << i;
+    EXPECT_EQ(e.live_groups, a.live_groups) << "explain " << i;
+    EXPECT_EQ(e.live_mass, a.live_mass) << "explain " << i;
+    EXPECT_EQ(e.simp_probability, a.simp_probability) << "explain " << i;
+    EXPECT_EQ(e.early_accept, a.early_accept) << "explain " << i;
+    EXPECT_EQ(e.early_reject, a.early_reject) << "explain " << i;
+    EXPECT_EQ(e.worlds_enumerated, a.worlds_enumerated) << "explain " << i;
+    EXPECT_EQ(e.ged_calls, a.ged_calls) << "explain " << i;
+    EXPECT_EQ(e.best_world_ged, a.best_world_ged) << "explain " << i;
+  }
+}
+
+// Internal bookkeeping invariants that must hold after any run.
+void ExpectCoherentDistStats(const DistStats& stats) {
+  int completed = 0;
+  for (const WorkerReport& report : stats.workers) {
+    completed += report.shards_completed;
+    EXPECT_GE(report.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(completed + stats.fallback_shards, stats.shards_planned);
+  int failed = 0;
+  for (const WorkerReport& report : stats.workers) {
+    failed += report.shards_failed;
+  }
+  EXPECT_EQ(failed, stats.shards_requeued);
+}
+
+// The headline differential matrix: for each seed, the merged distributed
+// result must be byte-identical to the serial oracle at every worker
+// count, on both transports, under the seed's fault plan.
+TEST(ClusterSimTest, DifferentialAgainstIndexedOracleUnderFaults) {
+  for (int s = 0; s < g_seeds; ++s) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(s);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun: cluster_sim_test --seeds=N picks seeds 1000..)");
+    RandomJoinWorkload w = MakeRandomJoinWorkload(
+        seed, {.num_certain = 5, .num_uncertain = 4});
+    core::SimJParams params = BaseParams();
+    const core::JoinResult oracle =
+        core::IndexedSimJoin(w.d, w.u, params, w.dict);
+
+    for (Transport transport : TransportsUnderTest()) {
+      for (int workers : {1, 2, 4, 8}) {
+        SCOPED_TRACE(std::string("transport=") + TransportName(transport) +
+                     " workers=" + std::to_string(workers));
+        SimOptions sim_options;
+        sim_options.seed = seed;
+        sim_options.slow_probability = 0.2;
+        sim_options.slow_min_ms = 1.0;
+        sim_options.slow_max_ms = 3.0;
+        sim_options.death_probability = 0.25;
+        ClusterSim sim(sim_options);
+
+        DistJoinParams dist_params;
+        dist_params.num_workers = workers;
+        dist_params.transport = transport;
+        dist_params.max_pairs_per_shard = 3;
+        dist_params.use_index = true;
+        dist_params.max_worker_restarts = 3;
+        dist_params.fault_hook = sim.Hook();
+
+        DistJoinResult dist =
+            ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+        ExpectIdenticalJoin(oracle, dist.join);
+        ExpectCoherentDistStats(dist.dist);
+      }
+    }
+  }
+}
+
+// The no-index plan must reproduce plain SimJoin instead.
+TEST(ClusterSimTest, DifferentialAgainstSimJoinOracleWithoutIndex) {
+  const int seeds = std::min(g_seeds, 5);
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 2000 + static_cast<uint64_t>(s);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RandomJoinWorkload w = MakeRandomJoinWorkload(seed);
+    core::SimJParams params = BaseParams();
+    const core::JoinResult oracle = core::SimJoin(w.d, w.u, params, w.dict);
+
+    for (Transport transport : TransportsUnderTest()) {
+      SCOPED_TRACE(std::string("transport=") + TransportName(transport));
+      SimOptions sim_options;
+      sim_options.seed = seed;
+      sim_options.death_probability = 0.3;
+      ClusterSim sim(sim_options);
+
+      DistJoinParams dist_params;
+      dist_params.num_workers = 3;
+      dist_params.transport = transport;
+      dist_params.max_pairs_per_shard = 2;
+      dist_params.use_index = false;
+      dist_params.fault_hook = sim.Hook();
+
+      DistJoinResult dist =
+          ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+      ExpectIdenticalJoin(oracle, dist.join);
+      ExpectCoherentDistStats(dist.dist);
+    }
+  }
+}
+
+// Every injected straggler must be observed by the stall watchdog: the
+// coordinator heartbeats the shard's first pair before dispatch, the
+// injected delay ages that heartbeat past the budget, and the monitor
+// thread flags it — one stall event per delayed execution, regardless of
+// transport.
+TEST(ClusterSimTest, StallWatchdogSeesEveryInjectedStraggler) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(
+      31, {.num_certain = 4, .num_uncertain = 3});
+  core::SimJParams params = BaseParams();
+  params.stall_warn_ms = 8.0;
+  const core::JoinResult oracle =
+      core::IndexedSimJoin(w.d, w.u, params, w.dict);
+
+  for (Transport transport : TransportsUnderTest()) {
+    SCOPED_TRACE(std::string("transport=") + TransportName(transport));
+    SimOptions sim_options;
+    sim_options.seed = 31;
+    sim_options.slow_probability = 1.0;  // every execution is a straggler
+    sim_options.slow_min_ms = 40.0;
+    sim_options.slow_max_ms = 60.0;
+    ClusterSim sim(sim_options);
+
+    DistJoinParams dist_params;
+    dist_params.num_workers = 2;
+    dist_params.transport = transport;
+    dist_params.max_pairs_per_shard = 4;
+    dist_params.fault_hook = sim.Hook();
+
+    DistJoinResult dist = ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+    EXPECT_GT(sim.injected_delays(), 0);
+    EXPECT_EQ(sim.injected_delays(), dist.dist.shards_planned);
+    // Detection, not just sampling: every 40-60 ms straggler blows the 8 ms
+    // budget and the monitor polls every ~2 ms.
+    EXPECT_GE(dist.dist.stall_events, sim.injected_delays());
+    ExpectIdenticalJoin(oracle, dist.join);
+  }
+}
+
+// Work stealing on the skewed-bucket workload: a straggler worker's queue
+// is drained by its peers, so busy time stays balanced — no worker owns
+// more than 2x the mean — and at least one steal actually happens.
+TEST(ClusterSimTest, WorkStealingBalancesSkewedBuckets) {
+  RandomJoinWorkload w = MakeSkewedBucketWorkload(33);
+  core::SimJParams params = BaseParams();
+  params.explain.enabled = false;
+  const core::JoinResult oracle =
+      core::IndexedSimJoin(w.d, w.u, params, w.dict);
+
+  DistJoinParams dist_params;
+  dist_params.num_workers = 4;
+  dist_params.transport = Transport::kThread;
+  dist_params.max_pairs_per_shard = 8;
+  // Deterministic cost model instead of rng faults: every shard carries a
+  // per-pair delay so shard time dominates scheduling noise, and worker 0
+  // is a straggler (+8 ms per shard) whose queue the others must steal.
+  dist_params.fault_hook = [](int worker, int /*shard_id*/, int /*attempt*/,
+                              int shard_pairs) {
+    FaultSpec fault;
+    fault.delay_ms = 1.0 + 0.5 * shard_pairs + (worker == 0 ? 8.0 : 0.0);
+    return fault;
+  };
+
+  DistJoinResult dist = ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+  ExpectIdenticalJoin(oracle, dist.join);
+
+  double total_busy = 0.0;
+  double max_busy = 0.0;
+  int steals = 0;
+  for (const WorkerReport& report : dist.dist.workers) {
+    total_busy += report.busy_seconds;
+    max_busy = std::max(max_busy, report.busy_seconds);
+    steals += report.steals;
+  }
+  const double mean_busy = total_busy / 4.0;
+  ASSERT_GT(mean_busy, 0.0);
+  EXPECT_LE(max_busy, 2.0 * mean_busy)
+      << "straggler kept " << max_busy << "s of " << total_busy
+      << "s total; stealing failed to rebalance";
+  EXPECT_GT(steals, 0) << "skewed queues should force at least one steal";
+}
+
+// With every execution dying and restarts capped, all workers go
+// permanently dead — the coordinator must requeue the abandoned shards,
+// run them inline, and still merge a byte-identical result.
+TEST(ClusterSimTest, AllWorkersDeadFallsBackInlineAndConverges) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(34);
+  core::SimJParams params = BaseParams();
+  const core::JoinResult oracle =
+      core::IndexedSimJoin(w.d, w.u, params, w.dict);
+
+  for (Transport transport : TransportsUnderTest()) {
+    SCOPED_TRACE(std::string("transport=") + TransportName(transport));
+    SimOptions sim_options;
+    sim_options.seed = 34;
+    sim_options.death_probability = 1.0;
+    ClusterSim sim(sim_options);
+
+    DistJoinParams dist_params;
+    dist_params.num_workers = 2;
+    dist_params.transport = transport;
+    dist_params.max_pairs_per_shard = 3;
+    dist_params.max_worker_restarts = 1;
+    dist_params.fault_hook = sim.Hook();
+
+    DistJoinResult dist = ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+    ExpectIdenticalJoin(oracle, dist.join);
+    EXPECT_GT(dist.dist.fallback_shards, 0);
+    EXPECT_GT(dist.dist.shards_requeued, 0);
+    for (const WorkerReport& report : dist.dist.workers) {
+      EXPECT_TRUE(report.permanently_dead);
+      EXPECT_EQ(report.restarts, 1);
+      EXPECT_EQ(report.shards_completed, 0);
+    }
+    ExpectCoherentDistStats(dist.dist);
+  }
+}
+
+// The fault plan is a pure function of (seed, shard_id, attempt): two sims
+// with the same seed agree decision-for-decision; a different seed
+// disagrees somewhere.
+TEST(ClusterSimTest, FaultPlanIsPureFunctionOfSeed) {
+  SimOptions options;
+  options.seed = 42;
+  options.slow_probability = 0.5;
+  options.death_probability = 0.5;
+  ClusterSim a(options);
+  ClusterSim b(options);
+  options.seed = 43;
+  ClusterSim c(options);
+
+  bool differs_across_seeds = false;
+  for (int shard = 0; shard < 16; ++shard) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const FaultSpec fa = a.Decide(shard, attempt, 10);
+      const FaultSpec fb = b.Decide(shard, attempt, 10);
+      EXPECT_EQ(fa.delay_ms, fb.delay_ms);
+      EXPECT_EQ(fa.die_after_pairs, fb.die_after_pairs);
+      const FaultSpec fc = c.Decide(shard, attempt, 10);
+      if (fa.delay_ms != fc.delay_ms ||
+          fa.die_after_pairs != fc.die_after_pairs) {
+        differs_across_seeds = true;
+      }
+    }
+  }
+  EXPECT_TRUE(differs_across_seeds);
+}
+
+// A single worker with no faults is the degenerate cluster: still exact.
+TEST(ClusterSimTest, SingleWorkerNoFaultsMatchesOracleOnBothTransports) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(35);
+  core::SimJParams params = BaseParams();
+  const core::JoinResult oracle =
+      core::IndexedSimJoin(w.d, w.u, params, w.dict);
+  for (Transport transport : TransportsUnderTest()) {
+    SCOPED_TRACE(std::string("transport=") + TransportName(transport));
+    DistJoinParams dist_params;
+    dist_params.num_workers = 1;
+    dist_params.transport = transport;
+    DistJoinResult dist = ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+    ExpectIdenticalJoin(oracle, dist.join);
+    EXPECT_EQ(dist.dist.shards_requeued, 0);
+    EXPECT_EQ(dist.dist.fallback_shards, 0);
+  }
+}
+
+}  // namespace
+}  // namespace simj::dist
+
+// Custom main: strip --seeds=N (the ci.sh cluster-sim leg passes
+// --seeds=20; ctest runs the smaller default) before handing the rest to
+// googletest.
+int main(int argc, char** argv) {
+  int argc_out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      const int seeds = std::atoi(argv[i] + 8);
+      if (seeds > 0) simj::dist::g_seeds = seeds;
+      continue;
+    }
+    argv[argc_out++] = argv[i];
+  }
+  argc = argc_out;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

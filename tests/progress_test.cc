@@ -152,6 +152,43 @@ TEST(ProgressTest, StallWatchdogFlagsParkedWorker) {
   progress.EndJoin();
 }
 
+TEST(ProgressTest, RequeuedShardNeverRegressesCompletionOrEta) {
+  // The distributed join requeues shards abandoned by dead workers: the
+  // pairs a worker evaluated before dying stay in the registry counters,
+  // and the re-execution counts them again. The tracker must present that
+  // overshoot as "done", never as >100% completion or a negative ETA.
+  JoinProgress& progress = JoinProgress::Global();
+  metrics::Counter& pairs =
+      metrics::Registry::Global().GetCounter("simj_join_pairs_total");
+  progress.BeginJoin(/*total_pairs=*/10, /*workers=*/2, /*heartbeats=*/true);
+
+  // Worker 1 completes 6 of its shard's pairs, then dies mid-shard.
+  progress.Heartbeat(1, 0, 0);
+  pairs.Add(6);
+  ProgressSnapshot before = progress.Snapshot();
+  EXPECT_EQ(before.completed_pairs, 6);
+  EXPECT_LE(before.completed_pairs, before.total_pairs);
+
+  // The coordinator requeues the dead worker's shard; worker 0 re-runs it
+  // from the start. 3 pairs the dead worker already counted are counted
+  // again, then the remaining 7: the registry delta lands at 16 > 10.
+  progress.PairDone(1);
+  progress.Heartbeat(0, 0, 0);
+  pairs.Add(3);
+  pairs.Add(7);
+  progress.PairDone(0);
+
+  ProgressSnapshot after = progress.Snapshot();
+  EXPECT_GE(after.completed_pairs, before.completed_pairs)
+      << "completion regressed across a requeue";
+  EXPECT_EQ(after.completed_pairs, after.total_pairs)
+      << "overshoot must clamp to the planned total";
+  EXPECT_GE(after.eta_seconds, 0.0)
+      << "a fully-complete join must not report a negative ETA";
+  EXPECT_DOUBLE_EQ(after.eta_seconds, 0.0);
+  progress.EndJoin();
+}
+
 TEST(ProgressTest, HeartbeatsAppearInSnapshotWhileArmed) {
   JoinProgress& progress = JoinProgress::Global();
   progress.BeginJoin(10, 2, /*heartbeats=*/true);

@@ -116,6 +116,20 @@ TEST(ToJsonTest, IsDeterministic) {
   EXPECT_EQ(ToJson(MakeGoldenRecord()), ToJson(MakeGoldenRecord()));
 }
 
+TEST(ToJsonTest, SkippedIsSerializedOnlyWhenTrue) {
+  // The default (not skipped) record must not mention the key at all —
+  // that keeps existing goldens and baselines byte-stable.
+  BenchResult record = MakeGoldenRecord();
+  EXPECT_EQ(ToJson(record).find("\"skipped\""), std::string::npos);
+  // A skipped sample (a scaling row the host cannot measure) carries
+  // "skipped": true, which bench_compare.py accepts within schema v1.
+  Sample skipped;
+  skipped.name = "scaling threads=4";
+  skipped.skipped = true;
+  record.samples.push_back(skipped);
+  EXPECT_NE(ToJson(record).find("\"skipped\": true"), std::string::npos);
+}
+
 TEST(ToJsonTest, DeclaresCurrentSchemaVersion) {
   std::string json = ToJson(MakeGoldenRecord());
   EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos) << json;

@@ -1,0 +1,114 @@
+// Tests for util/subprocess: the length-prefixed frame protocol and the
+// fork-based ChildProcess runner — roundtrips, clean-EOF vs truncation
+// classification, exit/signal propagation, and kill-mid-conversation.
+
+#include "util/subprocess.h"
+
+#include <csignal>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace simj::subprocess {
+namespace {
+
+// Child that echoes every request frame back verbatim until EOF.
+int EchoChild(int request_fd, int response_fd) {
+  for (;;) {
+    StatusOr<std::string> frame = ReadFrame(request_fd);
+    if (!frame.ok()) {
+      return frame.status().code() == StatusCode::kNotFound ? 0 : 2;
+    }
+    if (!WriteFrame(response_fd, frame.value()).ok()) return 2;
+  }
+}
+
+TEST(SubprocessTest, EchoRoundtripsFramesIncludingEmpty) {
+  StatusOr<ChildProcess> child = ChildProcess::Spawn(EchoChild);
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  for (const std::string& payload :
+       {std::string("hello"), std::string(), std::string(1000, '\x7f'),
+        std::string("\0binary\0", 8)}) {
+    ASSERT_TRUE(WriteFrame(child->request_fd(), payload).ok());
+    StatusOr<std::string> echoed = ReadFrame(child->response_fd());
+    ASSERT_TRUE(echoed.ok()) << echoed.status().ToString();
+    EXPECT_EQ(echoed.value(), payload);
+  }
+  // Destructor kills and reaps; no hang.
+}
+
+TEST(SubprocessTest, ChildExitStatusPropagatesThroughWait) {
+  StatusOr<ChildProcess> child =
+      ChildProcess::Spawn([](int, int) { return 42; });
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(child->Wait(), 42);
+  EXPECT_FALSE(child->running());
+}
+
+TEST(SubprocessTest, CleanChildExitReadsAsNotFound) {
+  StatusOr<ChildProcess> child =
+      ChildProcess::Spawn([](int, int) { return 0; });
+  ASSERT_TRUE(child.ok());
+  StatusOr<std::string> frame = ReadFrame(child->response_fd());
+  ASSERT_FALSE(frame.ok());
+  // EOF at a frame boundary — "worker gone", not corruption.
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SubprocessTest, ChildDyingMidFrameReadsAsInternal) {
+  // The child writes a 100-byte length prefix but only 3 payload bytes.
+  StatusOr<ChildProcess> child = ChildProcess::Spawn([](int, int response_fd) {
+    const char prefix[4] = {100, 0, 0, 0};
+    (void)!::write(response_fd, prefix, 4);
+    (void)!::write(response_fd, "abc", 3);
+    return 0;
+  });
+  ASSERT_TRUE(child.ok());
+  StatusOr<std::string> frame = ReadFrame(child->response_fd());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInternal);
+}
+
+TEST(SubprocessTest, KilledChildReportsSignalAndEofsTheParent) {
+  // Child blocks forever waiting for a request that never comes.
+  StatusOr<ChildProcess> child = ChildProcess::Spawn(EchoChild);
+  ASSERT_TRUE(child.ok());
+  child->Kill();
+  // SIGKILL closes the child's pipe ends: the parent sees clean EOF.
+  StatusOr<std::string> frame = ReadFrame(child->response_fd());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(child->Wait(), -SIGKILL);
+}
+
+TEST(SubprocessTest, OversizedFrameIsRejectedBeforeWriting) {
+  StatusOr<ChildProcess> child = ChildProcess::Spawn(EchoChild);
+  ASSERT_TRUE(child.ok());
+  std::string huge(static_cast<size_t>(kMaxFrameBytes) + 1, 'x');
+  Status status = WriteFrame(child->request_fd(), huge);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SubprocessTest, WriteToDeadChildSurfacesAsStatusNotSigpipe) {
+  StatusOr<ChildProcess> child =
+      ChildProcess::Spawn([](int, int) { return 0; });
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(child->Wait(), 0);
+  // The child is gone and its read end is closed: the kernel would raise
+  // SIGPIPE, which Spawn() has ignored process-wide — so this must come
+  // back as a Status (possibly after filling the pipe buffer, hence a
+  // small payload and a bounded number of attempts).
+  Status last = Status::Ok();
+  for (int i = 0; i < 4096 && last.ok(); ++i) {
+    last = WriteFrame(child->request_fd(), "ping");
+  }
+  EXPECT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace simj::subprocess

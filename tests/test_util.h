@@ -145,6 +145,53 @@ inline RandomJoinWorkload MakeRandomJoinWorkload(
   return workload;
 }
 
+// A join workload with one HOT size-signature bucket and many cold ones:
+// `hot_certain` certain graphs share the same (|V|, |E|) signature (so the
+// shard planner cuts that bucket into many shards), while `cold_certain`
+// graphs get unique, mostly-index-pruned signatures. Exercises the
+// distributed join's work stealing: without stealing, the round-robin deal
+// strands most of the hot bucket on a few workers.
+inline RandomJoinWorkload MakeSkewedBucketWorkload(uint64_t seed,
+                                                   int hot_certain = 24,
+                                                   int cold_certain = 6,
+                                                   int num_uncertain = 6) {
+  RandomJoinWorkload workload;
+  Rng rng(seed);
+  workload.vertex_labels = TestLabels(workload.dict, 6);
+  workload.vertex_labels.push_back(workload.dict.Intern("?x"));
+  workload.edge_labels.push_back(workload.dict.Intern("r1"));
+  workload.edge_labels.push_back(workload.dict.Intern("r2"));
+  // Hot bucket: every graph is exactly (4 vertices, 3 edges).
+  for (int i = 0; i < hot_certain; ++i) {
+    graph::LabeledGraph g;
+    for (int v = 0; v < 4; ++v) {
+      g.AddVertex(workload.vertex_labels[rng.Uniform(
+          0, static_cast<int64_t>(workload.vertex_labels.size()) - 1)]);
+    }
+    // A random spanning-ish triple of edges over distinct vertex pairs.
+    g.AddEdge(0, 1 + static_cast<int>(rng.Uniform(0, 2)),
+              workload.edge_labels[rng.Uniform(0, 1)]);
+    g.AddEdge(1, 2 + static_cast<int>(rng.Uniform(0, 1)),
+              workload.edge_labels[rng.Uniform(0, 1)]);
+    g.AddEdge(2, 3, workload.edge_labels[rng.Uniform(0, 1)]);
+    workload.d.push_back(std::move(g));
+  }
+  // Cold tail: one graph per distinct larger signature (8.. vertices), far
+  // enough from the uncertain side that the index prunes most of them.
+  for (int i = 0; i < cold_certain; ++i) {
+    const int n = 8 + i;
+    workload.d.push_back(RandomCertainGraph(rng, workload.vertex_labels,
+                                            workload.edge_labels, n, n + 2));
+  }
+  // Uncertain side sized to match the hot bucket signature.
+  for (int i = 0; i < num_uncertain; ++i) {
+    workload.u.push_back(RandomUncertainGraph(
+        rng, workload.vertex_labels, workload.edge_labels, 4, 3,
+        /*max_alts=*/3));
+  }
+  return workload;
+}
+
 // Seeded question workload over an existing knowledge base (pipeline and
 // template tests generate several of these per test).
 inline workload::Workload MakeSeededWorkload(

@@ -94,6 +94,11 @@ def validate_record(record, origin="<record>"):
                     )
         if not isinstance(sample.get("values", {}), dict):
             raise SchemaError(f"{where}: 'values' must be an object")
+        # Optional within v1: harnesses mark configurations they declined
+        # to measure (e.g. a 4-thread scaling row on a 2-core host) with
+        # "skipped": true. Absence means false — no schema bump.
+        if not isinstance(sample.get("skipped", False), bool):
+            raise SchemaError(f"{where}: 'skipped' must be a boolean")
     return record
 
 
@@ -161,8 +166,16 @@ def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
             f"params differ: baseline {baseline['params']} vs "
             f"current {current['params']}"
         )
-    base_samples = {s["name"]: s for s in baseline["samples"]}
-    cur_samples = {s["name"]: s for s in current["samples"]}
+    skipped = sorted(
+        {s["name"] for s in baseline["samples"] if s.get("skipped")}
+        | {s["name"] for s in current["samples"] if s.get("skipped")}
+    )
+    for name in skipped:
+        notes.append(f"sample skipped (not compared): {name}")
+    base_samples = {s["name"]: s for s in baseline["samples"]
+                    if not s.get("skipped")}
+    cur_samples = {s["name"]: s for s in current["samples"]
+                   if not s.get("skipped")}
     deltas = [
         Delta(name, base_samples[name]["wall_seconds"],
               cur_samples[name]["wall_seconds"], min_delta_pct, noise_sigmas)
@@ -170,8 +183,8 @@ def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
         if name in cur_samples
     ]
     deltas.sort(key=lambda d: -d.delta_pct)
-    missing = sorted(set(base_samples) - set(cur_samples))
-    added = sorted(set(cur_samples) - set(base_samples))
+    missing = sorted(set(base_samples) - set(cur_samples) - set(skipped))
+    added = sorted(set(cur_samples) - set(base_samples) - set(skipped))
     base_rss = baseline["peak_rss_bytes"]
     cur_rss = current["peak_rss_bytes"]
     if base_rss > 0:
@@ -353,6 +366,29 @@ def self_test(repo):
     except SchemaError:
         pass
 
+    # "skipped": true is valid v1 (a <4-core host skips scaling rows) and
+    # excludes the sample from comparison on either side.
+    with_skip = make_record({"scaling t=1": 1.0, "scaling t=4": 0.0})
+    for sample in with_skip["samples"]:
+        if sample["name"] == "scaling t=4":
+            sample["skipped"] = True
+    validate_record(with_skip, "with-skip")
+    deltas, missing, added, notes = compare_records(
+        with_skip, make_record({"scaling t=1": 1.0, "scaling t=4": 0.9}))
+    check([d.name for d in deltas] == ["scaling t=1"],
+          "skipped sample entered delta comparison")
+    check(not missing and not added,
+          "skipped sample misreported as missing/added")
+    check(any("skipped" in note for note in notes),
+          "skipped sample not surfaced as a note")
+    bad_skip = make_record({"x": 1.0})
+    bad_skip["samples"][0]["skipped"] = "yes"
+    try:
+        validate_record(bad_skip, "bad-skip")
+        check(False, "non-boolean 'skipped' accepted")
+    except SchemaError:
+        pass
+
     # The checked-in golden record (tests/golden) must satisfy the schema —
     # it is the contract between the C++ writer and this reader.
     golden = os.path.join(repo, "tests", "golden", "bench_result_v1.json")
@@ -369,7 +405,7 @@ def self_test(repo):
     for failure in failures:
         print(f"self-test: {failure}")
     if not failures:
-        print("self-test OK: 12 cases")
+        print("self-test OK: 14 cases")
     return 1 if failures else 0
 
 

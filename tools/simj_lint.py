@@ -24,6 +24,12 @@ Rules (see DESIGN.md "Correctness tooling"):
                      embedded introspection server), which is exempt by
                      path. Keeps the "at most one file touches the
                      network" audit surface honest.
+  no-raw-subprocess  src/ never forks, execs, opens raw pipes, or signals
+                     processes directly; all child-process plumbing lives
+                     in src/util/subprocess.cc (the framed-pipe worker
+                     runner), which is exempt by path. Mirrors
+                     no-raw-sockets: one auditable file per privileged
+                     syscall family.
   unconsumed-status  a call to a function returning Status/StatusOr (names
                      harvested from src/**/*.h) must not be a bare
                      discarded statement, and `(void)` discards must use
@@ -67,6 +73,7 @@ PRAGMA_SHORTHAND = {
     "random": "no-raw-random",
     "logging": "no-raw-logging",
     "sockets": "no-raw-sockets",
+    "subprocess": "no-raw-subprocess",
 }
 
 # ---------------------------------------------------------------------------
@@ -229,6 +236,16 @@ SOCKET_CALL_RE = re.compile(
     r"(?<!std)::(socket|bind|listen|accept|connect|setsockopt|recv|send|"
     r"shutdown|getsockname)\s*\("
 )
+# Process-control headers and ::-qualified POSIX process/pipe calls. Only
+# ::-qualified spellings count (matching the project convention for raw
+# syscalls), so methods like ChildProcess::Kill() don't trip the rule.
+SUBPROCESS_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](?:sys/wait\.h|spawn\.h)[>"]'
+)
+SUBPROCESS_CALL_RE = re.compile(
+    r"(?<!std)::(fork|vfork|pipe2?|execve?|execvpe?|execlp?|posix_spawnp?|"
+    r"waitpid|waitid|wait[34]?|kill|killpg|system|popen)\s*\("
+)
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
 
 STATUS_DECL_RE = re.compile(
@@ -287,6 +304,11 @@ def lint_file(source, status_functions):
     check_sockets = (
         in_dir(rel, "src", "bench", "examples")
         and rel != "src/util/statusz.cc"
+    )
+    # The framed-pipe worker runner is the one file allowed to fork/exec.
+    check_subprocess = (
+        in_dir(rel, "src", "bench", "examples")
+        and rel != "src/util/subprocess.cc"
     )
 
     bare_call_re = None
@@ -354,6 +376,18 @@ def lint_file(source, status_functions):
                     "no-raw-sockets", line_number,
                     f"raw socket use ('{what}') — all network I/O belongs "
                     "in src/util/statusz.cc (or annotate allow(sockets))",
+                )
+        if check_subprocess:
+            match = (SUBPROCESS_INCLUDE_RE.search(line)
+                     or SUBPROCESS_CALL_RE.search(line))
+            if match:
+                what = (match.group(1) if match.re is SUBPROCESS_CALL_RE
+                        else "process-control header include")
+                emit(
+                    "no-raw-subprocess", line_number,
+                    f"raw process control ('{what}') — fork/exec/pipe/wait "
+                    "plumbing belongs in src/util/subprocess.cc (or "
+                    "annotate allow(subprocess))",
                 )
         if bare_call_re:
             match = bare_call_re.match(line)
@@ -495,6 +529,16 @@ SELF_TEST_CASES = [
      "no-raw-sockets"),
     ("bench/bad_connect.cc",
      "#include <netinet/in.h>\nvoid F();\n", "no-raw-sockets"),
+    ("src/core/bad_fork.cc",
+     "void F() { if (::fork() == 0) { ::_exit(0); } }\n",
+     "no-raw-subprocess"),
+    ("src/dist/bad_wait_header.cc",
+     "#include <sys/wait.h>\nvoid F();\n", "no-raw-subprocess"),
+    ("src/graph/bad_pipe.cc",
+     "void F(int* fds) { ::pipe(fds); ::kill(1, 9); }\n",
+     "no-raw-subprocess"),
+    ("bench/bad_system.cc",
+     'void F() { ::system("ls"); }\n', "no-raw-subprocess"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -532,6 +576,17 @@ SELF_TEST_CLEAN = [
     ("src/workload/ok_sockets_pragma.cc",
      "// simj-lint: allow-file(sockets)\n#include <sys/socket.h>\n"
      "void F() { ::socket(2, 1, 0); }\n"),
+    # The framed-pipe worker runner is path-exempt from no-raw-subprocess.
+    ("src/util/subprocess.cc",
+     "#include <sys/wait.h>\nvoid F() { if (::fork() == 0) ::_exit(0); }\n"),
+    # Method names that shadow the syscalls (ChildProcess::Kill, a worker's
+    # Wait) are not ::-qualified syscalls.
+    ("src/dist/ok_kill_method.cc",
+     "#include \"util/subprocess.h\"\n"
+     "void F(simj::subprocess::ChildProcess* c) { c->Kill(); c->Wait(); }\n"),
+    ("src/workload/ok_subprocess_pragma.cc",
+     "// simj-lint: allow-file(subprocess)\n"
+     "void F() { ::kill(1, 9); }\n"),
 ]
 
 def self_test(repo):
