@@ -7,17 +7,25 @@
 //
 // Flags: --num_certain / --num_uncertain / --num_vertices / --tau /
 // --alpha rescale the workload; --max_pairs_per_shard sets shard
-// granularity. As in bench_parallel_scaling, worker counts the host cannot
-// exercise (hardware_threads < 4) are recorded as skipped samples rather
-// than measured as scheduler noise.
+// granularity. --workers=N pins a single worker count (0, the default,
+// sweeps {1,2,4,8}); --transport=thread|process|both picks the transport
+// legs. --death_probability / --slow_probability / --sim_seed wire a
+// ClusterSim fault hook into every measured join, so CI can drive a
+// faulted run with --trace_out/--events_out and validate the merged
+// cluster trace and flight-recorder dump. As in bench_parallel_scaling,
+// worker counts the host cannot exercise (hardware_threads < 4) are
+// recorded as skipped samples rather than measured as scheduler noise —
+// unless the count was pinned explicitly with --workers.
 
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/index.h"
 #include "dist/coordinator.h"
+#include "dist/simulator.h"
 
 namespace {
 
@@ -47,7 +55,8 @@ int main(int argc, char** argv) {
   Flags flags = bench::ParseBenchFlags(
       argc, argv,
       {"seed", "num_certain", "num_uncertain", "num_vertices", "num_edges",
-       "labels", "tau", "alpha", "max_pairs_per_shard"});
+       "labels", "tau", "alpha", "max_pairs_per_shard", "workers", "transport",
+       "sim_seed", "death_probability", "slow_probability"});
   bench::PrintHeader("Sharded similarity join scaling (synthetic ER)");
 
   workload::SyntheticConfig config;
@@ -66,10 +75,42 @@ int main(int argc, char** argv) {
   const int max_pairs_per_shard =
       static_cast<int>(flags.GetInt("max_pairs_per_shard", 64));
 
+  // --workers=0 sweeps; an explicit pin is honored even on small hosts.
+  const int pinned_workers = static_cast<int>(flags.GetInt("workers", 0));
+  std::vector<int> worker_counts;
+  if (pinned_workers > 0) {
+    worker_counts.push_back(pinned_workers);
+  } else {
+    worker_counts = {1, 2, 4, 8};
+  }
+  const std::string transport_flag = flags.GetString("transport", "both");
+  std::vector<dist::Transport> transports;
+  if (transport_flag == "thread") {
+    transports = {dist::Transport::kThread};
+  } else if (transport_flag == "process") {
+    transports = {dist::Transport::kProcess};
+  } else {
+    transports = {dist::Transport::kThread, dist::Transport::kProcess};
+  }
+
+  dist::SimOptions sim_options;
+  sim_options.seed = static_cast<uint64_t>(flags.GetInt("sim_seed", 1));
+  sim_options.death_probability = flags.GetDouble("death_probability", 0.0);
+  sim_options.slow_probability = flags.GetDouble("slow_probability", 0.0);
+  const bool faulted = sim_options.death_probability > 0.0 ||
+                       sim_options.slow_probability > 0.0;
+  dist::ClusterSim sim(sim_options);
+
   const unsigned hardware_threads = std::thread::hardware_concurrency();
-  std::printf("|D|=%zu |U|=%zu max_pairs_per_shard=%d hardware_threads=%u\n\n",
+  std::printf("|D|=%zu |U|=%zu max_pairs_per_shard=%d hardware_threads=%u",
               data.certain.size(), data.uncertain.size(), max_pairs_per_shard,
               hardware_threads);
+  if (faulted) {
+    std::printf(" sim_seed=%llu death_p=%.2f slow_p=%.2f",
+                static_cast<unsigned long long>(sim_options.seed),
+                sim_options.death_probability, sim_options.slow_probability);
+  }
+  std::printf("\n\n");
 
   // Serial oracle: the sharded join must reproduce this byte-for-byte.
   core::JoinResult baseline =
@@ -81,16 +122,16 @@ int main(int argc, char** argv) {
               "seconds", "speedup", "steals", "identical");
 
   bool all_identical = true;
-  for (dist::Transport transport :
-       {dist::Transport::kThread, dist::Transport::kProcess}) {
-    for (int workers : {1, 2, 4, 8}) {
+  for (dist::Transport transport : transports) {
+    for (int workers : worker_counts) {
       dist::DistJoinParams dist_params;
       dist_params.transport = transport;
       dist_params.num_workers = workers;
       dist_params.max_pairs_per_shard = max_pairs_per_shard;
+      if (faulted) dist_params.fault_hook = sim.Hook();
       params.num_threads = workers;  // sample-name key only; workers drive it
 
-      if (hardware_threads < 4 &&
+      if (pinned_workers == 0 && hardware_threads < 4 &&
           workers > static_cast<int>(hardware_threads)) {
         bench::RecordBenchSample(
             bench::JoinSampleName(dist::TransportName(transport), params),
@@ -130,7 +171,10 @@ int main(int argc, char** argv) {
           {{"speedup", speedup},
            {"identical", identical ? 1.0 : 0.0},
            {"steals", static_cast<double>(steals)},
-           {"shards", static_cast<double>(result.dist.shards_planned)}});
+           {"shards", static_cast<double>(result.dist.shards_planned)},
+           {"requeues", static_cast<double>(result.dist.shards_requeued)},
+           {"injected_deaths", static_cast<double>(sim.injected_deaths())},
+           {"injected_delays", static_cast<double>(sim.injected_delays())}});
       std::printf("%10s %8d %12.3f %9.2fx %10lld %10s\n",
                   dist::TransportName(transport), workers, seconds, speedup,
                   static_cast<long long>(steals), identical ? "yes" : "NO");
@@ -143,5 +187,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\nidentity: every (transport, workers) cell reproduced the "
               "serial oracle\n");
+  if (faulted) {
+    std::printf("faults injected: %lld deaths, %lld delays (%.1f ms)\n",
+                static_cast<long long>(sim.injected_deaths()),
+                static_cast<long long>(sim.injected_delays()),
+                sim.injected_delay_ms());
+  }
   return 0;
 }

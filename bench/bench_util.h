@@ -26,6 +26,7 @@
 #include "core/join.h"
 #include "core/progress.h"
 #include "util/flags.h"
+#include "util/flight_recorder.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
@@ -54,6 +55,7 @@ struct BenchOptions {
   std::string json_out;       // --json_out: BenchResult JSON run record path
   std::string metrics_out;    // --metrics_out: exposition-text dump path
   std::string trace_out;      // --trace_out: Chrome-trace JSON dump path
+  std::string events_out;     // --events_out: flight-recorder JSON dump path
   std::string log_level = "info";  // --log_level: debug|info|warn|error
   std::string log_json;       // --log_json: JSON-lines log sink path
   double slow_pair_ms = 1000.0;  // --slow_pair_ms: watchdog budget (0 = off)
@@ -119,6 +121,8 @@ inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
                    "tools/bench_compare.py)"},
       {"metrics_out", "write Prometheus-style metrics exposition here"},
       {"trace_out", "write Chrome-trace JSON here (open in Perfetto)"},
+      {"events_out", "write the coordinator flight-recorder JSON dump here "
+                     "(sharded joins only; see DESIGN.md §10)"},
       {"log_level", "minimum log level: debug|info|warn|error (default info)"},
       {"log_json", "write JSON-lines structured logs here instead of stderr "
                    "text"},
@@ -189,6 +193,16 @@ inline void EmitBenchArtifacts() {
                      << " (open in Perfetto)";
     }
   }
+  if (!options.events_out.empty()) {
+    std::ofstream os(options.events_out);
+    if (!os) {
+      SIMJ_LOG(WARN) << "cannot open --events_out=" << options.events_out;
+    } else {
+      os << flight::FlightRecorder::Global().ToJson();
+      SIMJ_LOG(INFO) << "flight-recorder events written to "
+                     << options.events_out;
+    }
+  }
   if (!options.json_out.empty()) {
     BenchRecorder& recorder = GlobalBenchRecorder();
     run_record::BenchResult& result = recorder.result;
@@ -221,6 +235,7 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
   options.json_out = flags.GetString("json_out", options.json_out);
   options.metrics_out = flags.GetString("metrics_out", options.metrics_out);
   options.trace_out = flags.GetString("trace_out", options.trace_out);
+  options.events_out = flags.GetString("events_out", options.events_out);
   options.log_level = flags.GetString("log_level", options.log_level);
   options.log_json = flags.GetString("log_json", options.log_json);
   options.slow_pair_ms =

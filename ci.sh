@@ -55,6 +55,67 @@ python3 tools/run_clang_tidy.py --build-dir build-release
 echo "=== cluster sim (20 seeds) ==="
 ./build-release/tests/cluster_sim_test --seeds=20
 
+# 1y. Cluster observability smoke: a faulted 4-worker sharded join with the
+# trace and flight-recorder sinks on. The merged Chrome trace must carry a
+# named lane per worker and an attempt span for every shard execution the
+# flight recorder saw — requeued retries included — and the events dump
+# must satisfy the simj_flight_v1 schema with the restart story intact.
+echo "=== cluster observability smoke ==="
+CLUSTER_DIR="$(mktemp -d)"
+trap 'rm -rf "${CLUSTER_DIR}"' EXIT
+./build-release/bench/bench_shard_scaling \
+  --workers=4 --transport=thread --max_pairs_per_shard=16 \
+  --sim_seed=5 --death_probability=0.3 --slow_probability=0.1 \
+  --num_certain=40 --num_uncertain=40 \
+  --trace_out="${CLUSTER_DIR}/cluster_trace.json" \
+  --events_out="${CLUSTER_DIR}/cluster_events.json" > /dev/null
+python3 - "${CLUSTER_DIR}" <<'PY'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/cluster_trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+lanes = {e["pid"]: e["args"]["name"]
+         for e in events if e.get("name") == "process_name"}
+for worker in range(4):
+    assert f"worker-{worker}" in lanes.values(), \
+        f"missing lane worker-{worker}: {lanes}"
+assert lanes.get(1) == "simj", lanes
+
+with open(f"{d}/cluster_events.json") as f:
+    flight = json.load(f)
+assert flight["schema"] == "simj_flight_v1", flight["schema"]
+assert isinstance(flight["dropped"], int)
+for event in flight["events"]:
+    assert {"seq", "ts_us", "type", "worker", "shard", "attempt",
+            "detail"} <= event.keys(), event
+seqs = [e["seq"] for e in flight["events"]]
+assert seqs == sorted(seqs), "flight events out of seq order"
+by_type = {}
+for e in flight["events"]:
+    by_type.setdefault(e["type"], []).append(e)
+assert by_type.get("requeue"), "fault plan injected no requeues"
+assert by_type.get("restart"), "no worker restart recorded"
+
+# Every executed attempt (dispatch or steal) appears as a span in the
+# executing worker's lane; requeued shards therefore show attempt>0 spans.
+spans = {e["name"]: e for e in events if e["ph"] == "X"}
+worker_pids = {name: pid for pid, name in lanes.items()}
+for e in by_type.get("dispatch", []) + by_type.get("steal", []):
+    name = f"shard-{e['shard']}/attempt-{e['attempt']}"
+    assert name in spans, f"no span for executed attempt {name}"
+    expected_pid = worker_pids[f"worker-{e['worker']}"]
+    assert spans[name]["pid"] == expected_pid, (name, spans[name])
+    assert spans[name]["args"]["trace_id"], name
+retried = [e for e in by_type.get("requeue", [])
+           if f"shard-{e['shard']}/attempt-{e['attempt'] + 1}" in spans]
+assert retried, "no retried shard produced an attempt>0 span"
+print(f"cluster observability OK: {len(lanes)} lanes, "
+      f"{len(spans)} spans, {len(flight['events'])} flight events, "
+      f"{len(by_type.get('requeue', []))} requeues, "
+      f"{len(by_type.get('restart', []))} restarts")
+PY
+
 # 1a. Debug-checks: the full suite with every SIMJ_DCHECK live, so the
 # internal invariants (GED postconditions, join counter identities, SimP
 # ranges, per-input graph validation) are enforced on every test.
@@ -67,7 +128,7 @@ ctest --test-dir build-dcheck --output-on-failure -j "${JOBS}"
 # names and that the metrics exposition is non-empty.
 echo "=== observability smoke ==="
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "${SMOKE_DIR}"' EXIT
+trap 'rm -rf "${SMOKE_DIR}" "${CLUSTER_DIR}"' EXIT
 ./build-release/bench/bench_fig13_group_number \
   --num_certain=8 --num_uncertain=8 --threads=8 \
   --metrics_out="${SMOKE_DIR}/metrics.txt" \
@@ -190,7 +251,10 @@ while time.time() < deadline:
             assert "threads" in tracez, tracez
             tracez_ok = True
         if not healthz_ok:
-            assert get("/healthz") == "ok\n"
+            health = json.loads(get("/healthz"))
+            assert health.get("status") in ("ok", "degraded"), health
+            if health["status"] == "degraded":
+                assert health.get("reason"), health
             healthz_ok = True
     except (urllib.error.URLError, OSError, ConnectionError):
         break
@@ -232,7 +296,7 @@ if [[ "${1:-}" != "--skip-tsan" ]]; then
     -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
-    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test|cluster_sim_test'
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test|cluster_sim_test|flight_recorder_test'
 fi
 
 echo "CI OK"

@@ -9,6 +9,7 @@
 
 #include "core/progress.h"
 #include "ged/lower_bounds.h"
+#include "util/health.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
@@ -428,6 +429,12 @@ void JoinPairs(const std::vector<LabeledGraph>& d,
       auto report = [&] {
         for (const StallEvent& event :
              progress.CheckStalls(params.stall_warn_ms)) {
+          // Degrades /healthz until the next join begins cleanly
+          // (JoinProgress::BeginJoin clears the component).
+          health::SetUnhealthy("stall_watchdog",
+                               "worker " + std::to_string(event.worker) +
+                                   " stalled for " +
+                                   std::to_string(event.stalled_ms) + " ms");
           SIMJ_LOG(WARN) << "stalled worker " << event.worker << ": pair <q="
                          << event.q_index << ",g=" << event.g_index
                          << "> running for " << event.stalled_ms

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "util/health.h"
 #include "util/log.h"
 #include "util/metrics.h"
 
@@ -54,6 +55,9 @@ JoinProgress& JoinProgress::Global() {
 
 void JoinProgress::BeginJoin(int64_t total_pairs, int workers,
                              bool heartbeats) {
+  // A stall belongs to one join; a new join starting cleanly un-degrades
+  // /healthz (the watchdog re-reports if this join stalls too).
+  health::SetHealthy("stall_watchdog");
   const ProgressCounters& c = ProgressCounters::Get();
   base_pairs_.store(c.pairs.Value(), std::memory_order_relaxed);
   base_pruned_structural_.store(c.pruned_structural.Value(),

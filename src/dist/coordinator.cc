@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <iterator>
 #include <mutex>
@@ -11,7 +12,10 @@
 #include <utility>
 
 #include "core/progress.h"
+#include "dist/clusterz.h"
 #include "util/check.h"
+#include "util/flight_recorder.h"
+#include "util/health.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -60,30 +64,66 @@ void ReplayStatsIntoRegistry(const core::JoinStats& stats) {
   results.Add(stats.results);
 }
 
-class Coordinator {
+// Folds one completed shard's counters into the `worker="<label>"`-labeled
+// series of the same families, for BOTH transports. Only non-duplicate
+// completions reach here, and a dying worker's partial evaluation never
+// does, so the per-label sums across every `worker` value equal the totals
+// an unsharded run would produce. Per shard, not per pair — the labeled
+// lookup's registry mutex is off the hot path.
+void AddLabeledShardStats(const core::JoinStats& stats,
+                          const std::string& worker_label) {
+  metrics::Registry& r = metrics::Registry::Global();
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"worker", worker_label}};
+  auto add = [&](const char* family, int64_t value) {
+    r.GetCounter(metrics::LabeledName(family, labels)).Add(value);
+  };
+  add("simj_join_pairs_total", stats.total_pairs);
+  add("simj_join_pruned_structural_total", stats.pruned_structural);
+  add("simj_join_pruned_probabilistic_total", stats.pruned_probabilistic);
+  add("simj_join_candidates_total", stats.candidates);
+  add("simj_join_results_total", stats.results);
+}
+
+// The Chrome-trace pid of worker `w`'s process lane (pid 1 is the
+// coordinator's own "simj" lane; 2 is left unused for clarity).
+int WorkerLanePid(int w) { return w + 2; }
+
+class Coordinator : public ClusterzSource {
  public:
   Coordinator(const ShardPlan& plan,
               std::vector<std::unique_ptr<ShardWorker>>* workers,
-              const WorkerContext& ctx, const DistJoinParams& dist_params)
+              const WorkerContext& ctx, const DistJoinParams& dist_params,
+              uint64_t trace_id)
       : plan_(plan),
         workers_(workers),
         ctx_(ctx),
         dist_params_(dist_params),
         num_workers_(static_cast<int>(workers->size())),
         num_shards_(static_cast<int>(plan.shards.size())),
+        trace_id_(trace_id),
         state_(plan.shards.size(), ShardState::kQueued),
         attempts_(plan.shards.size(), 0),
         results_(plan.shards.size()),
         queues_(workers->size()) {
     stats_.shards_planned = num_shards_;
     stats_.workers.resize(workers->size());
+    stats_.shard_completed_by.assign(plan.shards.size(), -1);
     // Deterministic round-robin deal; stealing rebalances at runtime.
     for (int s = 0; s < num_shards_; ++s) {
-      queues_[s % num_workers_].push_back(s);
+      const int w = s % num_workers_;
+      queues_[static_cast<size_t>(w)].push_back(s);
+      RecordEvent(kEventDeal, w, s, /*attempt=*/-1);
     }
   }
 
+  ~Coordinator() override = default;
+
   DistStats Run(core::JoinResult* result) {
+    // Publish live state for /clusterz for the duration of the run (the
+    // source registry holds its mutex across LiveJson, so tearing this
+    // down before returning is safe even against an in-flight scrape).
+    SetClusterzSource(this);
     core::JoinProgress& progress = core::JoinProgress::Global();
     const double stall_warn_ms = ctx_.params->stall_warn_ms;
     std::atomic<bool> monitor_stop{false};
@@ -97,6 +137,16 @@ class Coordinator {
           for (const core::StallEvent& event :
                progress.CheckStalls(stall_warn_ms)) {
             stall_events_.fetch_add(1, std::memory_order_relaxed);
+            health::SetUnhealthy(
+                "stall_watchdog",
+                "dist worker " + std::to_string(event.worker) +
+                    " stalled for " + std::to_string(event.stalled_ms) +
+                    " ms");
+            RecordEvent(kEventStall, event.worker, /*shard=*/-1,
+                        /*attempt=*/-1,
+                        std::to_string(event.stalled_ms) + " ms on pair <q=" +
+                            std::to_string(event.q_index) + ",g=" +
+                            std::to_string(event.g_index) + ">");
             SIMJ_LOG(WARN)
                 << "dist: stalled worker " << event.worker << ": pair <q="
                 << event.q_index << ",g=" << event.g_index << "> running for "
@@ -134,11 +184,77 @@ class Coordinator {
     Merge(result);
     stats_.stall_events =
         static_cast<int>(stall_events_.load(std::memory_order_relaxed));
+    SetClusterzSource(nullptr);
+    // The run's flight events, straight from the global ring (cleared by
+    // ShardedSimJoin at run start, so the copy is exactly this run).
+    stats_.events = flight::FlightRecorder::Global().Events();
     return std::move(stats_);
+  }
+
+  // ClusterzSource: live queue/worker state, sampled under mu_ from the
+  // statusz server thread. Heartbeat ages come from JoinProgress, like the
+  // /statusz join section.
+  std::string LiveJson() override {
+    core::ProgressSnapshot progress = core::JoinProgress::Global().Snapshot();
+    std::vector<double> heartbeat_age_ms(static_cast<size_t>(num_workers_),
+                                         -1.0);
+    for (const auto& beat : progress.heartbeats) {
+      if (beat.worker >= 0 && beat.worker < num_workers_) {
+        heartbeat_age_ms[static_cast<size_t>(beat.worker)] = beat.age_ms;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"num_shards\":" + std::to_string(num_shards_) +
+                      ",\"done\":" + std::to_string(done_count_) +
+                      ",\"requeued\":" + std::to_string(stats_.shards_requeued) +
+                      ",\"fallback\":" + std::to_string(stats_.fallback_shards) +
+                      ",\"workers\":[";
+    for (int w = 0; w < num_workers_; ++w) {
+      const WorkerReport& report = stats_.workers[static_cast<size_t>(w)];
+      if (w > 0) out += ",";
+      out += "{\"worker\":" + std::to_string(w) +
+             ",\"queue_depth\":" +
+             std::to_string(queues_[static_cast<size_t>(w)].size()) +
+             ",\"completed\":" + std::to_string(report.shards_completed) +
+             ",\"failed\":" + std::to_string(report.shards_failed) +
+             ",\"steals\":" + std::to_string(report.steals) +
+             ",\"restarts\":" + std::to_string(report.restarts) +
+             ",\"restart_budget\":" +
+             std::to_string(dist_params_.max_worker_restarts - report.restarts) +
+             ",\"state\":\"" +
+             (report.permanently_dead ? "dead" : "alive") +
+             "\",\"heartbeat_age_ms\":";
+      const double age = heartbeat_age_ms[static_cast<size_t>(w)];
+      if (age < 0.0) {
+        out += "null";
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.1f", age);
+        out += buffer;
+      }
+      out += "}";
+    }
+    out += "]}";
+    return out;
   }
 
  private:
   enum class ShardState { kQueued, kRunning, kDone };
+
+  // Records one scheduling decision into the global flight ring. Queue
+  // transitions (deal/dispatch/steal/requeue/complete/fallback) are
+  // recorded while mu_ is held, so their ring order IS the queue-operation
+  // order — the property ReplayFinalAssignment relies on.
+  static void RecordEvent(const char* type, int worker, int shard,
+                          int attempt, std::string detail = std::string()) {
+    flight::Event event;
+    event.type = type;
+    event.worker = worker;
+    event.shard = shard;
+    event.attempt = attempt;
+    event.detail = std::move(detail);
+    flight::FlightRecorder::Global().Record(std::move(event));
+  }
 
   void DispatchLoop(int w) {
     ShardWorker& worker = *(*workers_)[w];
@@ -155,6 +271,12 @@ class Coordinator {
               ? dist_params_.fault_hook(w, shard_id, attempt,
                                         static_cast<int>(shard.pairs.size()))
               : FaultSpec{};
+      if (!fault.none()) {
+        RecordEvent(kEventFault, w, shard_id, attempt,
+                    "delay_ms=" + std::to_string(fault.delay_ms) +
+                        " die_after_pairs=" +
+                        std::to_string(fault.die_after_pairs));
+      }
       // Beat on the shard's first pair before handing it off: a worker
       // that stalls or dies inside the shard ages this heartbeat, which is
       // what the stall watchdog samples — transport-independent liveness.
@@ -162,13 +284,50 @@ class Coordinator {
         progress.Heartbeat(w, shard.pairs.front().first,
                            shard.pairs.front().second);
       }
+      // Trace context for this attempt: the coordinator owns the attempt
+      // span (synthesized below even when the worker dies and ships
+      // nothing — failed attempts must appear in the trace); the worker's
+      // own spans parent to it through span_ctx.parent_span_id.
+      trace::Tracer& tracer = trace::Tracer::Global();
+      SpanContext span_ctx;
+      if (tracer.enabled()) {
+        span_ctx.collect = true;
+        span_ctx.trace_id = trace_id_;
+        span_ctx.parent_span_id =
+            next_span_id_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const double begin_us = tracer.NowUs();
       WallTimer timer;
-      StatusOr<ShardResult> result = worker.RunShard(shard, fault);
+      StatusOr<ShardResult> result = worker.RunShard(shard, fault, span_ctx);
       if (heartbeats) progress.PairDone(w);
+      if (span_ctx.collect) {
+        std::vector<trace::TraceEvent> batch;
+        trace::TraceEvent attempt_span;
+        attempt_span.name = "shard-" + std::to_string(shard_id) +
+                            "/attempt-" + std::to_string(attempt);
+        attempt_span.category = fault.none() ? "shard" : "shard_fault";
+        attempt_span.pid = WorkerLanePid(w);
+        attempt_span.ts_us = begin_us;
+        attempt_span.dur_us = tracer.NowUs() - begin_us;
+        attempt_span.trace_id = trace_id_;
+        attempt_span.span_id = span_ctx.parent_span_id;
+        batch.push_back(std::move(attempt_span));
+        if (result.ok()) {
+          // Re-file the worker-captured spans under this worker's process
+          // lane (tid collapses to 0: one execution row per worker).
+          for (trace::TraceEvent& span : result.value().spans) {
+            span.pid = WorkerLanePid(w);
+            span.tid = 0;
+            batch.push_back(std::move(span));
+          }
+          result.value().spans.clear();
+        }
+        tracer.InjectEvents(std::move(batch));
+      }
       if (result.ok()) {
         CompleteShard(w, shard_id, std::move(result).value(),
                       timer.ElapsedSeconds(), worker.counts_in_process());
-      } else if (!HandleFailure(w, shard_id, result.status())) {
+      } else if (!HandleFailure(w, shard_id, attempt, result.status())) {
         return;  // worker is permanently dead; its queue remains stealable
       }
     }
@@ -181,12 +340,12 @@ class Coordinator {
     for (;;) {
       if (done_count_ == num_shards_) return -1;
       int shard_id = -1;
+      int victim = -1;
       if (!queues_[w].empty()) {
         shard_id = queues_[w].front();
         queues_[w].pop_front();
         *stolen = false;
       } else {
-        int victim = -1;
         size_t longest = 0;
         for (int other = 0; other < num_workers_; ++other) {
           if (other == w || queues_[other].empty()) continue;
@@ -207,6 +366,12 @@ class Coordinator {
                     ShardState::kQueued);
         state_[static_cast<size_t>(shard_id)] = ShardState::kRunning;
         *attempt = attempts_[static_cast<size_t>(shard_id)]++;
+        if (*stolen) {
+          RecordEvent(kEventSteal, w, shard_id, *attempt,
+                      "victim=" + std::to_string(victim));
+        } else {
+          RecordEvent(kEventDispatch, w, shard_id, *attempt);
+        }
         return shard_id;
       }
       // Nothing queued, join unfinished: shards running elsewhere may yet
@@ -224,24 +389,32 @@ class Coordinator {
       if (state_[id] == ShardState::kDone) {
         duplicate = true;
         ++stats_.duplicate_results_discarded;
+        RecordEvent(kEventDuplicate, w, shard_id, /*attempt=*/-1);
       } else {
         state_[id] = ShardState::kDone;
         results_[id] = std::move(result);
         ++done_count_;
+        stats_.shard_completed_by[id] = w;
         WorkerReport& report = stats_.workers[static_cast<size_t>(w)];
         ++report.shards_completed;
         report.busy_seconds += elapsed_seconds;
+        RecordEvent(kEventComplete, w, shard_id, /*attempt=*/-1);
       }
       cv_.notify_all();
     }
-    if (!duplicate && !counts_in_process) {
-      ReplayStatsIntoRegistry(results_[static_cast<size_t>(shard_id)].stats);
+    if (!duplicate) {
+      if (!counts_in_process) {
+        ReplayStatsIntoRegistry(results_[static_cast<size_t>(shard_id)].stats);
+      }
+      AddLabeledShardStats(results_[static_cast<size_t>(shard_id)].stats,
+                           std::to_string(w));
     }
   }
 
   // Requeues the failed shard and restarts the worker. Returns false when
   // the worker is permanently dead and its dispatch loop must exit.
-  bool HandleFailure(int w, int shard_id, const Status& status) {
+  bool HandleFailure(int w, int shard_id, int attempt, const Status& status) {
+    const std::string component = "dist_worker_" + std::to_string(w);
     bool exhausted = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -253,8 +426,14 @@ class Coordinator {
       ++stats_.workers[static_cast<size_t>(w)].shards_failed;
       exhausted = stats_.workers[static_cast<size_t>(w)].restarts >=
                   dist_params_.max_worker_restarts;
+      RecordEvent(kEventRequeue, w, shard_id, attempt, status.message());
       cv_.notify_all();
     }
+    // Degraded until the worker is back (cleared below on a successful
+    // restart; a permanently dead worker stays degraded until run end).
+    health::SetUnhealthy(component, "died on shard " +
+                                        std::to_string(shard_id) +
+                                        "; not yet restarted");
     SIMJ_LOG(WARN) << "dist: worker " << w << " failed shard " << shard_id
                    << " (" << status.ToString() << "); shard requeued";
     if (!exhausted) {
@@ -262,14 +441,26 @@ class Coordinator {
       Status restarted = (*workers_)[static_cast<size_t>(w)]->Restart();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.workers[static_cast<size_t>(w)].restarts;
-      if (restarted.ok()) return true;
+      if (restarted.ok()) {
+        RecordEvent(kEventRestart, w, /*shard=*/-1, /*attempt=*/-1);
+        health::SetHealthy(component);
+        return true;
+      }
       SIMJ_LOG(ERROR) << "dist: worker " << w
                       << " restart failed: " << restarted.ToString();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.workers[static_cast<size_t>(w)].permanently_dead = true;
+      RecordEvent(kEventWorkerDead, w, /*shard=*/-1, /*attempt=*/-1,
+                  "restart budget " +
+                      std::to_string(dist_params_.max_worker_restarts) +
+                      " exhausted");
     }
+    health::SetUnhealthy(component, "permanently dead (restart budget " +
+                                        std::to_string(
+                                            dist_params_.max_worker_restarts) +
+                                        " exhausted)");
     SIMJ_LOG(WARN) << "dist: worker " << w << " is permanently dead after "
                    << dist_params_.max_worker_restarts << " restarts";
     return false;
@@ -289,16 +480,48 @@ class Coordinator {
                    << " shard(s) unfinished; running them inline";
     std::unique_ptr<ShardWorker> inline_worker =
         MakeThreadWorker(ctx_, /*worker_index=*/0);
+    trace::Tracer& tracer = trace::Tracer::Global();
     for (int shard_id : remaining) {
       const auto id = static_cast<size_t>(shard_id);
+      // Collect even inline so the fallback attempt shows up as a span in
+      // the coordinator's own lane, consistent with worker attempts.
+      SpanContext span_ctx;
+      if (tracer.enabled()) {
+        span_ctx.collect = true;
+        span_ctx.trace_id = trace_id_;
+        span_ctx.parent_span_id =
+            next_span_id_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const double begin_us = tracer.NowUs();
       StatusOr<ShardResult> result =
-          inline_worker->RunShard(plan_.shards[id], FaultSpec{});
+          inline_worker->RunShard(plan_.shards[id], FaultSpec{}, span_ctx);
       // A fault-free thread-transport shard cannot fail.
       SIMJ_CHECK_OK(result.status());
+      if (span_ctx.collect) {
+        std::vector<trace::TraceEvent> batch;
+        trace::TraceEvent attempt_span;
+        attempt_span.name = "shard-" + std::to_string(shard_id) + "/fallback";
+        attempt_span.category = "shard";
+        attempt_span.pid = 1;  // the coordinator's own lane
+        attempt_span.ts_us = begin_us;
+        attempt_span.dur_us = tracer.NowUs() - begin_us;
+        attempt_span.trace_id = trace_id_;
+        attempt_span.span_id = span_ctx.parent_span_id;
+        batch.push_back(std::move(attempt_span));
+        for (trace::TraceEvent& span : result.value().spans) {
+          span.pid = 1;
+          span.tid = 0;
+          batch.push_back(std::move(span));
+        }
+        result.value().spans.clear();
+        tracer.InjectEvents(std::move(batch));
+      }
       state_[id] = ShardState::kDone;
       results_[id] = std::move(result).value();
       ++done_count_;
       ++stats_.fallback_shards;
+      RecordEvent(kEventFallback, /*worker=*/-1, shard_id, /*attempt=*/-1);
+      AddLabeledShardStats(results_[id].stats, "inline");
     }
   }
 
@@ -326,6 +549,8 @@ class Coordinator {
   const DistJoinParams& dist_params_;
   const int num_workers_;
   const int num_shards_;
+  const uint64_t trace_id_;
+  std::atomic<uint64_t> next_span_id_{1};
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -353,10 +578,26 @@ DistJoinResult ShardedSimJoin(const std::vector<graph::LabeledGraph>& d,
       registry.GetCounter("simj_dist_shards_requeued_total");
   static metrics::Counter& worker_restarts_total =
       registry.GetCounter("simj_dist_worker_restarts_total");
+  static metrics::Counter& steals_total =
+      registry.GetCounter("simj_dist_steals_total");
   static metrics::Gauge& workers_gauge = registry.GetGauge("simj_dist_workers");
 
   WallTimer wall;
   trace::ScopedSpan span("sharded_simjoin", "dist");
+
+  // Observability setup: /clusterz goes live (no-op if no statusz server
+  // runs), the flight ring starts fresh so its contents are exactly this
+  // run, and each worker gets a named Chrome-trace process lane. The
+  // trace id is per-run so spans of consecutive runs never alias.
+  RegisterClusterzEndpoint();
+  flight::FlightRecorder::Global().Clear();
+  static std::atomic<uint64_t> next_trace_id{1};
+  const uint64_t trace_id =
+      next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  for (int w = 0; w < dist_params.num_workers; ++w) {
+    trace::Tracer::Global().RegisterProcessLane(WorkerLanePid(w),
+                                                "worker-" + std::to_string(w));
+  }
 
   ShardPlanOptions plan_options;
   plan_options.max_pairs_per_shard = dist_params.max_pairs_per_shard;
@@ -366,6 +607,10 @@ DistJoinResult ShardedSimJoin(const std::vector<graph::LabeledGraph>& d,
   DistJoinResult out;
   out.join.stats = plan.pre_stats;
   out.join.explains = std::move(plan.pre_explains);
+  // Index-pruned pairs never reach a shard, so the per-`worker`-label
+  // accounting attributes plan-level pruning to the coordinator itself —
+  // keeping the sum across all `worker` labels equal to an unsharded run.
+  AddLabeledShardStats(plan.pre_stats, "coordinator");
 
   // Workers share the dictionary concurrently (and process workers fork a
   // snapshot of it); freeze for the duration, like the parallel JoinPairs
@@ -402,15 +647,20 @@ DistJoinResult ShardedSimJoin(const std::vector<graph::LabeledGraph>& d,
                      heartbeats_on);
   workers_gauge.Set(static_cast<double>(dist_params.num_workers));
 
-  Coordinator coordinator(plan, &workers, ctx, dist_params);
+  Coordinator coordinator(plan, &workers, ctx, dist_params, trace_id);
   out.dist = coordinator.Run(&out.join);
 
   progress.EndJoin();
 
   shards_planned_total.Add(out.dist.shards_planned);
   shards_requeued_total.Add(out.dist.shards_requeued);
-  for (const WorkerReport& report : out.dist.workers) {
+  for (size_t w = 0; w < out.dist.workers.size(); ++w) {
+    const WorkerReport& report = out.dist.workers[w];
     worker_restarts_total.Add(report.restarts);
+    steals_total.Add(report.steals);
+    // The run is over: a worker that was mid-death (or permanently dead)
+    // no longer degrades the process — its shards all converged.
+    health::SetHealthy("dist_worker_" + std::to_string(w));
   }
 
   // The same join postcondition JoinPairs enforces, across the merge.

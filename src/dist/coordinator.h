@@ -22,6 +22,26 @@
 // the dispatch thread heartbeats the shard's first pair before handing it
 // to the worker, so a stuck or slow worker ages a heartbeat the monitor
 // thread can flag — regardless of transport.
+//
+// Cluster observability (DESIGN.md §10): while it runs, the coordinator
+//   * records every scheduling decision (deal, dispatch, steal, requeue,
+//     restart, complete, fault, stall, fallback) into the global
+//     util/flight_recorder ring — DistStats::events carries the run's copy
+//     and dist/clusterz.h's ReplayFinalAssignment can reconstruct the
+//     final shard-to-worker assignment from it;
+//   * when tracing is enabled, synthesizes one attempt span per shard
+//     execution (including failed/requeued attempts) under the worker's
+//     Chrome-trace process lane and merges the worker-captured spans
+//     shipped back in ShardResult::spans, so one --trace_out file shows
+//     the whole cluster timeline;
+//   * folds each completed shard's counters into `worker="N"`-labeled
+//     registry metrics (both transports; fallback shards get
+//     worker="inline"), so per-label sums always equal the unsharded run's
+//     totals — partial work by dying workers is deliberately excluded;
+//   * serves live queue depths / worker states through GET /clusterz and
+//     reports dead-worker and stall degradation to util/health (/healthz).
+// All of it is observational: join results stay byte-identical with every
+// sink on or off.
 
 #ifndef SIMJ_DIST_COORDINATOR_H_
 #define SIMJ_DIST_COORDINATOR_H_
@@ -36,6 +56,7 @@
 #include "graph/label.h"
 #include "graph/labeled_graph.h"
 #include "graph/uncertain_graph.h"
+#include "util/flight_recorder.h"
 
 namespace simj::dist {
 
@@ -81,6 +102,12 @@ struct DistStats {
   // Stall observations the watchdog reported during the run.
   int stall_events = 0;
   std::vector<WorkerReport> workers;
+  // The run's flight-recorder events (a copy of the global ring taken at
+  // the end of the run; the coordinator clears the ring at run start).
+  std::vector<flight::Event> events;
+  // Final assignment: the worker index that produced each shard's merged
+  // result (-1 = the coordinator's inline fallback).
+  std::vector<int> shard_completed_by;
 };
 
 struct DistJoinResult {

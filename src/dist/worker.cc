@@ -41,7 +41,12 @@ class ByteWriter {
   void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void I32(int32_t v) { Raw(&v, sizeof(v)); }
   void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    I32(static_cast<int32_t>(s.size()));
+    buf_.append(s);
+  }
   std::string Take() { return std::move(buf_); }
 
  private:
@@ -72,10 +77,25 @@ class ByteReader {
     Raw(&v, sizeof(v));
     return v;
   }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
   double F64() {
     double v = 0;
     Raw(&v, sizeof(v));
     return v;
+  }
+  std::string Str() {
+    const int32_t n = I32();
+    if (!ok_ || n < 0 || buf_.size() - pos_ < static_cast<size_t>(n)) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s = buf_.substr(pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
   }
   bool ok() const { return ok_; }
   bool AtEnd() const { return ok_ && pos_ == buf_.size(); }
@@ -94,12 +114,16 @@ class ByteReader {
   bool ok_ = true;
 };
 
-// Request: shard id + fault to honor + the pair list.
-std::string EncodeRequest(const Shard& shard, const FaultSpec& fault) {
+// Request: shard id + fault to honor + trace context + the pair list.
+std::string EncodeRequest(const Shard& shard, const FaultSpec& fault,
+                          const SpanContext& span_ctx) {
   ByteWriter w;
   w.I32(shard.shard_id);
   w.F64(fault.delay_ms);
   w.I32(fault.die_after_pairs);
+  w.U8(span_ctx.collect ? 1 : 0);
+  w.U64(span_ctx.trace_id);
+  w.U64(span_ctx.parent_span_id);
   w.I32(static_cast<int32_t>(shard.pairs.size()));
   for (const auto& [qi, gi] : shard.pairs) {
     w.I32(qi);
@@ -111,6 +135,7 @@ std::string EncodeRequest(const Shard& shard, const FaultSpec& fault) {
 struct Request {
   int shard_id = -1;
   FaultSpec fault;
+  SpanContext span_ctx;
   std::vector<std::pair<int, int>> pairs;
 };
 
@@ -119,6 +144,9 @@ bool DecodeRequest(const std::string& frame, Request* out) {
   out->shard_id = r.I32();
   out->fault.delay_ms = r.F64();
   out->fault.die_after_pairs = r.I32();
+  out->span_ctx.collect = r.U8() != 0;
+  out->span_ctx.trace_id = r.U64();
+  out->span_ctx.parent_span_id = r.U64();
   const int32_t n = r.I32();
   if (!r.ok() || n < 0) return false;
   out->pairs.clear();
@@ -172,6 +200,18 @@ std::string EncodeResult(const ShardResult& result) {
     w.I64(e.worlds_enumerated);
     w.I64(e.ged_calls);
     w.I32(e.best_world_ged);
+  }
+  // Span batch (empty unless the request asked to collect). tid/pid are
+  // not shipped: the coordinator re-files shipped spans under the worker's
+  // process lane.
+  w.I32(static_cast<int32_t>(result.spans.size()));
+  for (const trace::TraceEvent& span : result.spans) {
+    w.Str(span.name);
+    w.Str(span.category);
+    w.F64(span.ts_us);
+    w.F64(span.dur_us);
+    w.U64(span.trace_id);
+    w.U64(span.parent_span_id);
   }
   return w.Take();
 }
@@ -235,6 +275,21 @@ StatusOr<ShardResult> DecodeResult(const std::string& frame) {
     e.best_world_ged = r.I32();
     result.explains.push_back(std::move(e));
   }
+  const int32_t nspans = r.I32();
+  if (!r.ok() || nspans < 0) {
+    return InternalError("shard response corrupt (span count)");
+  }
+  result.spans.reserve(static_cast<size_t>(nspans));
+  for (int32_t i = 0; i < nspans; ++i) {
+    trace::TraceEvent span;
+    span.name = r.Str();
+    span.category = r.Str();
+    span.ts_us = r.F64();
+    span.dur_us = r.F64();
+    span.trace_id = r.U64();
+    span.parent_span_id = r.U64();
+    result.spans.push_back(std::move(span));
+  }
   if (!r.AtEnd()) {
     return InternalError("shard response corrupt (trailing bytes)");
   }
@@ -257,6 +312,15 @@ ShardResult EvaluateShardPairs(const WorkerContext& ctx,
   return out;
 }
 
+// Stamps the attempt's trace context onto every captured span.
+void TagSpans(std::vector<trace::TraceEvent>* spans,
+              const SpanContext& span_ctx) {
+  for (trace::TraceEvent& span : *spans) {
+    span.trace_id = span_ctx.trace_id;
+    span.parent_span_id = span_ctx.parent_span_id;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Thread transport.
 
@@ -265,8 +329,9 @@ class ThreadWorker final : public ShardWorker {
   ThreadWorker(const WorkerContext& ctx, int worker_index)
       : ctx_(ctx), worker_index_(worker_index) {}
 
-  StatusOr<ShardResult> RunShard(const Shard& shard,
-                                 const FaultSpec& fault) override {
+  StatusOr<ShardResult> RunShard(const Shard& shard, const FaultSpec& fault,
+                                 const SpanContext& span_ctx) override {
+    trace::Tracer& tracer = trace::Tracer::Global();
     SleepMs(fault.delay_ms);
     if (fault.die_after_pairs >= 0) {
       // Die mid-shard: evaluate the prefix (its registry increments stand,
@@ -277,14 +342,24 @@ class ThreadWorker final : public ShardWorker {
       const std::vector<std::pair<int, int>> partial(
           shard.pairs.begin(),
           shard.pairs.begin() + static_cast<long>(prefix));
+      if (span_ctx.collect) tracer.BeginThreadCapture();
       (void)EvaluateShardPairs(ctx_, *ctx_.params, shard.shard_id, partial,
                                worker_index_);
+      // A dying worker ships nothing: discard the partial capture, exactly
+      // as the process transport's child dies without responding.
+      if (span_ctx.collect) (void)tracer.EndThreadCapture();
       return InternalError("injected death: thread worker abandoned shard " +
                            std::to_string(shard.shard_id) + " after " +
                            std::to_string(prefix) + " pairs");
     }
-    return EvaluateShardPairs(ctx_, *ctx_.params, shard.shard_id, shard.pairs,
-                              worker_index_);
+    if (span_ctx.collect) tracer.BeginThreadCapture();
+    ShardResult result = EvaluateShardPairs(ctx_, *ctx_.params, shard.shard_id,
+                                            shard.pairs, worker_index_);
+    if (span_ctx.collect) {
+      result.spans = tracer.EndThreadCapture();
+      TagSpans(&result.spans, span_ctx);
+    }
+    return result;
   }
 
   Status Restart() override { return Status::Ok(); }
@@ -331,8 +406,17 @@ int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
                                /*worker_index=*/0);
       return 3;  // _exit(3): died mid-shard without responding
     }
-    const ShardResult result = EvaluateShardPairs(
+    // The capture works regardless of the inherited enabled_ snapshot (the
+    // fork may land with tracing on or off in the parent); timestamps stay
+    // on the parent's timeline because steady_clock is machine-wide and
+    // epoch_ survives fork().
+    if (request.span_ctx.collect) trace::Tracer::Global().BeginThreadCapture();
+    ShardResult result = EvaluateShardPairs(
         ctx, params, request.shard_id, request.pairs, /*worker_index=*/0);
+    if (request.span_ctx.collect) {
+      result.spans = trace::Tracer::Global().EndThreadCapture();
+      TagSpans(&result.spans, request.span_ctx);
+    }
     Status status =
         subprocess::WriteFrame(response_fd, EncodeResult(result));
     if (!status.ok()) return 2;
@@ -355,15 +439,15 @@ class ProcessWorker final : public ShardWorker {
     return Status::Ok();
   }
 
-  StatusOr<ShardResult> RunShard(const Shard& shard,
-                                 const FaultSpec& fault) override {
+  StatusOr<ShardResult> RunShard(const Shard& shard, const FaultSpec& fault,
+                                 const SpanContext& span_ctx) override {
     if (!child_.running()) {
       return FailedPreconditionError("process worker " +
                                      std::to_string(worker_index_) +
                                      " has no live child");
     }
-    Status status =
-        subprocess::WriteFrame(child_.request_fd(), EncodeRequest(shard, fault));
+    Status status = subprocess::WriteFrame(
+        child_.request_fd(), EncodeRequest(shard, fault, span_ctx));
     if (!status.ok()) return status;
     StatusOr<std::string> response = subprocess::ReadFrame(child_.response_fd());
     if (!response.ok()) {

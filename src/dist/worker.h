@@ -13,6 +13,13 @@
 // RunShard takes a FaultSpec so the deterministic cluster simulator
 // (dist/simulator.h) can inject stragglers and mid-shard deaths through the
 // exact production code path; production callers pass FaultSpec{}.
+//
+// RunShard also takes a SpanContext (DESIGN.md §10): when collect is set,
+// the worker records the spans of this one shard execution via
+// trace::BeginThreadCapture/EndThreadCapture, tags them with the given
+// trace/parent-span ids, and returns them in ShardResult::spans — shipped
+// inside the response frame for the process transport — so the coordinator
+// can merge every worker's spans into one cluster-wide Chrome trace.
 
 #ifndef SIMJ_DIST_WORKER_H_
 #define SIMJ_DIST_WORKER_H_
@@ -26,6 +33,7 @@
 #include "graph/labeled_graph.h"
 #include "graph/uncertain_graph.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace simj::dist {
 
@@ -52,6 +60,15 @@ struct FaultSpec {
   bool none() const { return delay_ms <= 0.0 && die_after_pairs < 0; }
 };
 
+// Cross-process trace context for one shard attempt (Dapper-style: the
+// coordinator owns the attempt span; worker spans point at it through
+// parent_span_id). Travels the request frame for the process transport.
+struct SpanContext {
+  bool collect = false;        // capture + ship this execution's spans
+  uint64_t trace_id = 0;       // one id per sharded run
+  uint64_t parent_span_id = 0; // the coordinator's attempt span
+};
+
 // Immutable view of the join workload shared by every worker. The caller
 // owns the pointees and keeps them alive for the workers' lifetime.
 struct WorkerContext {
@@ -69,6 +86,10 @@ struct ShardResult {
   core::JoinStats stats;
   std::vector<core::MatchedPair> pairs;
   std::vector<core::PairExplain> explains;
+  // Spans recorded during this execution (empty unless SpanContext.collect).
+  // trace_id/parent_span_id are tagged from the request's SpanContext; the
+  // coordinator re-files them under the worker's process lane.
+  std::vector<trace::TraceEvent> spans;
 };
 
 class ShardWorker {
@@ -80,7 +101,7 @@ class ShardWorker {
   // produced nothing usable — the coordinator requeues the shard and
   // decides whether to Restart() the worker.
   [[nodiscard]] virtual StatusOr<ShardResult> RunShard(
-      const Shard& shard, const FaultSpec& fault) = 0;
+      const Shard& shard, const FaultSpec& fault, const SpanContext& ctx) = 0;
 
   // Brings a dead worker back (respawns the child for the process
   // transport; a no-op for the thread transport). Non-OK when the worker

@@ -1,0 +1,82 @@
+// Coordinator flight recorder: a bounded in-memory ring of timestamped
+// scheduling decisions, dumped as deterministic JSON for post-mortem
+// analysis (--events_out=).
+//
+// The distributed-join coordinator records one Event per decision — deal,
+// dispatch, steal, complete, requeue, restart, fault observed, worker
+// death, stall, fallback (string constants live in src/dist/clusterz.h so
+// util stays ignorant of dist semantics). Events carry a process-wide
+// monotone sequence number assigned at Record() time, so the dump's order
+// IS the decision order even when timestamps collide; DESIGN.md §10 shows
+// how replaying deal/steal/requeue/restart events reconstructs the exact
+// final shard-to-worker assignment.
+//
+// The ring is bounded (default 4096 events): when full, the oldest events
+// are dropped and dropped() counts them — a post-mortem is best-effort by
+// design, never a memory hazard. Recording is a mutex-guarded push; the
+// coordinator only records on scheduling transitions (dozens per shard at
+// most), never per pair.
+//
+// This lives in util (not dist) so bench_util can dump --events_out
+// without linking the dist layer.
+
+#ifndef SIMJ_UTIL_FLIGHT_RECORDER_H_
+#define SIMJ_UTIL_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simj::flight {
+
+struct Event {
+  int64_t seq = 0;     // assigned by Record(); process-wide decision order
+  double ts_us = 0.0;  // microseconds since the recorder epoch
+  std::string type;    // "deal", "steal", "requeue", ... (see dist/clusterz.h)
+  int worker = -1;     // -1 = not worker-specific
+  int shard = -1;      // -1 = not shard-specific
+  int attempt = -1;    // -1 = not attempt-specific
+  std::string detail;  // free-form context ("victim=2", "exit status 3")
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int capacity = 4096) : capacity_(capacity) {}
+
+  static FlightRecorder& Global();
+
+  // Stamps seq/ts and appends; drops the oldest event when full.
+  void Record(Event event);
+
+  // Point-in-time copy, oldest first.
+  std::vector<Event> Events() const;
+
+  // Events discarded because the ring was full.
+  int64_t dropped() const;
+
+  // Deterministic JSON dump of the current ring (see EventsJson).
+  std::string ToJson() const;
+
+  // Discards all events and resets seq/dropped. The coordinator clears the
+  // global recorder at the start of each sharded run.
+  void Clear();
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> ring_;
+  int64_t next_seq_ = 0;
+  int64_t dropped_ = 0;
+};
+
+// Renders `{"schema":"simj_flight_v1","dropped":N,"events":[...]}` with one
+// object per event ({"seq","ts_us","type","worker","shard","attempt",
+// "detail"}), byte-deterministic for a given event list. Exposed so tests
+// can golden-check rendering without going through the global ring.
+std::string EventsJson(const std::vector<Event>& events, int64_t dropped);
+
+}  // namespace simj::flight
+
+#endif  // SIMJ_UTIL_FLIGHT_RECORDER_H_

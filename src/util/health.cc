@@ -1,0 +1,61 @@
+#include "util/health.h"
+
+#include <map>
+#include <mutex>
+
+#include "util/trace.h"  // JsonEscape
+
+namespace simj::health {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, std::string> degraded;  // component -> reason
+};
+
+State& GlobalState() {
+  static State* state = new State();  // simj-lint: allow(new) leaky singleton
+  return *state;
+}
+
+}  // namespace
+
+void SetUnhealthy(const std::string& component, const std::string& reason) {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.degraded[component] = reason;
+}
+
+void SetHealthy(const std::string& component) {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.degraded.erase(component);
+}
+
+bool IsDegraded() {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return !state.degraded.empty();
+}
+
+std::string HealthzBody() {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.degraded.empty()) return "{\"status\":\"ok\"}\n";
+  std::string reason;
+  for (const auto& [component, why] : state.degraded) {
+    if (!reason.empty()) reason += "; ";
+    reason += component + ": " + why;
+  }
+  return "{\"status\":\"degraded\",\"reason\":\"" + trace::JsonEscape(reason) +
+         "\"}\n";
+}
+
+void ResetForTesting() {
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.degraded.clear();
+}
+
+}  // namespace simj::health

@@ -10,6 +10,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include <mutex>
+#include <utility>
+
+#include "util/health.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
@@ -46,7 +50,30 @@ std::string MethodNotAllowed() {
                       "only GET is supported\n");
 }
 
+struct EndpointRegistry {
+  std::mutex mu;
+  std::vector<Endpoint> endpoints;
+};
+
+EndpointRegistry& GlobalEndpoints() {
+  static EndpointRegistry* registry =
+      new EndpointRegistry();  // simj-lint: allow(new) leaky singleton
+  return *registry;
+}
+
 }  // namespace
+
+void RegisterEndpoint(Endpoint endpoint) {
+  EndpointRegistry& registry = GlobalEndpoints();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (Endpoint& existing : registry.endpoints) {
+    if (existing.path == endpoint.path) {
+      existing = std::move(endpoint);
+      return;
+    }
+  }
+  registry.endpoints.push_back(std::move(endpoint));
+}
 
 std::string StatusBody(const std::vector<Section>& sections,
                        double uptime_seconds) {
@@ -175,7 +202,7 @@ std::string Server::HandleRequest(const std::string& method,
                                   const std::string& path) const {
   if (method != "GET") return MethodNotAllowed();
   if (path == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain", "ok\n");
+    return HttpResponse(200, "OK", "application/json", health::HealthzBody());
   }
   if (path == "/metricsz") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4",
@@ -188,6 +215,16 @@ std::string Server::HandleRequest(const std::string& method,
   }
   if (path == "/tracez") {
     return HttpResponse(200, "OK", "application/json", TracezBody());
+  }
+  {
+    EndpointRegistry& registry = GlobalEndpoints();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const Endpoint& endpoint : registry.endpoints) {
+      if (endpoint.path == path && endpoint.body) {
+        return HttpResponse(200, "OK", endpoint.content_type.c_str(),
+                            endpoint.body());
+      }
+    }
   }
   return NotFound();
 }

@@ -1,7 +1,10 @@
 // Embedded live-introspection endpoint: a tiny HTTP/1.0 server on one
 // background thread, answering operator GETs while a join runs.
 //
-//   GET /healthz   "ok" (liveness probe)
+//   GET /healthz   JSON liveness probe: {"status":"ok"} or
+//                  {"status":"degraded","reason":...} from util/health
+//                  (the stall watchdog and the dist coordinator report
+//                  degradation there)
 //   GET /metricsz  Prometheus text exposition of the metrics registry
 //   GET /statusz   JSON: build provenance (git SHA, build type, sanitizers),
 //                  uptime, RSS, plus every registered section (the bench
@@ -44,6 +47,19 @@ struct Section {
   std::string name;
   std::function<std::string()> json;
 };
+
+// A process-global extra endpoint ("/clusterz"). Layers above util register
+// endpoints here (callback inversion: util never links against them); every
+// running Server consults the registry after its built-in routes. The body
+// provider runs on the server thread and must only read snapshots.
+// Registering a path twice replaces the previous handler.
+struct Endpoint {
+  std::string path;          // must start with '/'
+  std::string content_type;  // e.g. "application/json"
+  std::function<std::string()> body;
+};
+
+void RegisterEndpoint(Endpoint endpoint);
 
 class Server {
  public:

@@ -13,9 +13,35 @@
 
 #include <cerrno>
 
+#include "util/metrics.h"
+
 namespace simj::subprocess {
 
 namespace {
+
+// Pipe-protocol telemetry. The references are resolved EAGERLY at static
+// initialization (single-threaded, pre-main) instead of lazily at first
+// use: forked shard workers call WriteFrame/ReadFrame too, and a lazy
+// Registry::GetCounter after fork() could deadlock if the fork landed
+// while another parent thread held the registry mutex. Relaxed atomic adds
+// on already-resolved references are fork-safe.
+struct FrameCounters {
+  metrics::Counter& frames_written;
+  metrics::Counter& frames_read;
+  metrics::Counter& bytes_written;
+  metrics::Counter& bytes_read;
+  FrameCounters()
+      : frames_written(metrics::Registry::Global().GetCounter(
+            "simj_subprocess_frames_written_total")),
+        frames_read(metrics::Registry::Global().GetCounter(
+            "simj_subprocess_frames_read_total")),
+        bytes_written(metrics::Registry::Global().GetCounter(
+            "simj_subprocess_frame_bytes_written_total")),
+        bytes_read(metrics::Registry::Global().GetCounter(
+            "simj_subprocess_frame_bytes_read_total")) {}
+};
+
+FrameCounters g_frame_counters;
 
 // Full write with EINTR/short-write handling.
 Status WriteAll(int fd, const char* data, size_t size) {
@@ -107,7 +133,12 @@ Status WriteFrame(int fd, const std::string& payload) {
   prefix[3] = static_cast<char>((length >> 24) & 0xff);
   Status status = WriteAll(fd, prefix, sizeof(prefix));
   if (!status.ok()) return status;
-  return WriteAll(fd, payload.data(), payload.size());
+  status = WriteAll(fd, payload.data(), payload.size());
+  if (!status.ok()) return status;
+  g_frame_counters.frames_written.Increment();
+  g_frame_counters.bytes_written.Add(
+      static_cast<int64_t>(sizeof(prefix) + payload.size()));
+  return Status::Ok();
 }
 
 StatusOr<std::string> ReadFrame(int fd) {
@@ -130,6 +161,9 @@ StatusOr<std::string> ReadFrame(int fd) {
     if (!status.ok()) return status;
     if (clean_eof) return InternalError("pipe closed mid-frame (truncated)");
   }
+  g_frame_counters.frames_read.Increment();
+  g_frame_counters.bytes_read.Add(
+      static_cast<int64_t>(sizeof(prefix) + length));
   return payload;
 }
 

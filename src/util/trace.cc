@@ -5,6 +5,10 @@
 
 namespace simj::trace {
 
+namespace internal {
+thread_local std::vector<TraceEvent>* thread_capture = nullptr;
+}  // namespace internal
+
 int ThisThreadTraceId() {
   static std::atomic<int> next_id{0};
   thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
@@ -22,6 +26,8 @@ void Tracer::Start() {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->events.clear();
   }
+  injected_.clear();
+  process_lanes_.clear();
   epoch_ = Clock::now();
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -71,6 +77,21 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 
 void Tracer::Record(const char* name, const char* category,
                     Clock::time_point begin, Clock::time_point end) {
+  // An armed thread capture owns this thread's spans outright: they are
+  // destined for shipping + re-injection, so the shared buffers and the
+  // /tracez ring must not see them now (that would double-record).
+  if (internal::thread_capture != nullptr) {
+    TraceEvent captured;
+    captured.name = name;
+    captured.category = category;
+    captured.tid = ThisThreadTraceId();
+    captured.ts_us =
+        std::chrono::duration<double, std::micro>(begin - epoch_).count();
+    captured.dur_us =
+        std::chrono::duration<double, std::micro>(end - begin).count();
+    internal::thread_capture->push_back(std::move(captured));
+    return;
+  }
   const bool to_events = enabled();
   const bool to_ring = recent_ring_enabled();
   if (!to_events && !to_ring) return;
@@ -91,6 +112,41 @@ void Tracer::Record(const char* name, const char* category,
     ++buffer->ring_count;
   }
   if (to_events) buffer->events.push_back(std::move(event));
+}
+
+void Tracer::BeginThreadCapture() {
+  // Captures must not nest; a leftover pointer here would mean a worker
+  // leaked a capture across shard executions.
+  if (internal::thread_capture != nullptr) return;
+  internal::thread_capture =
+      new std::vector<TraceEvent>();  // simj-lint: allow(new) owned by EndThreadCapture
+}
+
+std::vector<TraceEvent> Tracer::EndThreadCapture() {
+  std::vector<TraceEvent>* capture = internal::thread_capture;
+  internal::thread_capture = nullptr;
+  if (capture == nullptr) return {};
+  std::vector<TraceEvent> out = std::move(*capture);
+  delete capture;
+  return out;
+}
+
+void Tracer::RegisterProcessLane(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [lane_pid, lane_name] : process_lanes_) {
+    if (lane_pid == pid) {
+      lane_name = name;
+      return;
+    }
+  }
+  process_lanes_.emplace_back(pid, name);
+}
+
+void Tracer::InjectEvents(std::vector<TraceEvent> events) {
+  if (!enabled() || events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_.insert(injected_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
 }
 
 std::vector<RecentThreadSpans> Tracer::RecentSpans() const {
@@ -122,12 +178,22 @@ std::vector<RecentThreadSpans> Tracer::RecentSpans() const {
 
 int64_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  int64_t total = 0;
+  int64_t total = static_cast<int64_t>(injected_.size());
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     total += static_cast<int64_t>(buffer->events.size());
   }
   return total;
+}
+
+std::vector<TraceEvent> Tracer::SnapshotEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events = injected_;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return events;
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -167,8 +233,11 @@ std::string JsonEscape(const std::string& s) {
 void Tracer::WriteChromeTrace(std::ostream& os) const {
   std::vector<TraceEvent> events;
   std::vector<std::pair<int, std::string>> lanes;  // (tid, registered name)
+  std::vector<std::pair<int, std::string>> proc_lanes;  // (pid, name)
   {
     std::lock_guard<std::mutex> lock(mu_);
+    proc_lanes = process_lanes_;
+    events = injected_;
     for (const auto& buffer : buffers_) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       if (buffer->events.empty()) continue;
@@ -179,9 +248,18 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   }
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
-              return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.pid != b.pid) return a.pid < b.pid;
+              return a.tid < b.tid;
             });
   std::sort(lanes.begin(), lanes.end());
+  std::sort(proc_lanes.begin(), proc_lanes.end());
+
+  auto fmt_us = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+    return std::string(buffer);
+  };
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -192,26 +270,32 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   comma();
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"simj\"}}";
-  char line[256];
+  for (const auto& [pid, name] : proc_lanes) {
+    if (pid == 1) continue;  // pid 1 is always "simj"
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
   for (const auto& [tid, name] : lanes) {
     std::string lane_name =
         name.empty() ? "thread-" + std::to_string(tid) : JsonEscape(name);
     comma();
-    std::snprintf(line, sizeof(line),
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  tid, lane_name.c_str());
-    os << line;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << lane_name << "\"}}";
   }
   for (const TraceEvent& event : events) {
     comma();
-    std::snprintf(line, sizeof(line),
-                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
-                  "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
-                  JsonEscape(event.name).c_str(),
-                  JsonEscape(event.category).c_str(), event.tid, event.ts_us,
-                  event.dur_us);
-    os << line;
+    os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.category) << "\",\"ph\":\"X\",\"pid\":" << event.pid
+       << ",\"tid\":" << event.tid << ",\"ts\":" << fmt_us(event.ts_us)
+       << ",\"dur\":" << fmt_us(event.dur_us);
+    if (event.trace_id != 0 || event.span_id != 0 ||
+        event.parent_span_id != 0) {
+      os << ",\"args\":{\"trace_id\":\"" << event.trace_id
+         << "\",\"span_id\":\"" << event.span_id << "\",\"parent_span_id\":\""
+         << event.parent_span_id << "\"}";
+    }
+    os << "}";
   }
   os << "]}\n";
 }

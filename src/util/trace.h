@@ -17,6 +17,23 @@
 // show their registered name ("join-worker-3", "statusz") instead of the
 // bare tid.
 //
+// Cluster traces (DESIGN.md §10): the distributed join merges spans from
+// every shard worker into this tracer so one --trace_out file shows the
+// whole cluster timeline. Three pieces cooperate:
+//
+//   * pid lanes — TraceEvent carries a Chrome-trace pid (1 = this
+//     process); RegisterProcessLane(pid, name) names additional process
+//     lanes ("worker-3") and InjectEvents() files externally recorded
+//     events under them;
+//   * span context — events optionally carry Dapper-style trace/span ids
+//     (trace_id / span_id / parent_span_id), serialized into the event's
+//     "args" so a span shipped across the pipe keeps its parent link;
+//   * thread capture — BeginThreadCapture()/EndThreadCapture() divert the
+//     calling thread's spans into a private vector instead of the shared
+//     buffers, which is how a shard worker collects the spans of one shard
+//     execution for shipping (the coordinator re-injects them under the
+//     worker's pid lane, so nothing is recorded twice).
+//
 // Independently of full tracing, SetRecentRing(true) arms a small
 // per-thread ring buffer of the last kRecentRingCapacity completed spans,
 // sampled by the /tracez endpoint of util/statusz — cheap enough to leave
@@ -46,10 +63,17 @@ inline constexpr int kRecentRingCapacity = 64;
 
 struct TraceEvent {
   std::string name;
-  const char* category = "";
+  std::string category;
+  // Chrome-trace process lane. 1 is this process ("simj"); other lanes are
+  // named via Tracer::RegisterProcessLane and populated by InjectEvents.
+  int pid = 1;
   int tid = 0;
   double ts_us = 0.0;   // microseconds since the tracer epoch
   double dur_us = 0.0;  // span duration in microseconds
+  // Cross-process span context (0 = unset, omitted from the JSON args).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // Registers a human-readable name for the calling thread ("main",
@@ -64,6 +88,13 @@ struct RecentThreadSpans {
   std::string name;  // registered via SetThisThreadName, may be empty
   std::vector<TraceEvent> spans;
 };
+
+namespace internal {
+// Non-null while the calling thread has an armed span capture (see
+// Tracer::BeginThreadCapture). Lives here so ScopedSpan's disabled path
+// can test it inline; treat as private to trace.cc.
+extern thread_local std::vector<TraceEvent>* thread_capture;
+}  // namespace internal
 
 class Tracer {
  public:
@@ -83,21 +114,56 @@ class Tracer {
     return recent_enabled_.load(std::memory_order_relaxed);
   }
 
-  // True when Record() would keep the span (full trace or recent ring).
-  bool collecting() const { return enabled() || recent_ring_enabled(); }
+  // True when Record() would keep the span (full trace, recent ring, or an
+  // armed thread capture on the calling thread).
+  bool collecting() const {
+    return enabled() || recent_ring_enabled() ||
+           internal::thread_capture != nullptr;
+  }
 
   using Clock = std::chrono::steady_clock;
+
+  // Microseconds since the tracer epoch "now" — the timebase of every
+  // recorded event. steady_clock is machine-wide and the epoch survives
+  // fork(), so parent and forked-child timestamps share one timeline.
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
 
   // Appends one complete event for the calling thread. Called by
   // ScopedSpan; safe from any thread while enabled.
   void Record(const char* name, const char* category, Clock::time_point begin,
               Clock::time_point end);
 
-  // Number of events collected so far (across all threads).
+  // Diverts the calling thread's spans into a private vector until
+  // EndThreadCapture(), which returns them (oldest first) and re-arms
+  // normal recording. While a capture is armed, spans are recorded even if
+  // the tracer is otherwise idle — a forked shard worker captures spans
+  // regardless of its inherited enabled_ snapshot — and they do NOT land
+  // in the shared buffers or the /tracez ring, so a later InjectEvents of
+  // the same spans never double-records. Captures must not nest.
+  void BeginThreadCapture();
+  std::vector<TraceEvent> EndThreadCapture();
+
+  // Names an additional Chrome-trace process lane ("worker-3"). Lane
+  // registrations are cleared by Start(), like events.
+  void RegisterProcessLane(int pid, const std::string& name);
+
+  // Files externally recorded events (spans shipped back from a shard
+  // worker, coordinator-synthesized attempt spans) under their events'
+  // pid lanes. No-op while the tracer is disabled.
+  void InjectEvents(std::vector<TraceEvent> events);
+
+  // Number of events collected so far (across all threads + injected).
   int64_t event_count() const;
 
-  // Serializes every collected event (sorted by timestamp, then tid) as
-  // Chrome trace JSON. Call after the traced work has quiesced.
+  // Point-in-time copy of every collected event (thread buffers and
+  // injected), unsorted. For tests and post-run analysis.
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+  // Serializes every collected event (sorted by timestamp, then pid/tid)
+  // as Chrome trace JSON. Call after the traced work has quiesced.
   void WriteChromeTrace(std::ostream& os) const;
 
   // Point-in-time copy of every thread's recent-span ring (threads with no
@@ -132,6 +198,9 @@ class Tracer {
 
   mutable std::mutex mu_;  // guards buffers_ registration and iteration
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Merged remote events and named process lanes, both guarded by mu_.
+  std::vector<TraceEvent> injected_;
+  std::vector<std::pair<int, std::string>> process_lanes_;
 };
 
 // Records the lifetime of a scope as a trace span. `name` and `category`

@@ -27,12 +27,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
 #include "core/index.h"
 #include "core/join.h"
+#include "dist/clusterz.h"
 #include "dist/coordinator.h"
 #include "dist/shard.h"
 #include "dist/worker.h"
 #include "test_util.h"
+#include "util/flight_recorder.h"
+#include "util/health.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define SIMJ_TSAN 1
@@ -374,6 +383,188 @@ TEST(ClusterSimTest, SingleWorkerNoFaultsMatchesOracleOnBothTransports) {
     EXPECT_EQ(dist.dist.shards_requeued, 0);
     EXPECT_EQ(dist.dist.fallback_shards, 0);
   }
+}
+
+// Sum across every `family{worker="..."}` labeled series of the counter
+// delta between two registry snapshots.
+int64_t LabeledWorkerSum(const metrics::MetricsSnapshot& before,
+                         const metrics::MetricsSnapshot& after,
+                         const std::string& family) {
+  const std::string prefix = family + "{worker=";
+  int64_t sum = 0;
+  for (const auto& [name, value] : after.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    auto it = before.counters.find(name);
+    sum += value - (it == before.counters.end() ? 0 : it->second);
+  }
+  return sum;
+}
+
+// The ISSUE's acceptance criteria in one test, per transport: a seeded
+// faulted run with every sink enabled (tracer on, flight recorder active,
+// /clusterz probed mid-run from the fault hook) must
+//   (1) merge byte-identically to a sinks-off run and the serial oracle,
+//   (2) leave a merged cluster trace with a named lane per worker and an
+//       attempt span for EVERY executed shard attempt — requeued retries
+//       included — filed under the executing worker's lane,
+//   (3) account every evaluated pair to exactly one `worker` label, so the
+//       per-label sums equal the unsharded oracle's totals, and
+//   (4) record a flight-recorder dump whose deal/dispatch/steal/requeue
+//       events replay to the exact final shard-to-worker assignment.
+TEST(ClusterObservabilityTest, FaultedRunWithAllSinksMeetsAcceptance) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(
+      77, {.num_certain = 5, .num_uncertain = 4});
+  core::SimJParams params = BaseParams();
+  const core::JoinResult oracle =
+      core::IndexedSimJoin(w.d, w.u, params, w.dict);
+
+  SimOptions sim_options;
+  sim_options.seed = 77;
+  sim_options.death_probability = 0.4;
+  sim_options.slow_probability = 0.1;
+  sim_options.slow_min_ms = 1.0;
+  sim_options.slow_max_ms = 2.0;
+
+  for (Transport transport : TransportsUnderTest()) {
+    SCOPED_TRACE(std::string("transport=") + TransportName(transport));
+
+    DistJoinParams dist_params;
+    dist_params.num_workers = 4;
+    dist_params.transport = transport;
+    dist_params.max_pairs_per_shard = 3;
+    dist_params.max_worker_restarts = 3;
+
+    // Sinks-off reference run under the identical fault plan (ClusterSim
+    // decisions are a pure function of (seed, shard, attempt)).
+    ClusterSim sim_off(sim_options);
+    dist_params.fault_hook = sim_off.Hook();
+    const DistJoinResult off =
+        ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+
+    // Sinks-on run: same fault plan, plus a one-shot /clusterz probe from
+    // inside the first fault-hook call (i.e. while the join is live).
+    ClusterSim sim_on(sim_options);
+    std::atomic<bool> probed{false};
+    std::string probe_body;
+    std::mutex probe_mu;
+    dist_params.fault_hook = [&](int /*worker*/, int shard_id, int attempt,
+                                 int shard_pairs) {
+      if (!probed.exchange(true)) {
+        std::lock_guard<std::mutex> lock(probe_mu);
+        probe_body = ClusterzBody();
+      }
+      return sim_on.Decide(shard_id, attempt, shard_pairs);
+    };
+    trace::Tracer::Global().Start();
+    const metrics::MetricsSnapshot before = metrics::Registry::Global().Snapshot();
+    const DistJoinResult on =
+        ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+    const metrics::MetricsSnapshot after = metrics::Registry::Global().Snapshot();
+    const std::vector<trace::TraceEvent> spans =
+        trace::Tracer::Global().SnapshotEvents();
+    std::ostringstream trace_json;
+    trace::Tracer::Global().WriteChromeTrace(trace_json);
+    trace::Tracer::Global().Stop();
+
+    // (1) Byte identity: sinks change nothing about the join.
+    ExpectIdenticalJoin(oracle, on.join);
+    ExpectIdenticalJoin(off.join, on.join);
+    ExpectCoherentDistStats(on.dist);
+
+    // The seed must actually exercise the paths under test.
+    EXPECT_GT(on.dist.shards_requeued, 0)
+        << "seed stopped injecting deaths; pick one that requeues";
+
+    // (2) One named lane per worker in the merged Chrome trace...
+    const std::string json = trace_json.str();
+    for (int worker = 0; worker < 4; ++worker) {
+      EXPECT_NE(json.find("\"worker-" + std::to_string(worker) + "\""),
+                std::string::npos)
+          << "missing process lane for worker " << worker;
+    }
+    // ...and an attempt span for every executed shard attempt, filed under
+    // the executing worker's pid lane (worker w -> pid w+2; pid 1 is the
+    // coordinator). dispatch/steal flight events enumerate the executions.
+    for (const flight::Event& e : on.dist.events) {
+      if (e.type != kEventDispatch && e.type != kEventSteal) continue;
+      const std::string name = "shard-" + std::to_string(e.shard) +
+                               "/attempt-" + std::to_string(e.attempt);
+      bool found = false;
+      for (const trace::TraceEvent& span : spans) {
+        if (span.name == name) {
+          EXPECT_EQ(span.pid, e.worker + 2) << name;
+          EXPECT_GT(span.trace_id, 0u) << name;
+          EXPECT_GT(span.span_id, 0u) << name;
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "no attempt span for execution " << name
+                         << " (worker " << e.worker << ")";
+    }
+
+    // (3) Every pair accounted to exactly one worker label: per-label sums
+    // equal the oracle totals. Fallback shards land under worker="inline"
+    // and index pruning (which never reaches a shard) under
+    // worker="coordinator".
+    EXPECT_EQ(LabeledWorkerSum(before, after, "simj_join_pairs_total"),
+              oracle.stats.total_pairs);
+    EXPECT_EQ(
+        LabeledWorkerSum(before, after, "simj_join_pruned_structural_total"),
+        oracle.stats.pruned_structural);
+    EXPECT_EQ(
+        LabeledWorkerSum(before, after, "simj_join_pruned_probabilistic_total"),
+        oracle.stats.pruned_probabilistic);
+    EXPECT_EQ(LabeledWorkerSum(before, after, "simj_join_candidates_total"),
+              oracle.stats.candidates);
+    EXPECT_EQ(LabeledWorkerSum(before, after, "simj_join_results_total"),
+              oracle.stats.results);
+
+    // (4) The flight-recorder dump replays to the final assignment.
+    auto replayed =
+        ReplayFinalAssignment(on.dist.events, on.dist.shards_planned);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+    EXPECT_EQ(replayed.value(), on.dist.shard_completed_by);
+
+    // The mid-run /clusterz probe saw a live coordinator.
+    std::lock_guard<std::mutex> lock(probe_mu);
+    EXPECT_NE(probe_body.find("\"active\":true"), std::string::npos)
+        << probe_body;
+    EXPECT_NE(probe_body.find("\"workers\":["), std::string::npos)
+        << probe_body;
+    EXPECT_NE(probe_body.find("\"recent_events\":["), std::string::npos)
+        << probe_body;
+    EXPECT_NE(probe_body.find("\"num_shards\":"), std::string::npos)
+        << probe_body;
+  }
+}
+
+// After ShardedSimJoin returns, /clusterz must report inactive (the
+// coordinator unregisters itself) and every per-worker health component
+// must be healthy again — a finished run never leaves /healthz degraded.
+TEST(ClusterObservabilityTest, ClusterzInactiveAndHealthyAfterRun) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(36);
+  core::SimJParams params = BaseParams();
+  SimOptions sim_options;
+  sim_options.seed = 36;
+  sim_options.death_probability = 0.5;
+  ClusterSim sim(sim_options);
+  DistJoinParams dist_params;
+  dist_params.num_workers = 2;
+  dist_params.transport = Transport::kThread;
+  dist_params.max_pairs_per_shard = 2;
+  dist_params.fault_hook = sim.Hook();
+  DistJoinResult dist = ShardedSimJoin(w.d, w.u, params, w.dict, dist_params);
+  EXPECT_GT(dist.dist.shards_requeued, 0);
+
+  const std::string body = ClusterzBody();
+  EXPECT_NE(body.find("\"active\":false"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"coordinator\":null"), std::string::npos) << body;
+  // Workers that died mid-run were marked unhealthy, but the end-of-run
+  // sweep cleared every dist_worker_N component (stall_watchdog may outlive
+  // the run by design — it resets on the next join's BeginJoin).
+  EXPECT_EQ(health::HealthzBody().find("dist_worker"), std::string::npos)
+      << health::HealthzBody();
 }
 
 }  // namespace

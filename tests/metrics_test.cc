@@ -225,6 +225,38 @@ TEST(RegistryTest, ExpositionEscapesLabelValues) {
   registry.ResetForTesting();
 }
 
+// The distributed coordinator files per-worker counters under a `worker`
+// label (worker="0", worker="inline"); the label value is program-built
+// today but the escaping contract must hold for any value so a future
+// hostname-style label ("node\"7\"") cannot corrupt the exposition.
+TEST(RegistryTest, WorkerLabelValuesEscapeAndStayDistinct) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.GetCounter(LabeledName("test_wl_pairs_total", {{"worker", "0"}}))
+      .Add(3);
+  registry
+      .GetCounter(LabeledName("test_wl_pairs_total", {{"worker", "inline"}}))
+      .Add(4);
+  registry
+      .GetCounter(
+          LabeledName("test_wl_pairs_total", {{"worker", "node\"7\"\\a"}}))
+      .Add(5);
+  std::string text = registry.ExpositionText();
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_wl_pairs_total counter"), 1)
+      << text;
+  EXPECT_NE(text.find("test_wl_pairs_total{worker=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_wl_pairs_total{worker=\"inline\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_wl_pairs_total{worker=\"node\\\"7\\\"\\\\a\"} 5"),
+            std::string::npos)
+      << text;
+  // Escaped and plain label values are distinct registry keys: the nasty
+  // value never merged into worker="0"'s series.
+  EXPECT_EQ(CountOccurrences(text, "worker=\"node\"7\"\\a\""), 0);
+  registry.ResetForTesting();
+}
+
 TEST(RegistryTest, LabeledHistogramSplicesLeIntoLabelBlock) {
   Registry& registry = Registry::Global();
   registry.ResetForTesting();

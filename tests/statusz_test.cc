@@ -24,6 +24,7 @@
 #include "core/join.h"
 #include "core/progress.h"
 #include "test_util.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/run_record.h"
 #include "util/trace.h"
@@ -88,11 +89,57 @@ class StatuszTest : public ::testing::Test {
 };
 
 TEST_F(StatuszTest, HealthzAnswersOk) {
+  health::ResetForTesting();
   StartServer();
   std::string response = Get(server_.bound_port(), "/healthz");
   EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
   EXPECT_NE(response.find("Connection: close"), std::string::npos);
-  EXPECT_EQ(BodyOf(response), "ok\n");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(BodyOf(response), "{\"status\":\"ok\"}\n");
+}
+
+TEST_F(StatuszTest, HealthzReportsDegradedWithReasons) {
+  health::ResetForTesting();
+  StartServer();
+  health::SetUnhealthy("stall_watchdog", "worker 3 stalled for 1200 ms");
+  health::SetUnhealthy("dist_worker_1", "died on shard 4; not yet restarted");
+  std::string body = BodyOf(Get(server_.bound_port(), "/healthz"));
+  EXPECT_NE(body.find("\"status\":\"degraded\""), std::string::npos) << body;
+  // Components are listed sorted, "; "-joined, each as "<component>: <why>".
+  EXPECT_NE(body.find("dist_worker_1: died on shard 4; not yet restarted"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("stall_watchdog: worker 3 stalled for 1200 ms"),
+            std::string::npos)
+      << body;
+
+  // Clearing one component keeps the other's reason; clearing both
+  // restores "ok" — the recovered-worker / restarted-watchdog path.
+  health::SetHealthy("stall_watchdog");
+  body = BodyOf(Get(server_.bound_port(), "/healthz"));
+  EXPECT_NE(body.find("\"status\":\"degraded\""), std::string::npos) << body;
+  EXPECT_EQ(body.find("stall_watchdog"), std::string::npos) << body;
+  health::SetHealthy("dist_worker_1");
+  EXPECT_EQ(BodyOf(Get(server_.bound_port(), "/healthz")),
+            "{\"status\":\"ok\"}\n");
+}
+
+TEST_F(StatuszTest, RegisteredEndpointIsServedAndReplaceable) {
+  StartServer();
+  RegisterEndpoint({"/probez", "application/json",
+                    [] { return std::string("{\"v\":1}\n"); }});
+  std::string response = Get(server_.bound_port(), "/probez");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(BodyOf(response), "{\"v\":1}\n");
+
+  // Re-registering the same path replaces the handler (idempotent setup
+  // for per-run endpoints like /clusterz).
+  RegisterEndpoint({"/probez", "application/json",
+                    [] { return std::string("{\"v\":2}\n"); }});
+  EXPECT_EQ(BodyOf(Get(server_.bound_port(), "/probez")), "{\"v\":2}\n");
 }
 
 TEST_F(StatuszTest, MetricszServesExpositionWithBuildInfo) {

@@ -116,6 +116,37 @@ def load_record(path):
 # ---------------------------------------------------------------------------
 
 
+# Distributed-scheduler counters compared across the two records' embedded
+# metrics snapshots. A jump in steals/requeues/restarts between runs of
+# the same bench often explains a wall-time delta (fault injection turned
+# on, a flakier host) — surfaced as warn-only notes, never an exit status:
+# scheduling churn is workload-dependent, not a regression by itself.
+SCHEDULER_COUNTERS = (
+    "simj_dist_steals_total",
+    "simj_dist_shards_requeued_total",
+    "simj_dist_worker_restarts_total",
+)
+
+
+def compare_scheduler_counters(baseline, current):
+    """Warn-only notes for distributed-scheduler counter changes."""
+    base_counters = baseline.get("metrics", {}).get("counters", {})
+    cur_counters = current.get("metrics", {}).get("counters", {})
+    notes = []
+    for name in SCHEDULER_COUNTERS:
+        if name not in base_counters and name not in cur_counters:
+            continue  # single-process bench: no dist counters at all
+        base_value = base_counters.get(name, 0)
+        cur_value = cur_counters.get(name, 0)
+        if base_value == cur_value:
+            continue
+        notes.append(
+            f"scheduler counter {name}: {base_value} -> {cur_value} "
+            f"({cur_value - base_value:+d}, warn-only)"
+        )
+    return notes
+
+
 class Delta:
     """One matched sample's wall-median change, classified against noise."""
 
@@ -185,6 +216,7 @@ def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
     deltas.sort(key=lambda d: -d.delta_pct)
     missing = sorted(set(base_samples) - set(cur_samples) - set(skipped))
     added = sorted(set(cur_samples) - set(base_samples) - set(skipped))
+    notes.extend(compare_scheduler_counters(baseline, current))
     base_rss = baseline["peak_rss_bytes"]
     cur_rss = current["peak_rss_bytes"]
     if base_rss > 0:
@@ -389,6 +421,43 @@ def self_test(repo):
     except SchemaError:
         pass
 
+    # Scheduler-counter comparison: changes surface as warn-only notes and
+    # never flip a verdict or the exit path.
+    dist_base = make_record({"shard w=4": 1.0})
+    dist_base["metrics"]["counters"] = {
+        "simj_dist_steals_total": 3,
+        "simj_dist_shards_requeued_total": 0,
+        "simj_dist_worker_restarts_total": 0,
+    }
+    dist_cur = make_record({"shard w=4": 1.0})
+    dist_cur["metrics"]["counters"] = {
+        "simj_dist_steals_total": 9,
+        "simj_dist_shards_requeued_total": 4,
+        "simj_dist_worker_restarts_total": 2,
+    }
+    deltas, _, _, notes = compare_records(dist_base, dist_cur)
+    check(all(d.verdict == "ok" for d in deltas),
+          "counter churn flipped a wall-time verdict")
+    check(any("simj_dist_steals_total: 3 -> 9 (+6" in n for n in notes),
+          "steal counter change not noted")
+    check(any("simj_dist_shards_requeued_total: 0 -> 4" in n for n in notes),
+          "requeue counter change not noted")
+    check(any("simj_dist_worker_restarts_total: 0 -> 2" in n for n in notes),
+          "restart counter change not noted")
+    # A counter present on one side only compares against 0; identical
+    # values and single-process records (no dist counters) stay silent.
+    one_sided = make_record({"shard w=4": 1.0})
+    one_sided["metrics"]["counters"] = {"simj_dist_steals_total": 5}
+    notes = compare_scheduler_counters(make_record({"shard w=4": 1.0}),
+                                       one_sided)
+    check(notes == ["scheduler counter simj_dist_steals_total: 0 -> 5 "
+                    "(+5, warn-only)"], f"one-sided counter notes: {notes}")
+    check(compare_scheduler_counters(dist_base, dist_base) == [],
+          "identical counters produced notes")
+    check(compare_scheduler_counters(make_record({"a": 1.0}),
+                                     make_record({"a": 1.0})) == [],
+          "single-process records produced scheduler notes")
+
     # The checked-in golden record (tests/golden) must satisfy the schema —
     # it is the contract between the C++ writer and this reader.
     golden = os.path.join(repo, "tests", "golden", "bench_result_v1.json")
@@ -405,7 +474,7 @@ def self_test(repo):
     for failure in failures:
         print(f"self-test: {failure}")
     if not failures:
-        print("self-test OK: 14 cases")
+        print("self-test OK: 21 cases")
     return 1 if failures else 0
 
 

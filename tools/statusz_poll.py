@@ -4,11 +4,17 @@
 A join launched with --statusz_port=8080 serves a JSON status document on
 127.0.0.1 (see src/util/statusz.h). This tool scrapes it and prints
 
-  [run] 1234/20000 pairs  6.2%  831.0 pairs/s  eta 22.6s  workers 8  rss 84 MB
+  [run] 1234/20000 pairs  6.2%  831.0 pairs/s  eta 22.6s  workers 8  \
+rss 84 MB  hb w0:3ms w1:151ms  cluster 5/12 shards q=[2,1,0,3] requeued 1
 
 once (the default) or repeatedly with --watch, overwriting the line in
-place like a progress bar. Exit status: 0 on a successful scrape, 2 when
-the endpoint is unreachable or returns malformed JSON.
+place like a progress bar. The `hb` segment lists per-worker heartbeat
+ages (present when the join runs with heartbeats armed); the `cluster`
+segment summarizes /clusterz (live shard queue depths, per-worker state,
+requeue/fallback totals) and is silently omitted for builds or runs
+without a distributed coordinator — /clusterz answering 404 is not an
+error. Exit status: 0 on a successful scrape, 2 when /statusz is
+unreachable or returns malformed JSON.
 
 Usage:
   tools/statusz_poll.py [--port PORT] [--host HOST]
@@ -30,7 +36,48 @@ def fetch_status(host: str, port: int, timeout: float = 2.0) -> dict:
         return json.loads(response.read().decode("utf-8"))
 
 
-def render_line(status: dict) -> str:
+def fetch_clusterz(host: str, port: int, timeout: float = 2.0):
+    """Best-effort /clusterz scrape; None when absent (404) or unreadable."""
+    url = f"http://{host}:{port}/clusterz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, json.JSONDecodeError, ValueError):
+        return None
+
+
+def render_heartbeats(join: dict) -> str:
+    """`hb w0:3ms w1:151ms` from the join's per-worker heartbeat ages."""
+    beats = join.get("heartbeats") or []
+    if not beats:
+        return ""
+    parts = [
+        f"w{b.get('worker', '?')}:{b.get('age_ms', 0.0):.0f}ms"
+        for b in beats
+    ]
+    return "hb " + " ".join(parts)
+
+
+def render_clusterz(clusterz: dict) -> str:
+    """One segment summarizing the live distributed coordinator."""
+    if not clusterz or not clusterz.get("active"):
+        return ""
+    coord = clusterz.get("coordinator") or {}
+    workers = coord.get("workers") or []
+    depths = ",".join(str(w.get("queue_depth", 0)) for w in workers)
+    dead = sum(1 for w in workers if w.get("state") == "dead")
+    segment = (
+        f"cluster {coord.get('done', 0)}/{coord.get('num_shards', 0)} shards"
+        f"  q=[{depths}]  requeued {coord.get('requeued', 0)}"
+    )
+    if coord.get("fallback", 0):
+        segment += f"  fallback {coord['fallback']}"
+    if dead:
+        segment += f"  dead {dead}"
+    return segment
+
+
+def render_line(status: dict, clusterz: dict = None) -> str:
     join = status.get("join") or {}
     total = join.get("total_pairs", 0)
     done = join.get("completed_pairs", 0)
@@ -40,10 +87,14 @@ def render_line(status: dict) -> str:
     eta_text = f"eta {eta:.1f}s" if eta >= 0 else "eta ?"
     state = "run" if join.get("active") else "idle"
     rss_mb = status.get("rss_bytes", 0) / (1024.0 * 1024.0)
-    return (
+    line = (
         f"[{state}] {done}/{total} pairs  {pct:.1f}%  {rate:.1f} pairs/s  "
         f"{eta_text}  workers {join.get('workers', 0)}  rss {rss_mb:.0f} MB"
     )
+    for segment in (render_heartbeats(join), render_clusterz(clusterz or {})):
+        if segment:
+            line += "  " + segment
+    return line
 
 
 def self_test() -> int:
@@ -74,6 +125,48 @@ def self_test() -> int:
     # join) must render, not crash.
     bare = render_line({"rss_bytes": 0})
     assert "0/0 pairs" in bare, bare
+
+    # Heartbeat ages render per worker, in order.
+    with_beats = render_line({
+        "join": {
+            "active": True,
+            "total_pairs": 10,
+            "heartbeats": [
+                {"worker": 0, "age_ms": 3.2, "q": 1, "g": 2},
+                {"worker": 2, "age_ms": 151.0, "q": 4, "g": 0},
+            ],
+        },
+    })
+    assert "hb w0:3ms w2:151ms" in with_beats, with_beats
+
+    # /clusterz summary: queue depths, requeues, dead workers, fallback.
+    clusterz = {
+        "active": True,
+        "coordinator": {
+            "num_shards": 12,
+            "done": 5,
+            "requeued": 1,
+            "fallback": 2,
+            "workers": [
+                {"worker": 0, "queue_depth": 2, "state": "alive"},
+                {"worker": 1, "queue_depth": 0, "state": "dead"},
+                {"worker": 2, "queue_depth": 3, "state": "alive"},
+            ],
+        },
+    }
+    with_cluster = render_line({"join": {"active": True}}, clusterz)
+    assert "cluster 5/12 shards" in with_cluster, with_cluster
+    assert "q=[2,0,3]" in with_cluster, with_cluster
+    assert "requeued 1" in with_cluster, with_cluster
+    assert "fallback 2" in with_cluster, with_cluster
+    assert "dead 1" in with_cluster, with_cluster
+
+    # No /clusterz (404 or single-process build) and inactive coordinators
+    # add nothing to the line.
+    assert render_clusterz(None) == ""
+    assert render_clusterz({"active": False, "coordinator": None}) == ""
+    assert "cluster" not in render_line({"join": {}}, None)
+
     print("statusz_poll.py self-test: OK")
     return 0
 
@@ -102,7 +195,7 @@ def main() -> int:
                       f"http://{args.host}:{args.port}/statusz: {error}",
                       file=sys.stderr)
                 return 2
-            line = render_line(status)
+            line = render_line(status, fetch_clusterz(args.host, args.port))
             if args.watch:
                 print("\r\x1b[K" + line, end="", flush=True)
                 time.sleep(args.interval)
