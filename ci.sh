@@ -39,6 +39,42 @@ else
   echo "format SKIPPED (clang-format not installed)"
 fi
 
+# 0a. Lock-order analysis (DESIGN.md §11): extract the static
+# lock-acquisition graph from the simj::Mutex annotations and fail on any
+# cycle (a potential ABBA deadlock). Pure python, always runs; self-test
+# first so a broken extractor cannot bless a cyclic tree.
+echo "=== lock order ==="
+python3 tools/lock_order.py --self-test
+python3 tools/lock_order.py --json /dev/null
+
+# 0b. Thread-safety analysis (clang-only): the SIMJ_GUARDED_BY /
+# SIMJ_REQUIRES contracts in src/ are no-op attributes under GCC, so this
+# leg syntax-checks every src TU under clang's -Wthread-safety as errors,
+# then proves the analysis is actually live by compiling
+# tests/thread_safety_check.cc both ways (clean as-is, rejected with
+# -DSIMJ_THREAD_SAFETY_EXPECT_FAIL). Skips with a notice when clang++ is
+# absent from the CI image.
+echo "=== thread safety (clang) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  TS_FLAGS=(-std=c++20 -Isrc -fsyntax-only
+            -Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety -Werror=thread-safety-beta)
+  for tu in src/*/*.cc; do
+    clang++ "${TS_FLAGS[@]}" "${tu}"
+  done
+  clang++ "${TS_FLAGS[@]}" tests/thread_safety_check.cc
+  if clang++ "${TS_FLAGS[@]}" -DSIMJ_THREAD_SAFETY_EXPECT_FAIL \
+      tests/thread_safety_check.cc 2>/dev/null; then
+    echo "ERROR: -Wthread-safety accepted an unannotated access to a"
+    echo "SIMJ_GUARDED_BY field — the analysis is not actually running."
+    exit 1
+  fi
+  echo "thread safety OK ($(ls src/*/*.cc | wc -l) TUs + expect-fail probe)"
+else
+  echo "thread safety SKIPPED (clang++ not installed; GCC ignores the"
+  echo "  annotations — run this leg on a machine with clang to enforce them)"
+fi
+
 # 1. Release: the configuration benchmarks and users run. Warnings are
 # errors in CI (-DSIMJ_WERROR=ON) in every configuration below; the build
 # exports compile_commands.json for clang-tidy.

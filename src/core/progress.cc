@@ -209,7 +209,7 @@ ProgressSnapshot JoinProgress::Snapshot() {
   // Throughput window: reader-only, so a plain mutex is fine here.
   double rate = 0.0;
   {
-    std::lock_guard<std::mutex> lock(eta_mu_);
+    MutexLock lock(eta_mu_);
     if (eta_window_join_ != snapshot.joins_started) {
       eta_window_.clear();
       eta_window_join_ = snapshot.joins_started;

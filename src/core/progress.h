@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace simj::core {
 
@@ -176,9 +177,11 @@ class JoinProgress {
   // ETA throughput window: (steady ns, completed pairs) samples over the
   // last kEtaWindowSeconds, appended by Snapshot() under eta_mu_.
   static constexpr double kEtaWindowSeconds = 10.0;
-  std::mutex eta_mu_;
-  std::deque<std::pair<int64_t, int64_t>> eta_window_;
-  int64_t eta_window_join_ = -1;  // joins_started_ the window belongs to
+  Mutex eta_mu_;  // leaf lock: reader-side only, nothing acquired under it
+  std::deque<std::pair<int64_t, int64_t>> eta_window_
+      SIMJ_GUARDED_BY(eta_mu_);
+  // joins_started_ the window belongs to
+  int64_t eta_window_join_ SIMJ_GUARDED_BY(eta_mu_) = -1;
 };
 
 }  // namespace simj::core

@@ -57,7 +57,7 @@ void SetClusterzSource(ClusterzSource* source);
 // The /clusterz response body:
 //   {"active":bool,"coordinator":<LiveJson or null>,
 //    "events_dropped":N,"recent_events":[...last 32 flight events...]}
-std::string ClusterzBody();
+[[nodiscard]] std::string ClusterzBody();
 
 // Registers GET /clusterz with the statusz endpoint registry. Idempotent.
 void RegisterClusterzEndpoint();
@@ -68,7 +68,7 @@ void RegisterClusterzEndpoint();
 // the real coordinator could not have produced: popping the wrong queue
 // end, completing a shard on a worker that was not running it, a shard
 // left unfinished.
-StatusOr<std::vector<int>> ReplayFinalAssignment(
+[[nodiscard]] StatusOr<std::vector<int>> ReplayFinalAssignment(
     const std::vector<flight::Event>& events, int num_shards);
 
 }  // namespace simj::dist

@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <iterator>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -18,6 +16,7 @@
 #include "util/health.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -182,13 +181,20 @@ class Coordinator : public ClusterzSource {
     }
 
     Merge(result);
-    stats_.stall_events =
-        static_cast<int>(stall_events_.load(std::memory_order_relaxed));
+    // Unpublish before the final stats move so no /clusterz scrape can
+    // observe stats_ mid-move.
     SetClusterzSource(nullptr);
-    // The run's flight events, straight from the global ring (cleared by
-    // ShardedSimJoin at run start, so the copy is exactly this run).
-    stats_.events = flight::FlightRecorder::Global().Events();
-    return std::move(stats_);
+    DistStats out_stats;
+    {
+      MutexLock lock(mu_);
+      stats_.stall_events =
+          static_cast<int>(stall_events_.load(std::memory_order_relaxed));
+      // The run's flight events, straight from the global ring (cleared by
+      // ShardedSimJoin at run start, so the copy is exactly this run).
+      stats_.events = flight::FlightRecorder::Global().Events();
+      out_stats = std::move(stats_);
+    }
+    return out_stats;
   }
 
   // ClusterzSource: live queue/worker state, sampled under mu_ from the
@@ -203,7 +209,7 @@ class Coordinator : public ClusterzSource {
         heartbeat_age_ms[static_cast<size_t>(beat.worker)] = beat.age_ms;
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::string out = "{\"num_shards\":" + std::to_string(num_shards_) +
                       ",\"done\":" + std::to_string(done_count_) +
                       ",\"requeued\":" + std::to_string(stats_.shards_requeued) +
@@ -336,7 +342,7 @@ class Coordinator : public ClusterzSource {
   // Blocks until a shard is available (own queue, then stealing from the
   // back of the longest other queue) or the join is complete (-1).
   int NextShard(int w, int* attempt, bool* stolen) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
       if (done_count_ == num_shards_) return -1;
       int shard_id = -1;
@@ -376,15 +382,16 @@ class Coordinator : public ClusterzSource {
       }
       // Nothing queued, join unfinished: shards running elsewhere may yet
       // fail and be requeued. Woken by requeue or completion.
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
 
   void CompleteShard(int w, int shard_id, ShardResult result,
                      double elapsed_seconds, bool counts_in_process) {
     bool duplicate = false;
+    core::JoinStats shard_stats;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto id = static_cast<size_t>(shard_id);
       if (state_[id] == ShardState::kDone) {
         duplicate = true;
@@ -399,15 +406,16 @@ class Coordinator : public ClusterzSource {
         ++report.shards_completed;
         report.busy_seconds += elapsed_seconds;
         RecordEvent(kEventComplete, w, shard_id, /*attempt=*/-1);
+        // Copied out under the lock: the registry folds below must not
+        // touch results_ once mu_ is released (another thread could be
+        // merging by then).
+        shard_stats = results_[id].stats;
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     if (!duplicate) {
-      if (!counts_in_process) {
-        ReplayStatsIntoRegistry(results_[static_cast<size_t>(shard_id)].stats);
-      }
-      AddLabeledShardStats(results_[static_cast<size_t>(shard_id)].stats,
-                           std::to_string(w));
+      if (!counts_in_process) ReplayStatsIntoRegistry(shard_stats);
+      AddLabeledShardStats(shard_stats, std::to_string(w));
     }
   }
 
@@ -417,7 +425,7 @@ class Coordinator : public ClusterzSource {
     const std::string component = "dist_worker_" + std::to_string(w);
     bool exhausted = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       SIMJ_DCHECK(state_[static_cast<size_t>(shard_id)] ==
                   ShardState::kRunning);
       state_[static_cast<size_t>(shard_id)] = ShardState::kQueued;
@@ -427,7 +435,7 @@ class Coordinator : public ClusterzSource {
       exhausted = stats_.workers[static_cast<size_t>(w)].restarts >=
                   dist_params_.max_worker_restarts;
       RecordEvent(kEventRequeue, w, shard_id, attempt, status.message());
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     // Degraded until the worker is back (cleared below on a successful
     // restart; a permanently dead worker stays degraded until run end).
@@ -439,7 +447,7 @@ class Coordinator : public ClusterzSource {
     if (!exhausted) {
       // Restart outside the lock: the process transport forks here.
       Status restarted = (*workers_)[static_cast<size_t>(w)]->Restart();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.workers[static_cast<size_t>(w)].restarts;
       if (restarted.ok()) {
         RecordEvent(kEventRestart, w, /*shard=*/-1, /*attempt=*/-1);
@@ -450,7 +458,7 @@ class Coordinator : public ClusterzSource {
                       << " restart failed: " << restarted.ToString();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.workers[static_cast<size_t>(w)].permanently_dead = true;
       RecordEvent(kEventWorkerDead, w, /*shard=*/-1, /*attempt=*/-1,
                   "restart budget " +
@@ -467,12 +475,17 @@ class Coordinator : public ClusterzSource {
   }
 
   void RunFallback() {
-    // Dispatch threads have all exited; state is ours alone (the monitor
-    // thread never reads it).
+    // Dispatch threads have all exited, but the statusz thread may still
+    // scrape LiveJson concurrently — every state_/results_/stats_ touch
+    // stays under mu_, with only RunShard itself outside the lock so a
+    // scrape never blocks on an inline shard execution.
     std::vector<int> remaining;
-    for (int s = 0; s < num_shards_; ++s) {
-      if (state_[static_cast<size_t>(s)] != ShardState::kDone) {
-        remaining.push_back(s);
+    {
+      MutexLock lock(mu_);
+      for (int s = 0; s < num_shards_; ++s) {
+        if (state_[static_cast<size_t>(s)] != ShardState::kDone) {
+          remaining.push_back(s);
+        }
       }
     }
     if (remaining.empty()) return;
@@ -516,18 +529,24 @@ class Coordinator : public ClusterzSource {
         result.value().spans.clear();
         tracer.InjectEvents(std::move(batch));
       }
-      state_[id] = ShardState::kDone;
-      results_[id] = std::move(result).value();
-      ++done_count_;
-      ++stats_.fallback_shards;
-      RecordEvent(kEventFallback, /*worker=*/-1, shard_id, /*attempt=*/-1);
-      AddLabeledShardStats(results_[id].stats, "inline");
+      core::JoinStats shard_stats;
+      {
+        MutexLock lock(mu_);
+        state_[id] = ShardState::kDone;
+        results_[id] = std::move(result).value();
+        ++done_count_;
+        ++stats_.fallback_shards;
+        RecordEvent(kEventFallback, /*worker=*/-1, shard_id, /*attempt=*/-1);
+        shard_stats = results_[id].stats;
+      }
+      AddLabeledShardStats(shard_stats, "inline");
     }
   }
 
   // Deterministic merge: stats fold in ascending shard_id order, then the
   // global (q_index, g_index) sort erases scheduling order entirely.
   void Merge(core::JoinResult* result) {
+    MutexLock lock(mu_);
     for (int s = 0; s < num_shards_; ++s) {
       ShardResult& shard = results_[static_cast<size_t>(s)];
       SIMJ_CHECK(state_[static_cast<size_t>(s)] == ShardState::kDone);
@@ -552,14 +571,17 @@ class Coordinator : public ClusterzSource {
   const uint64_t trace_id_;
   std::atomic<uint64_t> next_span_id_{1};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<ShardState> state_;
-  std::vector<int> attempts_;
-  std::vector<ShardResult> results_;
-  std::vector<std::deque<int>> queues_;
-  int done_count_ = 0;
-  DistStats stats_;
+  // Lock order: mu_ before FlightRecorder::mu_ (queue transitions record
+  // flight events under mu_ so ring order is queue-operation order) and
+  // before metrics Registry::mu_.
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<ShardState> state_ SIMJ_GUARDED_BY(mu_);
+  std::vector<int> attempts_ SIMJ_GUARDED_BY(mu_);
+  std::vector<ShardResult> results_ SIMJ_GUARDED_BY(mu_);
+  std::vector<std::deque<int>> queues_ SIMJ_GUARDED_BY(mu_);
+  int done_count_ SIMJ_GUARDED_BY(mu_) = 0;
+  DistStats stats_ SIMJ_GUARDED_BY(mu_);
   std::atomic<int64_t> stall_events_{0};
 };
 

@@ -60,10 +60,10 @@ struct ShardPlan {
 
 // Deterministic: shard ids, shard contents, and plan order depend only on
 // (d, u, params.tau, params.explain, options) — never on thread timing.
-ShardPlan PlanShards(const std::vector<graph::LabeledGraph>& d,
-                     const std::vector<graph::UncertainGraph>& u,
-                     const core::SimJParams& params,
-                     const ShardPlanOptions& options);
+[[nodiscard]] ShardPlan PlanShards(const std::vector<graph::LabeledGraph>& d,
+                                   const std::vector<graph::UncertainGraph>& u,
+                                   const core::SimJParams& params,
+                                   const ShardPlanOptions& options);
 
 }  // namespace simj::dist
 

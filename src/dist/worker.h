@@ -119,12 +119,12 @@ class ShardWorker {
 
 // The dispatch-thread worker. `worker_index` is the logical worker slot
 // used for heartbeats and stall attribution.
-std::unique_ptr<ShardWorker> MakeThreadWorker(const WorkerContext& ctx,
-                                              int worker_index);
+[[nodiscard]] std::unique_ptr<ShardWorker> MakeThreadWorker(
+    const WorkerContext& ctx, int worker_index);
 
 // Forks the serving child immediately (call before starting dispatch
 // threads so the first fork happens while the process is single-threaded).
-StatusOr<std::unique_ptr<ShardWorker>> MakeProcessWorker(
+[[nodiscard]] StatusOr<std::unique_ptr<ShardWorker>> MakeProcessWorker(
     const WorkerContext& ctx, int worker_index);
 
 }  // namespace simj::dist

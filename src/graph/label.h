@@ -29,6 +29,17 @@ inline constexpr LabelId kInvalidLabel = -1;
 // can only read it (lookups on a frozen dictionary are safe from any
 // thread). Interning a label that is already present stays legal after the
 // freeze; inserting a new one trips a SIMJ_CHECK.
+//
+// Concurrency contract (DESIGN.md §11): this class is intentionally
+// lock-free — it uses a freeze protocol instead of a simj::Mutex. The
+// release-store in Freeze() pairs with the acquire-load in frozen(): every
+// intern happens-before the freeze, and the freeze happens-before any
+// cross-thread lookup (the joining thread calls Freeze() before fanning
+// out, and thread creation itself provides the needed synchronization for
+// workers that never call frozen()). There is no guarded state for the
+// thread-safety analysis to check here; the invariant is temporal
+// (single-writer phase, then read-only phase), which the SIMJ_CHECK in
+// Intern enforces dynamically.
 class LabelDictionary {
  public:
   LabelDictionary() = default;

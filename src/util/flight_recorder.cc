@@ -13,7 +13,7 @@ FlightRecorder& FlightRecorder::Global() {
 }
 
 void FlightRecorder::Record(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The tracer epoch is the process timebase every other sink already uses,
   // so flight-recorder timestamps line up with trace spans.
   event.seq = next_seq_++;
@@ -26,12 +26,12 @@ void FlightRecorder::Record(Event event) {
 }
 
 std::vector<Event> FlightRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<Event>(ring_.begin(), ring_.end());
 }
 
 int64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
@@ -39,7 +39,7 @@ std::string FlightRecorder::ToJson() const {
   std::vector<Event> events;
   int64_t dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events.assign(ring_.begin(), ring_.end());
     dropped = dropped_;
   }
@@ -47,7 +47,7 @@ std::string FlightRecorder::ToJson() const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_seq_ = 0;
   dropped_ = 0;

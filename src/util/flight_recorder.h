@@ -25,9 +25,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace simj::flight {
 
@@ -51,13 +52,13 @@ class FlightRecorder {
   void Record(Event event);
 
   // Point-in-time copy, oldest first.
-  std::vector<Event> Events() const;
+  [[nodiscard]] std::vector<Event> Events() const;
 
   // Events discarded because the ring was full.
-  int64_t dropped() const;
+  [[nodiscard]] int64_t dropped() const;
 
   // Deterministic JSON dump of the current ring (see EventsJson).
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 
   // Discards all events and resets seq/dropped. The coordinator clears the
   // global recorder at the start of each sharded run.
@@ -65,17 +66,21 @@ class FlightRecorder {
 
  private:
   const int capacity_;
-  mutable std::mutex mu_;
-  std::deque<Event> ring_;
-  int64_t next_seq_ = 0;
-  int64_t dropped_ = 0;
+  // Leaf lock in practice today, except that the dist coordinator records
+  // events while holding its own mutex — so the documented order is
+  // Coordinator::mu_ before FlightRecorder::mu_ (see tools/lock_order.py).
+  mutable Mutex mu_;
+  std::deque<Event> ring_ SIMJ_GUARDED_BY(mu_);
+  int64_t next_seq_ SIMJ_GUARDED_BY(mu_) = 0;
+  int64_t dropped_ SIMJ_GUARDED_BY(mu_) = 0;
 };
 
 // Renders `{"schema":"simj_flight_v1","dropped":N,"events":[...]}` with one
 // object per event ({"seq","ts_us","type","worker","shard","attempt",
 // "detail"}), byte-deterministic for a given event list. Exposed so tests
 // can golden-check rendering without going through the global ring.
-std::string EventsJson(const std::vector<Event>& events, int64_t dropped);
+[[nodiscard]] std::string EventsJson(const std::vector<Event>& events,
+                                     int64_t dropped);
 
 }  // namespace simj::flight
 

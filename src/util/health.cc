@@ -1,8 +1,8 @@
 #include "util/health.h"
 
 #include <map>
-#include <mutex>
 
+#include "util/sync.h"
 #include "util/trace.h"  // JsonEscape
 
 namespace simj::health {
@@ -10,8 +10,9 @@ namespace simj::health {
 namespace {
 
 struct State {
-  std::mutex mu;
-  std::map<std::string, std::string> degraded;  // component -> reason
+  Mutex mu;  // leaf lock: nothing else is acquired under it
+  std::map<std::string, std::string> degraded
+      SIMJ_GUARDED_BY(mu);  // component -> reason
 };
 
 State& GlobalState() {
@@ -23,25 +24,25 @@ State& GlobalState() {
 
 void SetUnhealthy(const std::string& component, const std::string& reason) {
   State& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.degraded[component] = reason;
 }
 
 void SetHealthy(const std::string& component) {
   State& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.degraded.erase(component);
 }
 
 bool IsDegraded() {
   State& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return !state.degraded.empty();
 }
 
 std::string HealthzBody() {
   State& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.degraded.empty()) return "{\"status\":\"ok\"}\n";
   std::string reason;
   for (const auto& [component, why] : state.degraded) {
@@ -54,7 +55,7 @@ std::string HealthzBody() {
 
 void ResetForTesting() {
   State& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.degraded.clear();
 }
 

@@ -21,16 +21,17 @@ double NowUnixSeconds() {
       .count();
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
+// The installed sink; nullptr means "use the built-in stderr sink".
+// Bundled with its mutex so the guarded_by relation is expressible (and
+// visible to tools/lock_order.py).
+struct SinkState {
+  Mutex mu;
+  std::unique_ptr<Sink> slot SIMJ_GUARDED_BY(mu);
+};
 
-// The installed sink; nullptr means "use the built-in stderr sink". Held
-// as a unique_ptr slot guarded by SinkMutex().
-std::unique_ptr<Sink>& SinkSlot() {
-  static std::unique_ptr<Sink> slot;
-  return slot;
+SinkState& GlobalSinkState() {
+  static SinkState* state = new SinkState();  // simj-lint: allow(new) leaky singleton
+  return *state;
 }
 
 StderrSink& BuiltinStderrSink() {
@@ -154,26 +155,28 @@ void JsonLinesSink::Write(const Entry& entry) {
 }
 
 void CaptureSink::Write(const Entry& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.push_back(entry);
 }
 
 std::vector<Entry> CaptureSink::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
 std::unique_ptr<Sink> SetSink(std::unique_ptr<Sink> sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  std::unique_ptr<Sink> previous = std::move(SinkSlot());
-  SinkSlot() = std::move(sink);
+  SinkState& state = GlobalSinkState();
+  MutexLock lock(state.mu);
+  std::unique_ptr<Sink> previous = std::move(state.slot);
+  state.slot = std::move(sink);
   return previous;
 }
 
 void Write(Level level, const char* file, int line, std::string message) {
   Entry entry = MakeEntry(level, file, line, std::move(message));
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  Sink* sink = SinkSlot() ? SinkSlot().get() : &BuiltinStderrSink();
+  SinkState& state = GlobalSinkState();
+  MutexLock lock(state.mu);
+  Sink* sink = state.slot ? state.slot.get() : &BuiltinStderrSink();
   sink->Write(entry);
 }
 
@@ -181,8 +184,9 @@ void WriteCheckFailureAndAbort(const char* file, int line,
                                const std::string& message) {
   Entry entry = MakeEntry(Level::kError, file, line, message);
   {
-    std::lock_guard<std::mutex> lock(SinkMutex());
-    Sink* sink = SinkSlot() ? SinkSlot().get() : &BuiltinStderrSink();
+    SinkState& state = GlobalSinkState();
+    MutexLock lock(state.mu);
+    Sink* sink = state.slot ? state.slot.get() : &BuiltinStderrSink();
     sink->Write(entry);
     // A capture or JSON sink must not swallow the last words of an
     // aborting process; mirror them to stderr.

@@ -23,10 +23,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace simj::log {
 
@@ -97,8 +98,8 @@ class CaptureSink : public Sink {
   std::vector<Entry> Entries() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ SIMJ_GUARDED_BY(mu_);
 };
 
 // Formats `entry` as a single JSON object (no trailing newline). Shared by

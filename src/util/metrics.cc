@@ -191,28 +191,28 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>(name);
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>(name);
   return *slot;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(name);
   return *slot;
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
@@ -227,7 +227,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->ResetForTesting();
   for (auto& [name, gauge] : gauges_) gauge->ResetForTesting();
   for (auto& [name, histogram] : histograms_) histogram->ResetForTesting();

@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace simj::metrics {
@@ -224,10 +224,14 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Leaf lock (nothing else is acquired under it); taken only on metric
+  // creation and snapshot — never on the sharded-atomic write path.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SIMJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SIMJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SIMJ_GUARDED_BY(mu_);
 };
 
 // Renders any snapshot (e.g. a merged one) in the exposition format.

@@ -10,7 +10,6 @@
 #include <cstdio>
 #include <cstring>
 
-#include <mutex>
 #include <utility>
 
 #include "util/health.h"
@@ -18,6 +17,7 @@
 #include "util/mem.h"
 #include "util/metrics.h"
 #include "util/run_record.h"
+#include "util/sync.h"
 #include "util/trace.h"
 
 namespace simj::statusz {
@@ -51,8 +51,8 @@ std::string MethodNotAllowed() {
 }
 
 struct EndpointRegistry {
-  std::mutex mu;
-  std::vector<Endpoint> endpoints;
+  Mutex mu;
+  std::vector<Endpoint> endpoints SIMJ_GUARDED_BY(mu);
 };
 
 EndpointRegistry& GlobalEndpoints() {
@@ -65,7 +65,7 @@ EndpointRegistry& GlobalEndpoints() {
 
 void RegisterEndpoint(Endpoint endpoint) {
   EndpointRegistry& registry = GlobalEndpoints();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (Endpoint& existing : registry.endpoints) {
     if (existing.path == endpoint.path) {
       existing = std::move(endpoint);
@@ -218,9 +218,12 @@ std::string Server::HandleRequest(const std::string& method,
   }
   {
     EndpointRegistry& registry = GlobalEndpoints();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     for (const Endpoint& endpoint : registry.endpoints) {
       if (endpoint.path == path && endpoint.body) {
+        // endpoint.body() is a std::function the static extractor cannot
+        // follow; registrants declare what their bodies lock (see the
+        // simj-lock-order comments in src/dist/clusterz.cc).
         return HttpResponse(200, "OK", endpoint.content_type.c_str(),
                             endpoint.body());
       }

@@ -43,11 +43,11 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 // WriteFrame fails with kInternal when the pipe is closed (EPIPE surfaces
 // as a Status, not a signal: the caller is expected to have SIGPIPE
 // ignored, which ChildProcess::Spawn arranges process-wide).
-Status WriteFrame(int fd, const std::string& payload);
+[[nodiscard]] Status WriteFrame(int fd, const std::string& payload);
 
 // Reads one frame. kNotFound = clean EOF at a frame boundary (peer gone);
 // kInternal = truncated frame, oversized length prefix, or read error.
-StatusOr<std::string> ReadFrame(int fd);
+[[nodiscard]] StatusOr<std::string> ReadFrame(int fd);
 
 // A forked child running `child_main(request_fd, response_fd)` over a pair
 // of anonymous pipes. The parent writes requests to request_fd() and reads
@@ -67,15 +67,15 @@ class ChildProcess {
   // value. Installs SIG_IGN for SIGPIPE process-wide (once) so a dead
   // peer surfaces as a Status from WriteFrame instead of killing the
   // process. The child closes every parent-side pipe end before running.
-  static StatusOr<ChildProcess> Spawn(
+  [[nodiscard]] static StatusOr<ChildProcess> Spawn(
       const std::function<int(int request_fd, int response_fd)>& child_main);
 
-  bool running() const { return pid_ > 0; }
-  int pid() const { return pid_; }
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+  [[nodiscard]] int pid() const { return pid_; }
 
   // Parent-side pipe ends.
-  int request_fd() const { return request_write_fd_; }
-  int response_fd() const { return response_read_fd_; }
+  [[nodiscard]] int request_fd() const { return request_write_fd_; }
+  [[nodiscard]] int response_fd() const { return response_read_fd_; }
 
   // SIGKILLs the child (no-op when already reaped). Used by the fault
   // injector to simulate a worker dying mid-shard, and by Shutdown paths.

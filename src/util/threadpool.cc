@@ -30,14 +30,15 @@ ThreadPool::~ThreadPool() {
   Wait();
   shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    work_available_.notify_all();
+    MutexLock lock(mu_);
+    work_available_.NotifyAll();
   }
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(Task task) {
-  int target = static_cast<int>(next_queue_.fetch_add(1) % queues_.size());
+  int target = static_cast<int>(
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size());
   SubmitTo(target, std::move(task));
 }
 
@@ -45,18 +46,18 @@ void ThreadPool::SubmitTo(int worker, Task task) {
   SIMJ_CHECK(worker >= 0 && worker < num_workers());
   unfinished_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> lock(queues_[worker]->mu);
+    MutexLock lock(queues_[worker]->mu);
     queues_[worker]->tasks.push_back(std::move(task));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    work_available_.notify_one();
+    MutexLock lock(mu_);
+    work_available_.NotifyOne();
   }
 }
 
 bool ThreadPool::PopOwn(int worker, Task* task) {
   WorkerQueue& queue = *queues_[worker];
-  std::lock_guard<std::mutex> lock(queue.mu);
+  MutexLock lock(queue.mu);
   if (queue.tasks.empty()) return false;
   *task = std::move(queue.tasks.back());
   queue.tasks.pop_back();
@@ -67,7 +68,7 @@ bool ThreadPool::StealFrom(int thief, Task* task) {
   int n = num_workers();
   for (int offset = 1; offset < n; ++offset) {
     WorkerQueue& victim = *queues_[(thief + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (victim.tasks.empty()) continue;
     // Steal the oldest task: round-robin scattering puts the least-started
     // work at the front.
@@ -85,31 +86,31 @@ void ThreadPool::WorkerLoop(int worker) {
     if (PopOwn(worker, &task) || StealFrom(worker, &task)) {
       task(worker);
       if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mu_);
-        all_idle_.notify_all();
+        MutexLock lock(mu_);
+        all_idle_.NotifyAll();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_.load(std::memory_order_acquire)) return;
     // Re-check the queues under the wakeup mutex: a Submit between our
     // failed scan and this lock would otherwise be missed.
     bool any = false;
     for (const auto& queue : queues_) {
-      std::lock_guard<std::mutex> qlock(queue->mu);
+      MutexLock qlock(queue->mu);
       if (!queue->tasks.empty()) {
         any = true;
         break;
       }
     }
     if (any) continue;
-    work_available_.wait(lock);
+    work_available_.Wait(mu_);
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  all_idle_.Wait(mu_, [this] {
     return unfinished_.load(std::memory_order_acquire) == 0;
   });
 }

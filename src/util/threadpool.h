@@ -17,14 +17,14 @@
 #define SIMJ_UTIL_THREADPOOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace simj {
 
@@ -61,8 +61,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks SIMJ_GUARDED_BY(mu);
   };
 
   bool PopOwn(int worker, Task* task);
@@ -72,9 +72,12 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;  // guards the condition variables below
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
+  // Lock order: mu_ before WorkerQueue::mu (WorkerLoop re-checks the
+  // queues under mu_ before sleeping). Never take mu_ while holding a
+  // queue lock.
+  Mutex mu_;  // guards the condition variables below
+  CondVar work_available_;
+  CondVar all_idle_;
   std::atomic<int64_t> unfinished_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> next_queue_{0};

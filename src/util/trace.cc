@@ -21,9 +21,9 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
   injected_.clear();
@@ -37,9 +37,9 @@ void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
 void Tracer::SetRecentRing(bool enabled) {
   if (enabled) {
     // Arming discards stale rings so /tracez never mixes runs.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       buffer->ring_count = 0;
     }
   }
@@ -48,7 +48,7 @@ void Tracer::SetRecentRing(bool enabled) {
 
 void Tracer::SetThreadNameForThisThread(const std::string& name) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   buffer->name = name;
 }
 
@@ -69,7 +69,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = ThisThreadTraceId();
     cached = buffer.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(std::move(buffer));
   }
   return cached;
@@ -103,7 +103,7 @@ void Tracer::Record(const char* name, const char* category,
   event.ts_us =
       std::chrono::duration<double, std::micro>(begin - epoch_).count();
   event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   if (to_ring) {
     if (buffer->ring.size() < static_cast<size_t>(kRecentRingCapacity)) {
       buffer->ring.resize(kRecentRingCapacity);
@@ -132,7 +132,7 @@ std::vector<TraceEvent> Tracer::EndThreadCapture() {
 }
 
 void Tracer::RegisterProcessLane(int pid, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [lane_pid, lane_name] : process_lanes_) {
     if (lane_pid == pid) {
       lane_name = name;
@@ -144,7 +144,7 @@ void Tracer::RegisterProcessLane(int pid, const std::string& name) {
 
 void Tracer::InjectEvents(std::vector<TraceEvent> events) {
   if (!enabled() || events.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   injected_.insert(injected_.end(), std::make_move_iterator(events.begin()),
                    std::make_move_iterator(events.end()));
 }
@@ -152,9 +152,9 @@ void Tracer::InjectEvents(std::vector<TraceEvent> events) {
 std::vector<RecentThreadSpans> Tracer::RecentSpans() const {
   std::vector<RecentThreadSpans> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       if (buffer->ring_count == 0) continue;
       RecentThreadSpans thread;
       thread.tid = buffer->tid;
@@ -177,20 +177,20 @@ std::vector<RecentThreadSpans> Tracer::RecentSpans() const {
 }
 
 int64_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = static_cast<int64_t>(injected_.size());
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     total += static_cast<int64_t>(buffer->events.size());
   }
   return total;
 }
 
 std::vector<TraceEvent> Tracer::SnapshotEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> events = injected_;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     events.insert(events.end(), buffer->events.begin(), buffer->events.end());
   }
   return events;
@@ -235,11 +235,11 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   std::vector<std::pair<int, std::string>> lanes;  // (tid, registered name)
   std::vector<std::pair<int, std::string>> proc_lanes;  // (pid, name)
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     proc_lanes = process_lanes_;
     events = injected_;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       if (buffer->events.empty()) continue;
       lanes.emplace_back(buffer->tid, buffer->name);
       events.insert(events.end(), buffer->events.begin(),

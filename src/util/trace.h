@@ -47,10 +47,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace simj::trace {
 
@@ -180,14 +181,17 @@ class Tracer {
   Tracer() : epoch_(Clock::now()) {}
 
   struct ThreadBuffer {
-    std::mutex mu;  // recording thread vs. a concurrent dump
+    Mutex mu;  // recording thread vs. a concurrent dump
+    // tid is deliberately NOT guarded: it is written once before the
+    // buffer is published via buffers_ and read-only afterwards, so
+    // Record() may read it without the lock.
     int tid = 0;
-    std::string name;  // registered thread name, may stay empty
-    std::vector<TraceEvent> events;
+    std::string name SIMJ_GUARDED_BY(mu);  // registered name, may stay empty
+    std::vector<TraceEvent> events SIMJ_GUARDED_BY(mu);
     // Ring of the last completed spans; ring_count grows monotonically and
     // (ring_count % kRecentRingCapacity) is the next write slot.
-    std::vector<TraceEvent> ring;
-    int64_t ring_count = 0;
+    std::vector<TraceEvent> ring SIMJ_GUARDED_BY(mu);
+    int64_t ring_count SIMJ_GUARDED_BY(mu) = 0;
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -196,11 +200,14 @@ class Tracer {
   std::atomic<bool> recent_enabled_{false};
   Clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // guards buffers_ registration and iteration
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Lock order: mu_ before ThreadBuffer::mu (dumps iterate buffers_ under
+  // mu_ and lock each buffer in turn).
+  mutable Mutex mu_;  // guards buffers_ registration and iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SIMJ_GUARDED_BY(mu_);
   // Merged remote events and named process lanes, both guarded by mu_.
-  std::vector<TraceEvent> injected_;
-  std::vector<std::pair<int, std::string>> process_lanes_;
+  std::vector<TraceEvent> injected_ SIMJ_GUARDED_BY(mu_);
+  std::vector<std::pair<int, std::string>> process_lanes_
+      SIMJ_GUARDED_BY(mu_);
 };
 
 // Records the lifetime of a scope as a trace span. `name` and `category`

@@ -1,0 +1,48 @@
+// Compile-only contract check for the simj::Mutex capability annotations
+// (DESIGN.md §11). NOT part of the CMake test build: ci.sh's thread-safety
+// leg feeds this file to clang++ -fsyntax-only -Wthread-safety
+// -Werror=thread-safety twice:
+//
+//   1. as-is — must compile silently: the annotated pattern below is the
+//      correct one, so a clean tree stays clean;
+//   2. with -DSIMJ_THREAD_SAFETY_EXPECT_FAIL — must FAIL to compile:
+//      Bad() reads a SIMJ_GUARDED_BY field without holding its mutex. If
+//      this leg ever *passes*, the analysis has silently gone dark (macro
+//      regression, flag typo) and CI fails loudly instead of drifting.
+//
+// Under GCC both invocations compile: the attributes expand to nothing,
+// which is why the leg is clang-gated.
+
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Get() {
+    simj::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void Set(int v) {
+    simj::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+#if defined(SIMJ_THREAD_SAFETY_EXPECT_FAIL)
+  // Unannotated access to a guarded field: -Wthread-safety must reject it.
+  int Bad() { return value_; }
+#endif
+
+ private:
+  simj::Mutex mu_;
+  int value_ SIMJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(3);
+  return g.Get() == 3 ? 0 : 1;
+}

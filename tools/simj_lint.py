@@ -36,6 +36,16 @@ Rules (see DESIGN.md "Correctness tooling"):
                      SIMJ_IGNORE_STATUS or carry an allow(discard) pragma.
   nodiscard-contract util/status.h must keep Status and StatusOr declared
                      [[nodiscard]] at class level.
+  fork-safety        the child branch after ::fork() (the window before
+                     exec/_exit) may only call async-signal-safe
+                     allowlisted functions — the parent's locks are
+                     permanently frozen in the child, so a hidden malloc
+                     or SIMJ_LOG there can deadlock (DESIGN.md §11).
+  explicit-memory-order
+                     std::atomic member operations in src/ must pass an
+                     explicit std::memory_order argument; a bare .load()
+                     defaults to seq_cst, hiding the author's intent and
+                     the cost. Waivable with allow(memory-order).
 
 Suppression pragmas (the pragma is a comment, checked before stripping):
 
@@ -74,6 +84,8 @@ PRAGMA_SHORTHAND = {
     "logging": "no-raw-logging",
     "sockets": "no-raw-sockets",
     "subprocess": "no-raw-subprocess",
+    "fork": "fork-safety",
+    "memory-order": "explicit-memory-order",
 }
 
 # ---------------------------------------------------------------------------
@@ -248,6 +260,111 @@ SUBPROCESS_CALL_RE = re.compile(
 )
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
 
+# --- fork-safety ---
+# Only these may run in a forked child before exec/_exit: the async-signal-
+# safe syscall wrappers plus the project's own child entry points (which are
+# audited to stay on this list transitively).
+FORK_SAFE_CALLS = {
+    "close", "_exit", "dup", "dup2", "read", "write",
+    "execl", "execle", "execlp", "execv", "execve", "execvp",
+    "CloseAllFdsExcept", "child_main",
+}
+FORK_RE = re.compile(r"::fork\s*\(\s*\)")
+# The child branch: the first `== 0)` comparison after the fork call.
+CHILD_BRANCH_RE = re.compile(r"==\s*0\s*\)\s*")
+FORK_CALL_RE = re.compile(r"(::)?\b([A-Za-z_]\w*)\s*\(")
+FORK_CALL_SKIP = {
+    "if", "for", "while", "switch", "return", "sizeof",
+    "static_cast", "reinterpret_cast", "const_cast", "int",
+}
+
+# --- explicit-memory-order ---
+ATOMIC_OP_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+
+
+def check_fork_safety(source, emit):
+    """Walks every `::fork()` child branch and flags calls outside the
+    async-signal-safe allowlist."""
+    text = "\n".join(source.code_lines)
+
+    def line_of(pos):
+        return text.count("\n", 0, pos) + 1
+
+    for fork in FORK_RE.finditer(text):
+        branch = CHILD_BRANCH_RE.search(text, fork.end(), fork.end() + 2000)
+        if branch is None:
+            continue  # fork result never compared against 0 nearby
+        start = branch.end()
+        if start < len(text) and text[start] == "{":
+            # Braced child block: window is the matching brace span.
+            depth = 0
+            end = start
+            for end in range(start, len(text)):
+                if text[end] == "{":
+                    depth += 1
+                elif text[end] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+        else:
+            # Single-statement branch: window runs to the semicolon.
+            end = text.find(";", start)
+            end = len(text) if end < 0 else end
+        window = text[start:end]
+        for call in FORK_CALL_RE.finditer(window):
+            name = call.group(2)
+            if name in FORK_CALL_SKIP:
+                continue
+            if name in FORK_SAFE_CALLS:
+                continue
+            emit(
+                "fork-safety", line_of(start + call.start()),
+                f"'{name}' called in the fork()..._exit window — only "
+                "async-signal-safe calls are legal in the child (the "
+                "parent's locks are frozen); allowlist or annotate "
+                "allow(fork)",
+            )
+
+
+def check_memory_order(source, emit):
+    """Flags std::atomic member operations whose (multi-line, paren-
+    balanced) argument list lacks an explicit memory_order."""
+    lines = source.code_lines
+    for index, line in enumerate(lines):
+        for match in ATOMIC_OP_RE.finditer(line):
+            # Join from the opening paren until parens balance (atomics
+            # with explicit orders routinely wrap).
+            args = []
+            depth = 0
+            done = False
+            row, col = index, match.end() - 1
+            while row < len(lines) and row < index + 12 and not done:
+                segment = lines[row][col:]
+                for offset, ch in enumerate(segment):
+                    if ch == "(":
+                        depth += 1
+                    elif ch == ")":
+                        depth -= 1
+                        if depth == 0:
+                            args.append(segment[:offset])
+                            done = True
+                            break
+                if not done:
+                    args.append(segment)
+                row += 1
+                col = 0
+            if "memory_order" not in "".join(args):
+                emit(
+                    "explicit-memory-order", index + 1,
+                    f"atomic '{match.group(1)}' without an explicit "
+                    "std::memory_order — say seq_cst if you mean it "
+                    "(or annotate allow(memory-order))",
+                )
+
 STATUS_DECL_RE = re.compile(
     r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:inline\s+|static\s+|constexpr\s+)*"
     r"(?:simj::)?Status(?:Or<[^;=]*>)?\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(",
@@ -319,6 +436,10 @@ def lint_file(source, status_functions):
         bare_call_re = re.compile(
             r"^\s*(?:[A-Za-z_][A-Za-z0-9_]*(?:::|\.|->))*(%s)\s*\(" % joined
         )
+
+    if in_dir(rel, "src"):
+        check_fork_safety(source, emit)
+        check_memory_order(source, emit)
 
     previous = ""
     for line_number, line in enumerate(source.code_lines, start=1):
@@ -539,6 +660,21 @@ SELF_TEST_CASES = [
      "no-raw-subprocess"),
     ("bench/bad_system.cc",
      'void F() { ::system("ls"); }\n', "no-raw-subprocess"),
+    ("src/util/subprocess.cc",
+     "void F() {\n  pid_t pid = ::fork();\n  if (pid == 0) {\n"
+     '    printf("child\\n");\n    ::_exit(0);\n  }\n}\n',
+     "fork-safety"),
+    ("src/util/subprocess.cc",
+     "void F() {\n  pid_t pid = ::fork();\n  if (pid == 0) {\n"
+     "    SIMJ_LOG(WARN) << \"in child\";\n    ::_exit(0);\n  }\n}\n",
+     "fork-safety"),
+    ("src/core/bad_atomic_store.cc",
+     "#include <atomic>\nvoid F(std::atomic<int>& a) { a.store(1); }\n",
+     "explicit-memory-order"),
+    ("src/core/bad_atomic_fetch.cc",
+     "#include <atomic>\nstd::atomic<int> c;\n"
+     "int F() { return c.fetch_add(1); }\n",
+     "explicit-memory-order"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -587,6 +723,25 @@ SELF_TEST_CLEAN = [
     ("src/workload/ok_subprocess_pragma.cc",
      "// simj-lint: allow-file(subprocess)\n"
      "void F() { ::kill(1, 9); }\n"),
+    # The real child window: only allowlisted async-signal-safe calls.
+    ("src/util/subprocess.cc",
+     "void F() {\n  pid_t pid = ::fork();\n  if (pid == 0) {\n"
+     "    CloseAllFdsExcept(a, b);\n    int code = child_main(a, b);\n"
+     "    ::close(a);\n    ::_exit(code);\n  }\n}\n"),
+    # A fork-window violation can be waived per line.
+    ("src/util/subprocess.cc",
+     "void F() {\n  if (::fork() == 0) {\n"
+     "    setup_child();  // simj-lint: allow(fork)\n    ::_exit(0);\n  }\n}\n"),
+    # Explicit orders satisfy the rule even when the call wraps lines.
+    ("src/core/ok_mo_multiline.cc",
+     "#include <atomic>\nstd::atomic<int> c;\nvoid F() {\n  c.store(1,\n"
+     "      std::memory_order_relaxed);\n}\n"),
+    # std::exchange (the <utility> one) is not an atomic member op.
+    ("src/core/ok_std_exchange.cc",
+     "#include <utility>\nint F(int& x) { return std::exchange(x, 3); }\n"),
+    ("src/core/ok_mo_pragma.cc",
+     "#include <atomic>\nstd::atomic<int> c;\n"
+     "int F() { return c.load(); }  // simj-lint: allow(memory-order)\n"),
 ]
 
 def self_test(repo):
