@@ -30,6 +30,7 @@
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/run_record.h"
 #include "util/statusz.h"
 #include "util/strings.h"
@@ -65,6 +66,8 @@ struct BenchOptions {
   bool explain = false;       // --explain: record per-pair prune explanations
   int explain_every = 1;      // --explain_every: sample every Nth pair
   std::string explain_out;    // --explain_out: explain dump path ("" = stdout)
+  int profile_hz = 0;         // --profile_hz: CPU sampling rate (0 = off)
+  std::string profile_out;    // --profile_out: simj_profile_v1 JSON dump path
 };
 
 inline BenchOptions& GlobalBenchOptions() {
@@ -137,6 +140,10 @@ inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
       {"explain", "1 = record per-pair prune explanations"},
       {"explain_every", "sample every Nth pair in explain mode (default 1)"},
       {"explain_out", "write explain dump here instead of stdout"},
+      {"profile_hz", "sampling CPU profiler frequency (default 0 = off; "
+                     "implied 99 when only --profile_out is given)"},
+      {"profile_out", "write the simj_profile_v1 JSON capture here at exit "
+                      "(see tools/flame.py); also embedded in --json_out"},
   };
   return docs;
 }
@@ -170,6 +177,32 @@ inline statusz::Server*& GlobalStatuszServer() {
 inline void EmitBenchArtifacts() {
   const BenchOptions& options = GlobalBenchOptions();
   if (statusz::Server* server = GlobalStatuszServer()) server->Stop();
+  if (prof::ProfilingActive()) {
+    StatusOr<prof::Profile> profile = prof::StopProfiling();
+    if (!profile.ok()) {
+      SIMJ_LOG(WARN) << "profiler capture failed: "
+                     << profile.status().ToString();
+    } else {
+      const std::string json = prof::ProfileJson(*profile);
+      if (!options.profile_out.empty()) {
+        std::ofstream os(options.profile_out);
+        if (!os) {
+          SIMJ_LOG(WARN) << "cannot open --profile_out="
+                         << options.profile_out;
+        } else {
+          os << json;
+          SIMJ_LOG(INFO) << "cpu profile (" << profile->TotalSamples()
+                         << " samples, " << profile->sections.size()
+                         << " sections) written to " << options.profile_out
+                         << " (render with tools/flame.py)";
+        }
+      }
+      // Embed in the run record (sans trailing newline: it is spliced as
+      // a raw JSON object value) so bench_compare.py can diff hot paths.
+      GlobalBenchRecorder().result.profile_json =
+          json.substr(0, json.find_last_not_of('\n') + 1);
+    }
+  }
   if (!options.metrics_out.empty()) {
     FILE* f = std::fopen(options.metrics_out.c_str(), "w");
     if (f == nullptr) {
@@ -251,6 +284,12 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
       static_cast<int>(flags.GetInt("explain_every", options.explain_every));
   options.explain_out = flags.GetString("explain_out", options.explain_out);
   if (!options.explain_out.empty()) options.explain = true;
+  options.profile_hz =
+      static_cast<int>(flags.GetInt("profile_hz", options.profile_hz));
+  options.profile_out = flags.GetString("profile_out", options.profile_out);
+  if (!options.profile_out.empty() && options.profile_hz == 0) {
+    options.profile_hz = 99;  // a sink without a rate means "default rate"
+  }
 
   log::Level level = log::Level::kInfo;
   if (!log::ParseLevel(options.log_level, &level)) {
@@ -291,7 +330,19 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
     core::JoinProgress::Global().RequestHeartbeats(true);
   }
   // A collector may be live now (trace ring or full trace); label the lane.
+  // Also registers this thread with the profiler, so it must precede
+  // StartProfiling below.
   trace::SetThisThreadName("main");
+
+  if (options.profile_hz > 0) {
+    Status armed =
+        prof::StartProfiling(prof::ProfileOptions{options.profile_hz});
+    if (!armed.ok()) {
+      // Not fatal (e.g. disabled under TSan): the run proceeds unprofiled.
+      SIMJ_LOG(WARN) << "--profile_hz=" << options.profile_hz << ": "
+                     << armed.ToString();
+    }
+  }
 
   BenchRecorder& recorder = GlobalBenchRecorder();
   std::string harness = argv0 == nullptr ? "" : argv0;

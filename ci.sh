@@ -220,6 +220,125 @@ python3 tools/bench_compare.py --schema-check "${SMOKE_DIR}/fig12.json"
 python3 tools/bench_compare.py bench/baselines/BENCH_smoke.json \
   "${SMOKE_DIR}/fig12.json" || true
 
+# 1cc. Profiler smoke (DESIGN.md §12): a faulted 4-worker forked-process
+# cluster run with --profile_out must produce ONE merged simj_profile_v1
+# record with a non-empty section for the coordinator and for every
+# worker — samples crossed the pipe protocol from fork()ed children, were
+# symbolized child-side, and merged under per-worker labels — while every
+# (transport, workers) cell still reproduces the serial oracle
+# (identical==1; the bench exits nonzero otherwise). Then the flamegraph
+# pipeline renders the record to SVG, and the perf-smoke workload is
+# rerun with sampling armed at 99 Hz: its wall-time overhead over the
+# leg-1c sinks-off run must stay under 0.5% (or within 3 combined trial
+# sigmas on a noisy host — the same gating bench_compare uses).
+#
+# Fault plan: death_probability=0.1 with 64-pair shards (not leg 1y's
+# 0.3/16) so a forked child survives long enough to accumulate CPU past
+# the kernel's CPU-timer tick (~4 ms) — a child killed every couple of
+# sub-millisecond shards would legitimately never deliver a sample and
+# the per-worker-section assertion would be testing luck, not plumbing.
+echo "=== profiler smoke ==="
+python3 tools/flame.py --self-test
+./build-release/bench/bench_shard_scaling \
+  --workers=4 --transport=process --max_pairs_per_shard=64 \
+  --sim_seed=5 --death_probability=0.1 --slow_probability=0.1 \
+  --num_certain=100 --num_uncertain=100 \
+  --profile_hz=1000 --profile_out="${SMOKE_DIR}/cluster_profile.json" \
+  --json_out="${SMOKE_DIR}/cluster_profiled.json" > /dev/null
+python3 - "${SMOKE_DIR}" <<'PY'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/cluster_profile.json") as f:
+    profile = json.load(f)
+assert profile["schema"] == "simj_profile_v1", profile["schema"]
+assert profile["hz"] == 1000, profile["hz"]
+assert profile["samples"] > 0, "profile captured no samples"
+for key in ("period_us", "duration_seconds", "dropped", "truncated"):
+    assert key in profile, f"missing {key}"
+sections = {s["label"]: s for s in profile["sections"]}
+labels = sorted(sections)
+assert "coordinator" in sections, labels
+for worker in range(4):
+    label = f"worker-{worker}"
+    assert label in sections, f"missing section {label}: {labels}"
+for label, section in sections.items():
+    assert section["samples"] > 0, f"section {label} is empty"
+    assert section["stacks"], f"section {label} has no stacks"
+    for stack in section["stacks"]:
+        assert stack["thread"] and stack["count"] > 0 and stack["frames"], \
+            (label, stack)
+
+with open(f"{d}/cluster_profiled.json") as f:
+    record = json.load(f)
+measured = [s for s in record["samples"] if not s.get("skipped")]
+assert measured, "profiled cluster run measured nothing"
+for sample in measured:
+    assert sample["values"].get("identical") == 1.0, \
+        f"profiled run diverged from the serial oracle: {sample['name']}"
+# The run record embeds the same capture under "profile".
+assert record["profile"]["schema"] == "simj_profile_v1", record["profile"]
+assert {s["label"] for s in record["profile"]["sections"]} == set(sections)
+print(f"cluster profile OK: {profile['samples']} samples, "
+      f"sections {labels}, dropped {profile['dropped']}, "
+      f"{len(measured)} identical cells")
+PY
+python3 tools/flame.py "${SMOKE_DIR}/cluster_profile.json" \
+  -o "${SMOKE_DIR}/cluster_flame.svg"
+python3 - "${SMOKE_DIR}" <<'PY'
+import sys
+svg = open(f"{sys.argv[1]}/cluster_flame.svg").read()
+assert svg.lstrip().startswith("<svg"), svg[:80]
+assert "coordinator" in svg and "worker-0" in svg, "flamegraph lost sections"
+print(f"flamegraph OK: {len(svg)} bytes of SVG")
+PY
+# Overhead gate: baseline is rerun here, back to back with the armed run,
+# rather than reusing leg 1c's record — minutes of drift (frequency
+# scaling, page cache) between the two would otherwise dominate a 0.5%
+# budget. The assertion is on the MEDIAN per-cell delta: real sampling
+# overhead shifts every cell the same way, while per-cell scheduler noise
+# on millisecond workloads (routinely +-20% on shared CI hosts) does not
+# survive a median over 18 cells.
+./build-release/bench/bench_fig12_tau_efficiency \
+  --num_certain=30 --num_uncertain=30 \
+  --json_out="${SMOKE_DIR}/fig12_base.json" > /dev/null
+./build-release/bench/bench_fig12_tau_efficiency \
+  --num_certain=30 --num_uncertain=30 \
+  --profile_hz=99 --profile_out="${SMOKE_DIR}/fig12_profile.json" \
+  --json_out="${SMOKE_DIR}/fig12_profiled.json" > /dev/null
+python3 - "${SMOKE_DIR}" <<'PY'
+import json, math, statistics, sys
+d = sys.argv[1]
+with open(f"{d}/fig12_base.json") as f:
+    off = json.load(f)
+with open(f"{d}/fig12_profiled.json") as f:
+    armed = json.load(f)
+off_samples = {s["name"]: s for s in off["samples"] if not s.get("skipped")}
+deltas, noises = [], []
+for sample in armed["samples"]:
+    if sample.get("skipped") or sample["name"] not in off_samples:
+        continue
+    base = off_samples[sample["name"]]["wall_seconds"]
+    cur = sample["wall_seconds"]
+    if base["median"] <= 0:
+        continue
+    delta_pct = (cur["median"] - base["median"]) / base["median"] * 100.0
+    noise_pct = (math.hypot(base["stddev"], cur["stddev"])
+                 / base["median"] * 100.0)
+    deltas.append(delta_pct)
+    noises.append(noise_pct)
+    print(f"  {sample['name']}: {delta_pct:+.2f}% (noise {noise_pct:.2f}%)")
+assert deltas, "no comparable cells between sinks-off and armed runs"
+median_delta = statistics.median(deltas)
+median_noise = statistics.median(noises)
+threshold = max(0.5, 3.0 * median_noise)
+assert median_delta <= threshold, \
+    f"profiler overhead beyond budget: median {median_delta:+.2f}% " \
+    f"over {len(deltas)} cells (threshold {threshold:.2f}%)"
+print(f"profiler overhead OK: median {median_delta:+.2f}% over "
+      f"{len(deltas)} cells, threshold {threshold:.2f}% "
+      "(0.5% floor, 3-sigma noise-gated)")
+PY
+
 # 1d. Live-introspection smoke: the same join sweep twice, server-off then
 # with --statusz_port on a fixed loopback port. A concurrent scraper hits
 # all four endpoints mid-run and checks that /metricsz parses as Prometheus

@@ -16,6 +16,7 @@
 #include "util/health.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/sync.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -302,6 +303,10 @@ class Coordinator : public ClusterzSource {
         span_ctx.parent_span_id =
             next_span_id_.fetch_add(1, std::memory_order_relaxed);
       }
+      // While a CPU capture is armed (bench flag or a mid-join /profilez),
+      // ask the worker to ship its pending samples with the response; one
+      // pid-checked atomic load when no capture is armed.
+      span_ctx.profile_hz = prof::ActiveHz();
       const double begin_us = tracer.NowUs();
       WallTimer timer;
       StatusOr<ShardResult> result = worker.RunShard(shard, fault, span_ctx);
@@ -390,6 +395,8 @@ class Coordinator : public ClusterzSource {
                      double elapsed_seconds, bool counts_in_process) {
     bool duplicate = false;
     core::JoinStats shard_stats;
+    prof::SampleBatch profile = std::move(result.profile);
+    result.profile = prof::SampleBatch();
     {
       MutexLock lock(mu_);
       const auto id = static_cast<size_t>(shard_id);
@@ -416,6 +423,12 @@ class Coordinator : public ClusterzSource {
     if (!duplicate) {
       if (!counts_in_process) ReplayStatsIntoRegistry(shard_stats);
       AddLabeledShardStats(shard_stats, std::to_string(w));
+      if (!profile.empty()) {
+        // Outside mu_ (lock order: never hold mu_ into another module's
+        // lock). Duplicates ship no second batch: the first completion
+        // already drained the worker's ring for these samples.
+        prof::AccumulateRemoteSection("worker-" + std::to_string(w), profile);
+      }
     }
   }
 

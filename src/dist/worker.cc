@@ -124,6 +124,7 @@ std::string EncodeRequest(const Shard& shard, const FaultSpec& fault,
   w.U8(span_ctx.collect ? 1 : 0);
   w.U64(span_ctx.trace_id);
   w.U64(span_ctx.parent_span_id);
+  w.I32(span_ctx.profile_hz);
   w.I32(static_cast<int32_t>(shard.pairs.size()));
   for (const auto& [qi, gi] : shard.pairs) {
     w.I32(qi);
@@ -147,6 +148,7 @@ bool DecodeRequest(const std::string& frame, Request* out) {
   out->span_ctx.collect = r.U8() != 0;
   out->span_ctx.trace_id = r.U64();
   out->span_ctx.parent_span_id = r.U64();
+  out->span_ctx.profile_hz = r.I32();
   const int32_t n = r.I32();
   if (!r.ok() || n < 0) return false;
   out->pairs.clear();
@@ -212,6 +214,21 @@ std::string EncodeResult(const ShardResult& result) {
     w.F64(span.dur_us);
     w.U64(span.trace_id);
     w.U64(span.parent_span_id);
+  }
+  // Profile batch (empty unless the request carried profile_hz > 0):
+  // already-symbolized folded stacks — the child's symbol addresses mean
+  // nothing to the parent, so symbolization cannot be deferred across the
+  // pipe.
+  const prof::SampleBatch& batch = result.profile;
+  w.I64(batch.samples);
+  w.I64(batch.dropped);
+  w.I64(batch.truncated);
+  w.I32(static_cast<int32_t>(batch.stacks.size()));
+  for (const prof::FoldedStack& stack : batch.stacks) {
+    w.Str(stack.thread);
+    w.I64(stack.count);
+    w.I32(static_cast<int32_t>(stack.frames.size()));
+    for (const std::string& frame : stack.frames) w.Str(frame);
   }
   return w.Take();
 }
@@ -290,6 +307,26 @@ StatusOr<ShardResult> DecodeResult(const std::string& frame) {
     span.parent_span_id = r.U64();
     result.spans.push_back(std::move(span));
   }
+  result.profile.samples = r.I64();
+  result.profile.dropped = r.I64();
+  result.profile.truncated = r.I64();
+  const int32_t nstacks = r.I32();
+  if (!r.ok() || nstacks < 0) {
+    return InternalError("shard response corrupt (profile stack count)");
+  }
+  result.profile.stacks.reserve(static_cast<size_t>(nstacks));
+  for (int32_t i = 0; i < nstacks; ++i) {
+    prof::FoldedStack stack;
+    stack.thread = r.Str();
+    stack.count = r.I64();
+    const int32_t nframes = r.I32();
+    if (!r.ok() || nframes < 0) {
+      return InternalError("shard response corrupt (profile frame count)");
+    }
+    stack.frames.reserve(static_cast<size_t>(nframes));
+    for (int32_t f = 0; f < nframes; ++f) stack.frames.push_back(r.Str());
+    result.profile.stacks.push_back(std::move(stack));
+  }
   if (!r.AtEnd()) {
     return InternalError("shard response corrupt (trailing bytes)");
   }
@@ -359,6 +396,11 @@ class ThreadWorker final : public ShardWorker {
       result.spans = tracer.EndThreadCapture();
       TagSpans(&result.spans, span_ctx);
     }
+    if (span_ctx.profile_hz > 0 && prof::ProfilingActive()) {
+      // Ship this dispatch thread's samples so the thread transport files
+      // them under "worker-N", symmetric with a forked child's section.
+      result.profile = prof::DrainThisThreadBatch();
+    }
     return result;
   }
 
@@ -394,6 +436,22 @@ int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
     }
     Request request;
     if (!DecodeRequest(frame.value(), &request)) return 2;
+    // The coordinator's capture cannot see this process: run our own
+    // profiler at the requested frequency, arming on first sight (the
+    // inherited parent state is stale post-fork; StartProfiling resets
+    // it) and disarming when the coordinator's capture ends.
+    if (request.span_ctx.profile_hz > 0 && !prof::ProfilingActive()) {
+      prof::NoteThisThread("serve");
+      Status armed = prof::StartProfiling(
+          prof::ProfileOptions{request.span_ctx.profile_hz});
+      if (!armed.ok()) {
+        SIMJ_LOG(WARN) << "shard child profiler: " << armed.ToString();
+      }
+    } else if (request.span_ctx.profile_hz == 0 && prof::ProfilingActive()) {
+      // The capture window closed; the final drain already shipped with the
+      // last profiled response, so the residual profile is discardable.
+      SIMJ_IGNORE_STATUS(prof::StopProfiling().status());
+    }
     SleepMs(request.fault.delay_ms);
     if (request.fault.die_after_pairs >= 0) {
       const size_t prefix =
@@ -416,6 +474,11 @@ int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
     if (request.span_ctx.collect) {
       result.spans = trace::Tracer::Global().EndThreadCapture();
       TagSpans(&result.spans, request.span_ctx);
+    }
+    if (request.span_ctx.profile_hz > 0 && prof::ProfilingActive()) {
+      // Single-threaded serve loop, but drain every ring anyway so
+      // nothing is stranded if the evaluator ever grows helper threads.
+      result.profile = prof::DrainAllThreadsBatch();
     }
     Status status =
         subprocess::WriteFrame(response_fd, EncodeResult(result));

@@ -32,6 +32,7 @@
 #include "graph/label.h"
 #include "graph/labeled_graph.h"
 #include "graph/uncertain_graph.h"
+#include "util/profiler.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -67,6 +68,12 @@ struct SpanContext {
   bool collect = false;        // capture + ship this execution's spans
   uint64_t trace_id = 0;       // one id per sharded run
   uint64_t parent_span_id = 0; // the coordinator's attempt span
+  // > 0 while the coordinator has a CPU capture armed (util/profiler):
+  // workers ship their pending profile samples with the response — the
+  // thread transport drains its own ring, a forked child arms its own
+  // profiler at this frequency on first sight and drains every ring.
+  // 0 (the default and the fallback path's value) ships nothing.
+  int profile_hz = 0;
 };
 
 // Immutable view of the join workload shared by every worker. The caller
@@ -90,6 +97,10 @@ struct ShardResult {
   // trace_id/parent_span_id are tagged from the request's SpanContext; the
   // coordinator re-files them under the worker's process lane.
   std::vector<trace::TraceEvent> spans;
+  // CPU samples drained since this worker's previous response (empty
+  // unless SpanContext.profile_hz > 0). The coordinator folds these into
+  // the capture's "worker-N" section via prof::AccumulateRemoteSection.
+  prof::SampleBatch profile;
 };
 
 class ShardWorker {

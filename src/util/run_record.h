@@ -97,6 +97,12 @@ struct BenchResult {
   std::vector<Sample> samples;
   double wall_seconds_total = 0.0;  // whole-process wall time
   int64_t peak_rss_bytes = 0;
+  // Raw simj_profile_v1 JSON object (util/profiler.h), spliced verbatim
+  // under the "profile" key. Serialized only when non-empty — absence
+  // means the run was not profiled, so the schema version is unchanged.
+  // tools/bench_compare.py diffs self-time shares between two embedded
+  // profiles.
+  std::string profile_json;
   // Point-in-time registry snapshot at emission (counters accumulate over
   // every trial including warmups; histograms are summarized in the JSON).
   metrics::MetricsSnapshot metrics;

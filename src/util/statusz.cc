@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <utility>
@@ -16,6 +18,7 @@
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/run_record.h"
 #include "util/sync.h"
 #include "util/trace.h"
@@ -48,6 +51,68 @@ std::string NotFound() {
 std::string MethodNotAllowed() {
   return HttpResponse(405, "Method Not Allowed", "text/plain",
                       "only GET is supported\n");
+}
+
+// /profilez?seconds=N&hz=M&format=json|folded — on-demand CPU capture.
+// Deliberately synchronous: the single serving thread blocks for the
+// capture window, which also serializes concurrent capture requests (a
+// second caller while armed gets 409 instead of corrupting the first).
+std::string ProfilezResponse(const std::string& query) {
+  double seconds = 1.0;
+  int hz = 99;
+  std::string format = "json";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string pair =
+        query.substr(pos, amp == std::string::npos ? amp : amp - pos);
+    pos = amp == std::string::npos ? query.size() : amp + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "seconds") {
+      char* end = nullptr;
+      seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "unparseable seconds: " + value + "\n");
+      }
+    } else if (key == "hz") {
+      char* end = nullptr;
+      hz = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (end == value.c_str() || *end != '\0') {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "unparseable hz: " + value + "\n");
+      }
+    } else if (key == "format") {
+      format = value;
+    }
+  }
+  if (format != "json" && format != "folded") {
+    return HttpResponse(400, "Bad Request", "text/plain",
+                        "format must be json or folded\n");
+  }
+  // Well-formed but extreme values are clamped, not rejected: the window
+  // bounds protect the serving thread, not the caller's intent.
+  seconds = std::min(std::max(seconds, 0.05), 60.0);
+  hz = std::min(std::max(hz, 1), 1000);
+  if (prof::ProfilingActive()) {
+    return HttpResponse(409, "Conflict", "text/plain",
+                        "profiler already armed\n");
+  }
+  StatusOr<prof::Profile> profile = prof::CaptureProfile(seconds, hz);
+  if (!profile.ok()) {
+    // E.g. disabled under TSan, or no per-thread timer could be armed.
+    return HttpResponse(503, "Service Unavailable", "text/plain",
+                        profile.status().ToString() + "\n");
+  }
+  if (format == "folded") {
+    return HttpResponse(200, "OK", "text/plain",
+                        prof::FoldedText(*profile));
+  }
+  return HttpResponse(200, "OK", "application/json",
+                      prof::ProfileJson(*profile));
 }
 
 struct EndpointRegistry {
@@ -199,8 +264,16 @@ void Server::Stop() {
 }
 
 std::string Server::HandleRequest(const std::string& method,
-                                  const std::string& path) const {
+                                  const std::string& request_path) const {
   if (method != "GET") return MethodNotAllowed();
+  // Split off the query string: /profilez takes parameters; every other
+  // route matches on the bare path and ignores any query.
+  const size_t query_start = request_path.find('?');
+  const std::string path = request_path.substr(0, query_start);
+  const std::string query = query_start == std::string::npos
+                                ? std::string()
+                                : request_path.substr(query_start + 1);
+  if (path == "/profilez") return ProfilezResponse(query);
   if (path == "/healthz") {
     return HttpResponse(200, "OK", "application/json", health::HealthzBody());
   }

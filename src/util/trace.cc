@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/profiler.h"
+
 namespace simj::trace {
 
 namespace internal {
@@ -53,6 +55,10 @@ void Tracer::SetThreadNameForThisThread(const std::string& name) {
 }
 
 void SetThisThreadName(const std::string& name) {
+  // The profiler keys sample attribution on thread names; register
+  // unconditionally (bounded map entry, no buffer) so threads named before
+  // a capture starts are covered by it.
+  prof::NoteThisThread(name);
   Tracer& tracer = Tracer::Global();
   // Skipping the registration while idle keeps short-lived pools from
   // accumulating dead ThreadBuffers in processes that never introspect.

@@ -260,5 +260,77 @@ TEST_F(StatuszTest, ConcurrentScrapeDuringJoinLeavesResultsIdentical) {
   EXPECT_EQ(baseline.stats.candidates, live.stats.candidates);
 }
 
+TEST_F(StatuszTest, ProfilezScrapeMidJoinLeavesResultsByteIdentical) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(
+      22, {.num_certain = 8, .num_uncertain = 8});
+  core::SimJParams params;
+  params.tau = 2;
+  params.alpha = 0.3;
+  params.group_count = 2;
+  params.num_threads = 8;
+  params.slow_pair_log_ms = 0.0;
+
+  // Baseline: no server, no profiler.
+  core::JoinResult baseline = core::SimJoin(w.d, w.u, params, w.dict);
+
+  StartServer();
+  trace::SetThisThreadName("statusz-test-main");  // registers a thread so
+                                                  // /profilez can arm
+  const int port = server_.bound_port();
+
+  // Scrape /profilez repeatedly while the join runs on 8 threads. Each
+  // capture arms the real SIGPROF machinery against the join workers; the
+  // join results must not notice. Builds where arming is refused (TSan)
+  // answer 503 — the scrape must still be harmless.
+  std::atomic<bool> stop{false};
+  std::atomic<int> captures{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string response =
+          Get(port, "/profilez?seconds=0.05&hz=500&format=json");
+      if (response.find("HTTP/1.0 200 OK") != std::string::npos) {
+        EXPECT_NE(BodyOf(response).find("\"schema\":\"simj_profile_v1\""),
+                  std::string::npos)
+            << response;
+        captures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // 503: profiler refused (sanitizer build). 409 cannot happen —
+        // this is the only caller — but either way never a crash.
+        EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos)
+            << response;
+      }
+    }
+  });
+  core::JoinResult live = core::SimJoin(w.d, w.u, params, w.dict);
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  ASSERT_EQ(baseline.pairs.size(), live.pairs.size());
+  for (size_t i = 0; i < baseline.pairs.size(); ++i) {
+    EXPECT_EQ(baseline.pairs[i].q_index, live.pairs[i].q_index);
+    EXPECT_EQ(baseline.pairs[i].g_index, live.pairs[i].g_index);
+    EXPECT_EQ(baseline.pairs[i].similarity_probability,
+              live.pairs[i].similarity_probability);
+    EXPECT_EQ(baseline.pairs[i].mapping, live.pairs[i].mapping);
+  }
+  EXPECT_EQ(baseline.stats.results, live.stats.results);
+  EXPECT_EQ(baseline.stats.candidates, live.stats.candidates);
+}
+
+TEST_F(StatuszTest, ProfilezValidatesItsQuery) {
+  StartServer();
+  const int port = server_.bound_port();
+  // Unparseable parameters are a client error, not a capture attempt.
+  EXPECT_NE(Get(port, "/profilez?seconds=abc").find("HTTP/1.0 400"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/profilez?hz=abc").find("HTTP/1.0 400"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/profilez?format=yaml").find("HTTP/1.0 400"),
+            std::string::npos);
+  // Query strings never leak into path matching for the other endpoints.
+  EXPECT_NE(Get(port, "/healthz?x=1").find("HTTP/1.0 200"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace simj::statusz

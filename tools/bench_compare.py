@@ -3,11 +3,20 @@
 
 Matches samples across the two records by (harness, sample name) — the
 sample name is a pure function of the measured join configuration — and
-reports the per-sample wall-time delta of the trial medians. Deltas are
-noise-aware: a change only counts as a regression/improvement when it
-exceeds both --min_delta_pct and --noise_sigmas combined trial standard
-deviations, so a jittery 2% wobble on a noisy sample is not a finding
-while a clean 2% shift on a tight sample can be.
+reports per-sample wall-time and CPU-time deltas of the trial medians
+(CPU rows carry a " [cpu]" suffix), plus one whole-process peak-RSS
+delta row. Deltas are noise-aware: a change only counts as a
+regression/improvement when it exceeds both --min_delta_pct and
+--noise_sigmas combined trial standard deviations, so a jittery 2%
+wobble on a noisy sample is not a finding while a clean 2% shift on a
+tight sample can be. Peak RSS is a single point per record (no trials),
+so its noise term is zero and only --min_delta_pct gates it.
+
+When both records embed a `simj_profile_v1` profile (--profile_out=, see
+util/profiler.h), the comparison also names the top-N symbols whose
+self-time share regressed between the two profiles — warn-only triage
+notes pointing at *which code* got hotter, alongside the sample deltas
+saying *how much* slower.
 
 Exit status:
   0  no regression beyond --fail_above_pct (or no --fail_above_pct given:
@@ -99,6 +108,13 @@ def validate_record(record, origin="<record>"):
         # "skipped": true. Absence means false — no schema bump.
         if not isinstance(sample.get("skipped", False), bool):
             raise SchemaError(f"{where}: 'skipped' must be a boolean")
+    # Optional within v1: profiled runs (--profile_out=) embed the raw
+    # simj_profile_v1 object under "profile". Absence means unprofiled —
+    # no schema bump. Deep validation of the profile body belongs to the
+    # profiler's own schema (util/profiler.h, ci.sh smoke leg); here we
+    # only insist it is an object so compare_profiles can sniff it.
+    if "profile" in record and not isinstance(record["profile"], dict):
+        raise SchemaError(f"{origin}: 'profile' must be an object")
     return record
 
 
@@ -148,11 +164,16 @@ def compare_scheduler_counters(baseline, current):
 
 
 class Delta:
-    """One matched sample's wall-median change, classified against noise."""
+    """One matched measurement's median change, classified against noise.
+
+    `unit` selects formatting only ("s" for seconds, "bytes" for RSS);
+    the classification math is identical for every unit.
+    """
 
     def __init__(self, name, base_stats, cur_stats, min_delta_pct,
-                 noise_sigmas):
+                 noise_sigmas, unit="s"):
         self.name = name
+        self.unit = unit
         self.base_median = base_stats["median"]
         self.cur_median = cur_stats["median"]
         if self.base_median > 0:
@@ -174,16 +195,80 @@ class Delta:
         else:
             self.verdict = "ok"
 
+    def _format_value(self, value):
+        if self.unit == "bytes":
+            return f"{value / 1048576.0:.1f} MiB"
+        return f"{value:.6f}s"
+
     def __str__(self):
         return (
             f"{self.verdict:>11}  {self.name}: "
-            f"{self.base_median:.6f}s -> {self.cur_median:.6f}s "
+            f"{self._format_value(self.base_median)} -> "
+            f"{self._format_value(self.cur_median)} "
             f"({self.delta_pct:+.1f}%, noise ±{self.noise_pct:.1f}%, "
             f"threshold {self.threshold_pct:.1f}%)"
         )
 
 
-def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
+def profile_self_shares(profile):
+    """Per-symbol self-time sample counts and the total across sections.
+
+    A stack's samples are attributed entirely to its leaf frame — the
+    function that was actually on-CPU — matching flame-graph self time.
+    """
+    counts = {}
+    total = 0
+    for section in profile.get("sections", []):
+        for stack in section.get("stacks", []):
+            count = stack.get("count", 0)
+            frames = stack.get("frames", [])
+            if not frames or not isinstance(count, int) or count <= 0:
+                continue
+            leaf = frames[-1]
+            counts[leaf] = counts.get(leaf, 0) + count
+            total += count
+    return counts, total
+
+
+def compare_profiles(baseline, current, top_n=5):
+    """Warn-only notes naming symbols whose self-time share regressed.
+
+    Requires both records to carry an embedded simj_profile_v1 object
+    (--profile_out= wiring in bench_util.h); silent otherwise — most runs
+    are unprofiled and that must not look like a finding.
+    """
+    base_prof = baseline.get("profile")
+    cur_prof = current.get("profile")
+    if not isinstance(base_prof, dict) or not isinstance(cur_prof, dict):
+        return []
+    for origin, prof in (("baseline", base_prof), ("current", cur_prof)):
+        if prof.get("schema") != "simj_profile_v1":
+            return [f"embedded {origin} profile has unknown schema "
+                    f"{prof.get('schema')!r}; profile diff skipped"]
+    base_counts, base_total = profile_self_shares(base_prof)
+    cur_counts, cur_total = profile_self_shares(cur_prof)
+    if base_total == 0 or cur_total == 0:
+        return ["embedded profile has no samples; profile diff skipped"]
+    moves = []
+    for symbol in set(base_counts) | set(cur_counts):
+        base_share = base_counts.get(symbol, 0) / base_total * 100.0
+        cur_share = cur_counts.get(symbol, 0) / cur_total * 100.0
+        moves.append((cur_share - base_share, symbol, base_share, cur_share))
+    moves.sort(key=lambda m: (-m[0], m[1]))
+    notes = []
+    for delta_pp, symbol, base_share, cur_share in moves[:top_n]:
+        if delta_pp <= 0:
+            break  # sorted desc: nothing hotter beyond this point
+        notes.append(
+            f"profile self-time regressed: {symbol} "
+            f"{base_share:.1f}% -> {cur_share:.1f}% ({delta_pp:+.1f}pp, "
+            "warn-only)"
+        )
+    return notes
+
+
+def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0,
+                    profile_top=5):
     """Returns (deltas, missing_names, added_names, notes)."""
     notes = []
     if baseline["harness"] != current["harness"]:
@@ -207,24 +292,34 @@ def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0):
                     if not s.get("skipped")}
     cur_samples = {s["name"]: s for s in current["samples"]
                    if not s.get("skipped")}
-    deltas = [
-        Delta(name, base_samples[name]["wall_seconds"],
-              cur_samples[name]["wall_seconds"], min_delta_pct, noise_sigmas)
-        for name in base_samples
-        if name in cur_samples
-    ]
+    deltas = []
+    for name in base_samples:
+        if name not in cur_samples:
+            continue
+        deltas.append(
+            Delta(name, base_samples[name]["wall_seconds"],
+                  cur_samples[name]["wall_seconds"], min_delta_pct,
+                  noise_sigmas))
+        deltas.append(
+            Delta(f"{name} [cpu]", base_samples[name]["cpu_seconds"],
+                  cur_samples[name]["cpu_seconds"], min_delta_pct,
+                  noise_sigmas))
+    # Peak RSS is one point per record, not a trial series: synthesize a
+    # zero-stddev Stats so the same classifier applies with noise = 0 and
+    # only --min_delta_pct gating the verdict.
+    base_rss = baseline["peak_rss_bytes"]
+    cur_rss = current["peak_rss_bytes"]
+    if base_rss > 0:
+        deltas.append(
+            Delta("peak_rss_bytes (whole process)",
+                  {"median": float(base_rss), "stddev": 0.0},
+                  {"median": float(cur_rss), "stddev": 0.0},
+                  min_delta_pct, noise_sigmas, unit="bytes"))
     deltas.sort(key=lambda d: -d.delta_pct)
     missing = sorted(set(base_samples) - set(cur_samples) - set(skipped))
     added = sorted(set(cur_samples) - set(base_samples) - set(skipped))
     notes.extend(compare_scheduler_counters(baseline, current))
-    base_rss = baseline["peak_rss_bytes"]
-    cur_rss = current["peak_rss_bytes"]
-    if base_rss > 0:
-        rss_pct = (cur_rss - base_rss) / base_rss * 100.0
-        notes.append(
-            f"peak RSS: {base_rss / 1048576.0:.1f} MiB -> "
-            f"{cur_rss / 1048576.0:.1f} MiB ({rss_pct:+.1f}%)"
-        )
+    notes.extend(compare_profiles(baseline, current, profile_top))
     return deltas, missing, added, notes
 
 
@@ -236,7 +331,8 @@ def run_compare(args):
         print(f"bench_compare: {error}", file=sys.stderr)
         return 2
     deltas, missing, added, notes = compare_records(
-        baseline, current, args.min_delta_pct, args.noise_sigmas
+        baseline, current, args.min_delta_pct, args.noise_sigmas,
+        args.profile_top
     )
     print(
         f"bench_compare: {baseline['harness']} "
@@ -348,12 +444,16 @@ def self_test(repo):
     check(all(d.verdict == "ok" for d in deltas), "identical runs flagged")
     check(not missing and not added, "identical runs mismatched samples")
 
-    # A synthetic 20% slowdown on one sample must be detected.
+    # A synthetic 20% slowdown on one sample must be detected — on both
+    # the wall row and its companion [cpu] row (make_record mirrors the
+    # stats into cpu_seconds).
     slow = make_record({"eff tau=2": 1.2, "eff tau=3": 2.0})
     deltas, _, _, _ = compare_records(base, slow)
     by_name = {d.name: d for d in deltas}
     check(by_name["eff tau=2"].verdict == "REGRESSION",
           "20% slowdown not detected")
+    check(by_name["eff tau=2 [cpu]"].verdict == "REGRESSION",
+          "20% CPU slowdown not detected")
     check(by_name["eff tau=3"].verdict == "ok",
           "unchanged sample misflagged")
 
@@ -368,13 +468,15 @@ def self_test(repo):
     noisy_base = make_record({"eff noisy": 1.0}, stddev=0.05)
     noisy_cur = make_record({"eff noisy": 1.02}, stddev=0.05)
     deltas, _, _, _ = compare_records(noisy_base, noisy_cur)
-    check(deltas[0].verdict == "ok", "noisy 2% wobble misflagged")
+    check({d.name: d for d in deltas}["eff noisy"].verdict == "ok",
+          "noisy 2% wobble misflagged")
     # ... but the same 2% shift on a tight sample (stddev 0.1%) is real —
     # noise awareness must scale the threshold, not blanket-suppress.
     tight_base = make_record({"eff tight": 1.0}, stddev=0.001)
     tight_cur = make_record({"eff tight": 1.05}, stddev=0.001)
     deltas, _, _, _ = compare_records(tight_base, tight_cur)
-    check(deltas[0].verdict == "REGRESSION", "tight 5% shift missed")
+    check({d.name: d for d in deltas}["eff tight"].verdict == "REGRESSION",
+          "tight 5% shift missed")
 
     # Added/removed samples are reported, not silently dropped.
     deltas, missing, added, _ = compare_records(
@@ -407,7 +509,7 @@ def self_test(repo):
     validate_record(with_skip, "with-skip")
     deltas, missing, added, notes = compare_records(
         with_skip, make_record({"scaling t=1": 1.0, "scaling t=4": 0.9}))
-    check([d.name for d in deltas] == ["scaling t=1"],
+    check(not any("scaling t=4" in d.name for d in deltas),
           "skipped sample entered delta comparison")
     check(not missing and not added,
           "skipped sample misreported as missing/added")
@@ -458,6 +560,106 @@ def self_test(repo):
                                      make_record({"a": 1.0})) == [],
           "single-process records produced scheduler notes")
 
+    # Peak RSS compares through the same classifier: a 30% bloat is a
+    # regression row, a 1% wobble (under --min_delta_pct) stays quiet,
+    # and a zero-RSS baseline produces no row rather than dividing by it.
+    rss_base = make_record({"eff tau=2": 1.0})
+    rss_cur = make_record({"eff tau=2": 1.0})
+    rss_cur["peak_rss_bytes"] = int(rss_base["peak_rss_bytes"] * 1.30)
+    deltas, _, _, _ = compare_records(rss_base, rss_cur)
+    rss_rows = [d for d in deltas if d.unit == "bytes"]
+    check(len(rss_rows) == 1 and rss_rows[0].verdict == "REGRESSION",
+          "30% RSS bloat not detected")
+    check("MiB" in str(rss_rows[0]), "RSS row not formatted in MiB")
+    rss_cur["peak_rss_bytes"] = int(rss_base["peak_rss_bytes"] * 1.01)
+    deltas, _, _, _ = compare_records(rss_base, rss_cur)
+    rss_rows = [d for d in deltas if d.unit == "bytes"]
+    check(rss_rows[0].verdict == "ok", "1% RSS wobble misflagged")
+    rss_zero = make_record({"eff tau=2": 1.0})
+    rss_zero["peak_rss_bytes"] = 0
+    deltas, _, _, _ = compare_records(rss_zero, rss_cur)
+    check(not any(d.unit == "bytes" for d in deltas),
+          "zero-RSS baseline produced an RSS row")
+
+    # A CPU-only regression (wall flat, e.g. more threads burning the same
+    # wall time) is caught by the [cpu] row.
+    cpu_base = make_record({"eff tau=2": 1.0})
+    cpu_cur = make_record({"eff tau=2": 1.0})
+    for sample in cpu_cur["samples"]:
+        for field in ("min", "median", "mean", "max"):
+            sample["cpu_seconds"][field] *= 1.25
+    deltas, _, _, _ = compare_records(cpu_base, cpu_cur)
+    by_name = {d.name: d for d in deltas}
+    check(by_name["eff tau=2"].verdict == "ok",
+          "flat wall time misflagged alongside CPU regression")
+    check(by_name["eff tau=2 [cpu]"].verdict == "REGRESSION",
+          "CPU-only regression missed")
+
+    # Embedded-profile diff: names the symbols whose self-time share grew.
+    def make_profile(symbol_counts):
+        total = sum(symbol_counts.values())
+        return {
+            "schema": "simj_profile_v1",
+            "hz": 99,
+            "period_us": 10101.01,
+            "duration_seconds": 1.0,
+            "samples": total,
+            "dropped": 0,
+            "truncated": 0,
+            "sections": [{
+                "label": "coordinator",
+                "samples": total,
+                "dropped": 0,
+                "truncated": 0,
+                "stacks": [
+                    {"thread": "main", "count": count,
+                     "frames": ["Run", symbol]}
+                    for symbol, count in sorted(symbol_counts.items())
+                ],
+            }],
+        }
+
+    prof_base = make_record({"eff tau=2": 1.0})
+    prof_base["profile"] = make_profile({"Verify": 30, "Prune": 70})
+    prof_cur = make_record({"eff tau=2": 1.0})
+    prof_cur["profile"] = make_profile({"Verify": 60, "Prune": 40})
+    validate_record(prof_base, "with-profile")
+    notes = compare_profiles(prof_base, prof_cur)
+    check(len(notes) == 1 and "Verify" in notes[0] and "+30.0pp" in notes[0],
+          f"profile self-time regression not named: {notes}")
+    check(not any("Prune" in n for n in notes),
+          "improved symbol misreported as profile regression")
+    # Unprofiled records (the common case) must stay silent, and the diff
+    # rides through compare_records as notes.
+    check(compare_profiles(make_record({"x": 1.0}),
+                           make_record({"x": 1.0})) == [],
+          "unprofiled records produced profile notes")
+    _, _, _, notes = compare_records(prof_base, prof_cur)
+    check(any("profile self-time regressed: Verify" in n for n in notes),
+          "profile diff not surfaced through compare_records")
+    # --profile_top bounds the list.
+    wide_base = make_record({"x": 1.0})
+    wide_base["profile"] = make_profile(
+        {f"Sym{i}": 10 for i in range(8)} | {"Cold": 920})
+    wide_cur = make_record({"x": 1.0})
+    wide_cur["profile"] = make_profile(
+        {f"Sym{i}": 100 for i in range(8)} | {"Cold": 200})
+    check(len(compare_profiles(wide_base, wide_cur, top_n=3)) == 3,
+          "--profile_top did not bound the regression list")
+    # A mangled embedded profile degrades to a note, never a crash.
+    bad_prof = make_record({"x": 1.0})
+    bad_prof["profile"] = {"schema": "simj_profile_v99"}
+    notes = compare_profiles(bad_prof, prof_cur)
+    check(len(notes) == 1 and "unknown schema" in notes[0],
+          "unknown profile schema not surfaced")
+    not_dict = make_record({"x": 1.0})
+    not_dict["profile"] = "folded text"
+    try:
+        validate_record(not_dict, "bad-profile")
+        check(False, "non-object 'profile' accepted")
+    except SchemaError:
+        pass
+
     # The checked-in golden record (tests/golden) must satisfy the schema —
     # it is the contract between the C++ writer and this reader.
     golden = os.path.join(repo, "tests", "golden", "bench_result_v1.json")
@@ -474,7 +676,7 @@ def self_test(repo):
     for failure in failures:
         print(f"self-test: {failure}")
     if not failures:
-        print("self-test OK: 21 cases")
+        print("self-test OK: 39 cases")
     return 1 if failures else 0
 
 
@@ -493,6 +695,9 @@ def main():
     parser.add_argument("--noise_sigmas", type=float, default=3.0,
                         help="ignore deltas within this many combined trial "
                              "standard deviations")
+    parser.add_argument("--profile_top", type=int, default=5,
+                        help="when both records embed a profile, name at "
+                             "most this many regressed self-time symbols")
     parser.add_argument("--schema-check", nargs="+", metavar="FILE",
                         help="validate FILEs against the schema and exit")
     parser.add_argument("--self-test", action="store_true",

@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""Render simj CPU profiles as self-contained SVG flamegraphs.
+
+Input is either Brendan-Gregg folded-stack text (one
+"section;thread;root;...;leaf count" line per aggregated stack — what
+/profilez?format=folded and prof::FoldedText emit) or a `simj_profile_v1`
+JSON record (what --profile_out writes and run records embed under
+"profile"); the format is sniffed from the first non-space byte. The SVG
+is a static icicle layout — frames widen with their inclusive sample
+count, nested by call depth, with <title> tooltips carrying exact counts
+and percentages — and needs no JavaScript or external assets.
+
+Modes:
+  tools/flame.py profile.json -o flame.svg       # render one profile
+  tools/flame.py --diff old.json new.json        # hot-path delta report
+  tools/flame.py --self-test                     # offline unit checks
+
+--diff compares per-symbol self-time *shares* (fraction of total samples
+in which the symbol is the leaf frame), so two captures of different
+lengths compare cleanly; it prints the top-N symbols whose share moved,
+worst regression first. Exit status: 0 on success (including a diff with
+no movement), 2 on malformed input.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+# Layout constants (pixels). Width is fixed; depth grows the height.
+WIDTH = 1200
+ROW_HEIGHT = 17
+TEXT_PAD = 3
+MIN_LABEL_WIDTH = 35  # below this, draw the rect but skip the label
+FONT_SIZE = 11
+
+# Warm palette cycled by depth so adjacent rows are distinguishable
+# without per-symbol hashing (keeps the SVG byte-stable across runs).
+PALETTE = [
+    "#e4572e", "#e98a15", "#f2a33c", "#d1495b", "#c75146",
+    "#ba5a31", "#e26d5c", "#d68c45", "#f4a259", "#bc4b51",
+]
+
+
+def parse_folded(text):
+    """Folded text -> list of (frames_tuple, count).
+
+    The section and thread fields are kept as the two outermost frames so
+    one graph shows coordinator vs worker sections side by side.
+    """
+    stacks = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        frames_part, _, count_part = line.rpartition(" ")
+        if not frames_part:
+            raise ValueError(f"line {line_number}: no count field")
+        try:
+            count = int(count_part)
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: bad count "
+                             f"{count_part!r}") from error
+        frames = tuple(f for f in frames_part.split(";") if f)
+        if not frames:
+            raise ValueError(f"line {line_number}: empty stack")
+        stacks.append((frames, count))
+    return stacks
+
+
+def parse_profile_json(text):
+    """simj_profile_v1 JSON -> list of (frames_tuple, count)."""
+    record = json.loads(text)
+    if record.get("schema") != "simj_profile_v1":
+        raise ValueError(f"not a simj_profile_v1 record "
+                         f"(schema={record.get('schema')!r})")
+    stacks = []
+    for section in record.get("sections", []):
+        label = section.get("label", "?")
+        for stack in section.get("stacks", []):
+            frames = (label, stack.get("thread", "?"),
+                      *stack.get("frames", []))
+            stacks.append((frames, int(stack.get("count", 0))))
+    return stacks
+
+
+def load_stacks(text):
+    """Sniffs JSON vs folded text and parses accordingly."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        # A run record embeds the profile under "profile"; accept both.
+        record = json.loads(stripped)
+        if "profile" in record and "schema" not in record:
+            return parse_profile_json(json.dumps(record["profile"]))
+        return parse_profile_json(stripped)
+    return parse_folded(text)
+
+
+class Node:
+    """One frame in the merged call tree."""
+
+    __slots__ = ("name", "total", "self_count", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.total = 0       # inclusive samples
+        self.self_count = 0  # samples with this frame as the leaf
+        self.children = {}   # name -> Node, insertion-ordered
+
+
+def build_tree(stacks):
+    root = Node("all")
+    for frames, count in stacks:
+        root.total += count
+        node = root
+        for frame in frames:
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = Node(frame)
+            child.total += count
+            node = child
+        node.self_count += count
+    return root
+
+
+def tree_depth(node):
+    if not node.children:
+        return 1
+    return 1 + max(tree_depth(child) for child in node.children.values())
+
+
+def render_svg(stacks, title="simj CPU profile"):
+    """Static icicle SVG: root row on top, leaves at the bottom."""
+    root = build_tree(stacks)
+    if root.total <= 0:
+        raise ValueError("profile contains no samples")
+    depth = tree_depth(root)
+    height = depth * ROW_HEIGHT + 40
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{FONT_SIZE}">',
+        f'<rect width="{WIDTH}" height="{height}" fill="#fdf6ec"/>',
+        f'<text x="{WIDTH / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)} '
+        f'({root.total} samples)</text>',
+    ]
+
+    def emit(node, x, row, width):
+        y = 28 + row * ROW_HEIGHT
+        color = PALETTE[row % len(PALETTE)]
+        pct = 100.0 * node.total / root.total
+        tooltip = f"{node.name}: {node.total} samples ({pct:.2f}%)"
+        if node.self_count:
+            tooltip += f", {node.self_count} self"
+        parts.append(
+            f'<g><title>{html.escape(tooltip)}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{max(width, 0.5):.2f}" '
+            f'height="{ROW_HEIGHT - 1}" fill="{color}" stroke="#fdf6ec" '
+            f'stroke-width="0.5"/>')
+        if width >= MIN_LABEL_WIDTH:
+            label = html.escape(_fit_label(node.name, width))
+            parts.append(
+                f'<text x="{x + TEXT_PAD:.2f}" y="{y + ROW_HEIGHT - 5}" '
+                f'fill="#241c15">{label}</text>')
+        parts.append("</g>")
+        child_x = x
+        for child in node.children.values():
+            child_width = width * child.total / node.total
+            emit(child, child_x, row + 1, child_width)
+            child_x += child_width
+
+    emit(root, 0.0, 0, float(WIDTH))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _fit_label(name, width):
+    max_chars = max(int((width - 2 * TEXT_PAD) / (FONT_SIZE * 0.62)), 1)
+    if len(name) <= max_chars:
+        return name
+    if max_chars <= 2:
+        return name[:max_chars]
+    return name[: max_chars - 2] + ".."
+
+
+def self_shares(stacks):
+    """symbol -> fraction of all samples where it is the leaf frame."""
+    totals = {}
+    grand_total = 0
+    for frames, count in stacks:
+        grand_total += count
+        leaf = frames[-1]
+        totals[leaf] = totals.get(leaf, 0) + count
+    if grand_total == 0:
+        return {}
+    return {name: count / grand_total for name, count in totals.items()}
+
+
+def diff_report(old_stacks, new_stacks, top_n=10):
+    """Top-N symbols by absolute self-share movement, regressions first.
+
+    Returns a list of (symbol, old_share, new_share, delta) with delta =
+    new - old; positive delta means the symbol burns a larger share now.
+    """
+    old = self_shares(old_stacks)
+    new = self_shares(new_stacks)
+    rows = []
+    for symbol in set(old) | set(new):
+        old_share = old.get(symbol, 0.0)
+        new_share = new.get(symbol, 0.0)
+        delta = new_share - old_share
+        if abs(delta) > 1e-12:
+            rows.append((symbol, old_share, new_share, delta))
+    rows.sort(key=lambda row: -row[3])
+    return rows[:top_n]
+
+
+def format_diff(rows):
+    if not rows:
+        return "no self-time movement between the two profiles\n"
+    lines = ["self-time share movement (new - old), regressions first:"]
+    width = max(len(row[0]) for row in rows)
+    for symbol, old_share, new_share, delta in rows:
+        lines.append(f"  {symbol:<{width}}  {old_share * 100:6.2f}% -> "
+                     f"{new_share * 100:6.2f}%  ({delta * 100:+.2f}%)")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Self-test.
+
+
+def self_test():
+    checks = 0
+
+    def check(condition, message):
+        nonlocal checks
+        checks += 1
+        if not condition:
+            raise AssertionError(f"self-test case {checks}: {message}")
+
+    folded = ("coordinator;main;JoinPairs;EvaluatePair 6\n"
+              "coordinator;main;JoinPairs;EvaluatePair;Verify 3\n"
+              "worker-0;serve;JoinPairs;EvaluatePair 1\n")
+    stacks = parse_folded(folded)
+    check(len(stacks) == 3, "parse_folded stack count")
+    check(stacks[0][0] == ("coordinator", "main", "JoinPairs",
+                           "EvaluatePair"), "parse_folded frames")
+    check(stacks[1][1] == 3, "parse_folded count")
+    check(parse_folded("# comment\n\n") == [], "comments and blanks skipped")
+    try:
+        parse_folded("JoinPairs notanumber\n")
+        check(False, "bad count should raise")
+    except ValueError:
+        check(True, "bad count raises ValueError")
+
+    record = {
+        "schema": "simj_profile_v1", "hz": 99,
+        "sections": [
+            {"label": "coordinator", "stacks": [
+                {"thread": "main", "count": 4,
+                 "frames": ["JoinPairs", "EvaluatePair"]}]},
+            {"label": "worker-1", "stacks": [
+                {"thread": "serve", "count": 2, "frames": ["Verify"]}]},
+        ],
+    }
+    json_stacks = parse_profile_json(json.dumps(record))
+    check(len(json_stacks) == 2, "parse_profile_json stack count")
+    check(json_stacks[0][0][0] == "coordinator",
+          "section label becomes root frame")
+    check(json_stacks[1][0] == ("worker-1", "serve", "Verify"),
+          "worker frames include thread")
+    try:
+        parse_profile_json('{"schema":"other_v1"}')
+        check(False, "wrong schema should raise")
+    except ValueError:
+        check(True, "wrong schema raises ValueError")
+    # A run record with an embedded profile loads through the same door.
+    embedded = json.dumps({"harness": "x", "profile": record})
+    check(len(load_stacks(embedded)) == 2, "embedded profile loads")
+    check(load_stacks(folded) == stacks, "load_stacks sniffs folded text")
+
+    root = build_tree(stacks)
+    check(root.total == 10, "tree total")
+    coord = root.children["coordinator"]
+    check(coord.total == 9, "section subtotal")
+    evaluate = coord.children["main"].children["JoinPairs"].children[
+        "EvaluatePair"]
+    check(evaluate.total == 9, "inclusive count merges suffixes")
+    check(evaluate.self_count == 6, "self count excludes nested Verify")
+    check(tree_depth(root) == 6, "tree depth")
+
+    svg = render_svg(stacks, title="self-test")
+    check(svg.startswith("<svg"), "svg opens")
+    check(svg.rstrip().endswith("</svg>"), "svg closes")
+    check("EvaluatePair" in svg, "wide frame labeled")
+    check("10 samples" in svg, "total in title")
+    # 10 tree nodes (root + 9 frames) + the background rect.
+    check(svg.count("<rect") == 11, "one rect per node plus background")
+    try:
+        render_svg([])
+        check(False, "empty profile should raise")
+    except ValueError:
+        check(True, "empty profile raises ValueError")
+
+    shares = self_shares(stacks)
+    check(abs(shares["EvaluatePair"] - 0.7) < 1e-9, "leaf self share")
+    check(abs(shares["Verify"] - 0.3) < 1e-9, "nested leaf self share")
+
+    old = parse_folded("c;m;A;B 50\nc;m;A;C 50\n")
+    new = parse_folded("c;m;A;B 90\nc;m;A;C 10\n")
+    rows = diff_report(old, new)
+    check(rows[0][0] == "B" and abs(rows[0][3] - 0.4) < 1e-9,
+          "regression sorted first")
+    check(rows[-1][0] == "C" and abs(rows[-1][3] + 0.4) < 1e-9,
+          "improvement sorted last")
+    check(diff_report(old, old) == [], "identical profiles show no movement")
+    check("B" in format_diff(rows) and "+40.00%" in format_diff(rows),
+          "diff report formatting")
+    check(format_diff([]).startswith("no self-time movement"),
+          "empty diff message")
+
+    check(_fit_label("short", 400.0) == "short", "label fits untouched")
+    check(_fit_label("a" * 200, 60.0).endswith(".."), "long label elided")
+
+    print(f"flame.py self-test: {checks} cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="folded-stack / simj_profile_v1 -> SVG flamegraph")
+    parser.add_argument("inputs", nargs="*",
+                        help="profile file(s); two with --diff")
+    parser.add_argument("-o", "--output", default="flame.svg",
+                        help="SVG output path (default flame.svg)")
+    parser.add_argument("--title", default="simj CPU profile")
+    parser.add_argument("--diff", action="store_true",
+                        help="compare two profiles' self-time shares")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the --diff report (default 10)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        if args.diff:
+            if len(args.inputs) != 2:
+                parser.error("--diff needs exactly two input files")
+            with open(args.inputs[0]) as f:
+                old_stacks = load_stacks(f.read())
+            with open(args.inputs[1]) as f:
+                new_stacks = load_stacks(f.read())
+            sys.stdout.write(format_diff(diff_report(old_stacks, new_stacks,
+                                                     args.top)))
+            return 0
+        if len(args.inputs) != 1:
+            parser.error("expected exactly one input file (or --diff)")
+        with open(args.inputs[0]) as f:
+            stacks = load_stacks(f.read())
+        svg = render_svg(stacks, title=args.title)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with open(args.output, "w") as f:
+        f.write(svg)
+    total = sum(count for _, count in stacks)
+    print(f"wrote {args.output}: {total} samples, "
+          f"{len(stacks)} distinct stacks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

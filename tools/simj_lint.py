@@ -41,6 +41,15 @@ Rules (see DESIGN.md "Correctness tooling"):
                      allowlisted functions — the parent's locks are
                      permanently frozen in the child, so a hidden malloc
                      or SIMJ_LOG there can deadlock (DESIGN.md §11).
+  signal-handler-safety
+                     the body of any function registered as a signal
+                     handler (via sigaction's sa_handler/sa_sigaction or
+                     signal()) may only call async-signal-safe allowlisted
+                     functions — write/clock_gettime-class syscalls,
+                     backtrace(), and std::atomic member ops (sig-atomic
+                     stores) — because the handler can interrupt a thread
+                     mid-malloc or mid-lock (DESIGN.md §12). Waivable with
+                     allow(signal-handler).
   explicit-memory-order
                      std::atomic member operations in src/ must pass an
                      explicit std::memory_order argument; a bare .load()
@@ -85,6 +94,7 @@ PRAGMA_SHORTHAND = {
     "sockets": "no-raw-sockets",
     "subprocess": "no-raw-subprocess",
     "fork": "fork-safety",
+    "signal-handler": "signal-handler-safety",
     "memory-order": "explicit-memory-order",
 }
 
@@ -278,6 +288,74 @@ FORK_CALL_SKIP = {
     "static_cast", "reinterpret_cast", "const_cast", "int",
 }
 
+# --- signal-handler-safety ---
+# How handlers get registered: a sigaction struct member assignment or the
+# legacy signal() call. SIG_IGN/SIG_DFL are not functions and are skipped.
+SIGNAL_REGISTER_RES = [
+    re.compile(r"\.\s*sa_(?:handler|sigaction)\s*=\s*&?\s*([A-Za-z_]\w*)"),
+    re.compile(r"\bsignal\s*\(\s*[^,()]+,\s*&?\s*([A-Za-z_]\w*)\s*\)"),
+]
+# What a handler body may call: async-signal-safe syscall wrappers,
+# backtrace() (after a warmup call outside signal context), and
+# std::atomic member operations (the C++ spelling of sig-atomic stores).
+SIGNAL_SAFE_CALLS = {
+    "write", "read", "close", "clock_gettime", "syscall", "backtrace",
+    "_exit", "sigemptyset", "sigaddset",
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+
+
+def check_signal_handler_safety(source, emit):
+    """Finds functions registered as signal handlers and flags any call in
+    their (brace-balanced) bodies outside the async-signal-safe allowlist."""
+    text = "\n".join(source.code_lines)
+
+    def line_of(pos):
+        return text.count("\n", 0, pos) + 1
+
+    handlers = set()
+    for register_re in SIGNAL_REGISTER_RES:
+        for match in register_re.finditer(text):
+            name = match.group(1)
+            if name not in ("SIG_IGN", "SIG_DFL", "SIG_ERR"):
+                handlers.add(name)
+    for name in sorted(handlers):
+        # The handler's definition in this file; registrations of handlers
+        # defined elsewhere can't be analyzed here (their own file is).
+        definition = re.search(
+            r"\bvoid\s+%s\s*\([^)]*\)\s*\{" % re.escape(name), text
+        )
+        if definition is None:
+            continue
+        start = definition.end() - 1
+        depth = 0
+        end = start
+        for end in range(start, len(text)):
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+        body = text[start:end]
+        for call in FORK_CALL_RE.finditer(body):
+            called = call.group(2)
+            if called in FORK_CALL_SKIP or called in SIGNAL_SAFE_CALLS:
+                continue
+            if called == name:
+                continue  # recursion is odd but not an allowlist escape
+            emit(
+                "signal-handler-safety", line_of(start + call.start()),
+                f"'{called}' called inside signal handler '{name}' — "
+                "handlers may interrupt a thread mid-malloc/mid-lock, so "
+                "only async-signal-safe calls (write, clock_gettime, "
+                "backtrace, atomics) are legal; allowlist or annotate "
+                "allow(signal-handler)",
+            )
+
+
 # --- explicit-memory-order ---
 ATOMIC_OP_RE = re.compile(
     r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
@@ -439,6 +517,7 @@ def lint_file(source, status_functions):
 
     if in_dir(rel, "src"):
         check_fork_safety(source, emit)
+        check_signal_handler_safety(source, emit)
         check_memory_order(source, emit)
 
     previous = ""
@@ -668,6 +747,19 @@ SELF_TEST_CASES = [
      "void F() {\n  pid_t pid = ::fork();\n  if (pid == 0) {\n"
      "    SIMJ_LOG(WARN) << \"in child\";\n    ::_exit(0);\n  }\n}\n",
      "fork-safety"),
+    ("src/util/bad_handler_malloc.cc",
+     "void OnProf(int) {\n  void* p = malloc(8);\n  free(p);\n}\n"
+     "void F() {\n  struct sigaction sa{};\n  sa.sa_handler = &OnProf;\n"
+     "  ::sigaction(SIGPROF, &sa, nullptr);\n}\n",
+     "signal-handler-safety"),
+    ("src/util/bad_handler_log.cc",
+     "void OnTerm(int) {\n  SIMJ_LOG(WARN) << \"dying\";\n}\n"
+     "void F() { ::signal(SIGTERM, OnTerm); }\n",
+     "signal-handler-safety"),
+    ("src/util/bad_handler_sigaction_member.cc",
+     "void OnSegv(int) { printf(\"boom\"); }\n"
+     "void F() {\n  struct sigaction sa{};\n  sa.sa_sigaction = OnSegv;\n}\n",
+     "signal-handler-safety"),
     ("src/core/bad_atomic_store.cc",
      "#include <atomic>\nvoid F(std::atomic<int>& a) { a.store(1); }\n",
      "explicit-memory-order"),
@@ -732,6 +824,27 @@ SELF_TEST_CLEAN = [
     ("src/util/subprocess.cc",
      "void F() {\n  if (::fork() == 0) {\n"
      "    setup_child();  // simj-lint: allow(fork)\n    ::_exit(0);\n  }\n}\n"),
+    # A handler restricted to the async-signal-safe allowlist is clean.
+    ("src/util/ok_handler_safe.cc",
+     "#include <atomic>\nstd::atomic<int> hits;\n"
+     "void OnProf(int) {\n"
+     "  const int saved_errno = errno;\n"
+     "  void* frames[8];\n"
+     "  int depth = ::backtrace(frames, 8);\n"
+     "  if (depth > 0) hits.fetch_add(1, std::memory_order_relaxed);\n"
+     "  ::write(2, \"\", 0);\n  errno = saved_errno;\n}\n"
+     "void F() {\n  struct sigaction sa{};\n  sa.sa_handler = &OnProf;\n}\n"),
+    # Registering SIG_IGN/SIG_DFL registers no function.
+    ("src/util/ok_handler_ignore.cc",
+     "void F() { ::signal(SIGPIPE, SIG_IGN); }\n"),
+    # A handler-body violation can be waived per line.
+    ("src/util/ok_handler_pragma.cc",
+     "void OnTerm(int) {\n"
+     "  Flush();  // simj-lint: allow(signal-handler)\n}\n"
+     "void F() { ::signal(SIGTERM, OnTerm); }\n"),
+    # A function merely named like a handler but never registered is free.
+    ("src/util/ok_not_registered.cc",
+     "void OnProf(int) { malloc(8); }  // simj-lint: allow(new)\n"),
     # Explicit orders satisfy the rule even when the call wraps lines.
     ("src/core/ok_mo_multiline.cc",
      "#include <atomic>\nstd::atomic<int> c;\nvoid F() {\n  c.store(1,\n"

@@ -16,9 +16,18 @@ without a distributed coordinator — /clusterz answering 404 is not an
 error. Exit status: 0 on a successful scrape, 2 when /statusz is
 unreachable or returns malformed JSON.
 
+With --profile=SECONDS the tool instead triggers an on-demand CPU capture
+via /profilez (see util/profiler.h), saves the folded-stack output to
+--profile_out (render it with tools/flame.py), and prints the top-5
+hottest frames by self time. A 404 means the binary serves /statusz but
+was built without the profiler — reported and exited 0, not an error; a
+409 means another capture is already in flight.
+
 Usage:
   tools/statusz_poll.py [--port PORT] [--host HOST]
       [--watch] [--interval SECONDS]
+  tools/statusz_poll.py --profile SECONDS [--hz HZ]
+      [--profile_out FILE.folded]
   tools/statusz_poll.py --self-test
 """
 
@@ -44,6 +53,79 @@ def fetch_clusterz(host: str, port: int, timeout: float = 2.0):
             return json.loads(response.read().decode("utf-8"))
     except (urllib.error.URLError, OSError, json.JSONDecodeError, ValueError):
         return None
+
+
+def parse_folded_leaves(text: str):
+    """(leaf-frame self counts, total samples) from folded-stack text.
+
+    Each line is `frame;frame;...;leaf COUNT`; a stack's samples belong to
+    its leaf frame (the function on-CPU), matching flame-graph self time.
+    Blank lines and #-comments are tolerated; malformed lines are skipped
+    rather than failing the whole capture.
+    """
+    counts = {}
+    total = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack, _, count_text = line.rpartition(" ")
+        if not stack or not count_text.isdigit():
+            continue
+        count = int(count_text)
+        leaf = stack.split(";")[-1]
+        counts[leaf] = counts.get(leaf, 0) + count
+        total += count
+    return counts, total
+
+
+def top_frames(text: str, n: int = 5):
+    """Top-n (frame, count, share_pct) by self time, hottest first."""
+    counts, total = parse_folded_leaves(text)
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        (frame, count, 100.0 * count / total)
+        for frame, count in ranked[:n]
+    ]
+
+
+def run_profile(host: str, port: int, seconds: float, hz: int,
+                out_path: str) -> int:
+    url = (f"http://{host}:{port}/profilez?seconds={seconds:g}&hz={hz}"
+           "&format=folded")
+    print(f"statusz_poll: capturing {seconds:g}s at {hz} Hz via {url}")
+    try:
+        # The server blocks for the whole capture window; give it margin.
+        with urllib.request.urlopen(url, timeout=seconds + 15.0) as response:
+            body = response.read().decode("utf-8", errors="replace")
+    except urllib.error.HTTPError as error:
+        if error.code == 404:
+            print("statusz_poll: /profilez not found (404) — binary built "
+                  "without the profiler; nothing captured")
+            return 0
+        detail = error.read().decode("utf-8", errors="replace").strip()
+        if error.code == 409:
+            print(f"statusz_poll: capture already in flight (409): {detail}",
+                  file=sys.stderr)
+        else:
+            print(f"statusz_poll: /profilez failed ({error.code}): {detail}",
+                  file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"statusz_poll: cannot reach {url}: {error}", file=sys.stderr)
+        return 2
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(body)
+    counts, total = parse_folded_leaves(body)
+    print(f"statusz_poll: {total} samples across {len(counts)} leaf frames "
+          f"saved to {out_path} (render: tools/flame.py {out_path})")
+    if total == 0:
+        print("statusz_poll: no samples (idle process or window too short)")
+        return 0
+    print("top frames by self time:")
+    for frame, count, share in top_frames(body):
+        print(f"  {share:5.1f}%  {count:>6}  {frame}")
+    return 0
 
 
 def render_heartbeats(join: dict) -> str:
@@ -167,6 +249,27 @@ def self_test() -> int:
     assert render_clusterz({"active": False, "coordinator": None}) == ""
     assert "cluster" not in render_line({"join": {}}, None)
 
+    # Folded-stack parsing for --profile: self time goes to the leaf
+    # frame, malformed/comment/blank lines are skipped, ties break by name.
+    folded = (
+        "# comment\n"
+        "\n"
+        "coordinator;main;Join;Verify 30\n"
+        "coordinator;main;Join;Prune 55\n"
+        "coordinator;t1;Join;Verify 10\n"
+        "not a folded line\n"
+        "coordinator;t1;Join;Expand 5\n"
+    )
+    counts, total = parse_folded_leaves(folded)
+    assert total == 100, (counts, total)
+    assert counts == {"Verify": 40, "Prune": 55, "Expand": 5}, counts
+    ranked = top_frames(folded, n=2)
+    assert ranked == [("Prune", 55, 55.0), ("Verify", 40, 40.0)], ranked
+    tie = top_frames("a;B 5\na;A 5\n")
+    assert [frame for frame, _, _ in tie] == ["A", "B"], tie
+    empty_counts, empty_total = parse_folded_leaves("# nothing\n\n")
+    assert empty_counts == {} and empty_total == 0
+
     print("statusz_poll.py self-test: OK")
     return 0
 
@@ -179,11 +282,21 @@ def main() -> int:
                         help="poll until interrupted, updating one line")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="seconds between polls with --watch")
+    parser.add_argument("--profile", type=float, metavar="SECONDS",
+                        help="trigger a /profilez capture of this many "
+                             "seconds instead of polling /statusz")
+    parser.add_argument("--hz", type=int, default=99,
+                        help="sampling frequency for --profile")
+    parser.add_argument("--profile_out", default="statusz_profile.folded",
+                        help="where --profile saves the folded stacks")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.profile is not None:
+        return run_profile(args.host, args.port, args.profile, args.hz,
+                           args.profile_out)
 
     try:
         while True:
