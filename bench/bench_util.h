@@ -27,6 +27,7 @@
 #include "core/progress.h"
 #include "util/flags.h"
 #include "util/flight_recorder.h"
+#include "util/heap_profiler.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
@@ -68,6 +69,8 @@ struct BenchOptions {
   std::string explain_out;    // --explain_out: explain dump path ("" = stdout)
   int profile_hz = 0;         // --profile_hz: CPU sampling rate (0 = off)
   std::string profile_out;    // --profile_out: simj_profile_v1 JSON dump path
+  int64_t heap_sample_bytes = 0;  // --heap_sample_bytes: heap rate (0 = off)
+  std::string heap_out;       // --heap_out: simj_heap_v1 JSON dump path
 };
 
 inline BenchOptions& GlobalBenchOptions() {
@@ -144,6 +147,12 @@ inline const std::vector<BenchFlagDoc>& SharedBenchFlags() {
                      "implied 99 when only --profile_out is given)"},
       {"profile_out", "write the simj_profile_v1 JSON capture here at exit "
                       "(see tools/flame.py); also embedded in --json_out"},
+      {"heap_sample_bytes", "sampling heap profiler rate: one sampled "
+                            "allocation per this many bytes (default 0 = "
+                            "off; implied 524288 when only --heap_out is "
+                            "given)"},
+      {"heap_out", "write the simj_heap_v1 JSON capture here at exit (see "
+                   "tools/flame.py --metric); also embedded in --json_out"},
   };
   return docs;
 }
@@ -201,6 +210,55 @@ inline void EmitBenchArtifacts() {
       // a raw JSON object value) so bench_compare.py can diff hot paths.
       GlobalBenchRecorder().result.profile_json =
           json.substr(0, json.find_last_not_of('\n') + 1);
+    }
+  }
+  if (heapprof::HeapProfilingActive()) {
+    StatusOr<heapprof::HeapProfile> heap = heapprof::StopHeapProfiling();
+    if (!heap.ok()) {
+      SIMJ_LOG(WARN) << "heap profiler capture failed: "
+                     << heap.status().ToString();
+    } else {
+      const std::string json = heapprof::HeapProfileJson(*heap);
+      if (!options.heap_out.empty()) {
+        std::ofstream os(options.heap_out);
+        if (!os) {
+          SIMJ_LOG(WARN) << "cannot open --heap_out=" << options.heap_out;
+        } else {
+          os << json;
+          SIMJ_LOG(INFO) << "heap profile (" << heap->TotalAllocObjects()
+                         << " sampled allocations, " << heap->sections.size()
+                         << " sections) written to " << options.heap_out
+                         << " (render with tools/flame.py --metric)";
+        }
+      }
+      GlobalBenchRecorder().result.heap_json =
+          json.substr(0, json.find_last_not_of('\n') + 1);
+      // End-of-run leak report: stacks still holding sampled bytes now
+      // that the measured work is done. Raw sampled bytes (each sampled
+      // object stands for ~sample_bytes of allocation, nothing upscaled).
+      std::vector<const heapprof::HeapFoldedStack*> live;
+      for (const heapprof::HeapSection& section : heap->sections) {
+        for (const heapprof::HeapFoldedStack& stack : section.batch.stacks) {
+          if (stack.inuse_bytes > 0) live.push_back(&stack);
+        }
+      }
+      std::sort(live.begin(), live.end(),
+                [](const heapprof::HeapFoldedStack* a,
+                   const heapprof::HeapFoldedStack* b) {
+                  return a->inuse_bytes > b->inuse_bytes;
+                });
+      SIMJ_LOG(INFO) << "heap leak report: " << heap->TotalInuseBytes()
+                     << " sampled bytes live at exit across " << live.size()
+                     << " stacks";
+      for (size_t i = 0; i < live.size() && i < 3; ++i) {
+        const heapprof::HeapFoldedStack& stack = *live[i];
+        SIMJ_LOG(INFO) << "  leak #" << (i + 1) << ": "
+                       << stack.inuse_bytes << " bytes / "
+                       << stack.inuse_objects << " objects at "
+                       << (stack.frames.empty() ? "[unknown]"
+                                                : stack.frames.back())
+                       << " (thread " << stack.thread << ")";
+      }
     }
   }
   if (!options.metrics_out.empty()) {
@@ -290,6 +348,12 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
   if (!options.profile_out.empty() && options.profile_hz == 0) {
     options.profile_hz = 99;  // a sink without a rate means "default rate"
   }
+  options.heap_sample_bytes =
+      flags.GetInt("heap_sample_bytes", options.heap_sample_bytes);
+  options.heap_out = flags.GetString("heap_out", options.heap_out);
+  if (!options.heap_out.empty() && options.heap_sample_bytes == 0) {
+    options.heap_sample_bytes = heapprof::kDefaultSampleBytes;
+  }
 
   log::Level level = log::Level::kInfo;
   if (!log::ParseLevel(options.log_level, &level)) {
@@ -341,6 +405,15 @@ inline void ApplySharedFlags(const Flags& flags, const char* argv0) {
       // Not fatal (e.g. disabled under TSan): the run proceeds unprofiled.
       SIMJ_LOG(WARN) << "--profile_hz=" << options.profile_hz << ": "
                      << armed.ToString();
+    }
+  }
+  if (options.heap_sample_bytes > 0) {
+    Status armed = heapprof::StartHeapProfiling(
+        heapprof::HeapProfileOptions{options.heap_sample_bytes});
+    if (!armed.ok()) {
+      // Not fatal (e.g. disabled under ASan/TSan): the run proceeds.
+      SIMJ_LOG(WARN) << "--heap_sample_bytes=" << options.heap_sample_bytes
+                     << ": " << armed.ToString();
     }
   }
 

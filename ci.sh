@@ -339,6 +339,128 @@ print(f"profiler overhead OK: median {median_delta:+.2f}% over "
       "(0.5% floor, 3-sigma noise-gated)")
 PY
 
+# 1cd. Heap smoke (DESIGN.md §13): the memory-axis mirror of leg 1cc. A
+# faulted 4-worker forked-process cluster run with --heap_out must produce
+# ONE merged simj_heap_v1 record with a non-empty section for the
+# coordinator and for every worker — allocation samples were recorded by
+# the countdown hooks inside fork()ed children, symbolized child-side,
+# shipped as drain deltas over the pipe protocol, and merged under
+# per-worker labels — while every (transport, workers) cell still
+# reproduces the serial oracle. Then the flamegraph pipeline renders the
+# record to SVG (alloc_bytes: cumulative allocation is monotone, so every
+# shipped stack is renderable even when its live-byte delta went
+# negative), and the perf-smoke workload is rerun with the default
+# 512 KiB/sample rate armed: its wall-time overhead over a back-to-back
+# sinks-off run must stay under 1% (or within 3 combined trial sigmas).
+#
+# sample_bytes=4096 for the cluster capture (not the 512 KiB default) for
+# the same reason leg 1cc softens the fault plan: a forked child that
+# dies after a couple of 64-pair shards has only allocated a few hundred
+# KiB, so at the default rate a worker section would be a coin flip — the
+# assertion would test luck, not the delta-shipping plumbing.
+echo "=== heap smoke ==="
+./build-release/bench/bench_shard_scaling \
+  --workers=4 --transport=process --max_pairs_per_shard=64 \
+  --sim_seed=5 --death_probability=0.1 --slow_probability=0.1 \
+  --num_certain=100 --num_uncertain=100 \
+  --heap_sample_bytes=4096 --heap_out="${SMOKE_DIR}/cluster_heap.json" \
+  --json_out="${SMOKE_DIR}/cluster_heaped.json" > /dev/null
+python3 - "${SMOKE_DIR}" <<'PY'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/cluster_heap.json") as f:
+    heap = json.load(f)
+assert heap["schema"] == "simj_heap_v1", heap["schema"]
+assert heap["sample_bytes"] == 4096, heap["sample_bytes"]
+for key in ("duration_seconds", "inuse_bytes", "inuse_objects",
+            "alloc_bytes", "alloc_objects", "dropped", "truncated"):
+    assert key in heap, f"missing {key}"
+assert heap["alloc_bytes"] > 0, "capture sampled no allocations"
+sections = {s["label"]: s for s in heap["sections"]}
+labels = sorted(sections)
+assert "coordinator" in sections, labels
+for worker in range(4):
+    label = f"worker-{worker}"
+    assert label in sections, f"missing section {label}: {labels}"
+for label, section in sections.items():
+    assert section["alloc_bytes"] > 0, f"section {label} saw no allocations"
+    assert section["stacks"], f"section {label} has no stacks"
+    for stack in section["stacks"]:
+        assert stack["thread"] and stack["frames"], (label, stack)
+        # Worker stacks are drain deltas: live counters may be negative
+        # (freed after an earlier ship), cumulative ones never are.
+        assert stack["alloc_bytes"] >= 0 and stack["alloc_objects"] >= 0, \
+            (label, stack)
+
+with open(f"{d}/cluster_heaped.json") as f:
+    record = json.load(f)
+measured = [s for s in record["samples"] if not s.get("skipped")]
+assert measured, "heap-profiled cluster run measured nothing"
+for sample in measured:
+    assert sample["values"].get("identical") == 1.0, \
+        f"heap-profiled run diverged from the serial oracle: {sample['name']}"
+# The run record embeds the same capture under "heap".
+assert record["heap"]["schema"] == "simj_heap_v1", record["heap"]
+assert {s["label"] for s in record["heap"]["sections"]} == set(sections)
+print(f"cluster heap OK: {heap['alloc_objects']} sampled allocations "
+      f"({heap['alloc_bytes']} bytes), sections {labels}, "
+      f"dropped {heap['dropped']}, {len(measured)} identical cells")
+PY
+python3 tools/flame.py --metric alloc_bytes \
+  "${SMOKE_DIR}/cluster_heap.json" -o "${SMOKE_DIR}/cluster_heap.svg"
+python3 - "${SMOKE_DIR}" <<'PY'
+import sys
+svg = open(f"{sys.argv[1]}/cluster_heap.svg").read()
+assert svg.lstrip().startswith("<svg"), svg[:80]
+assert "coordinator" in svg and "worker-0" in svg, "heap flamegraph lost sections"
+print(f"heap flamegraph OK: {len(svg)} bytes of SVG")
+PY
+# Overhead gate: same back-to-back median-delta protocol as leg 1cc, with
+# a 1% floor — the armed allocation path does real work per new/delete
+# (countdown decrement, and table bookkeeping on the sampled ones), so
+# its budget is looser than the timer-driven CPU profiler's 0.5%.
+./build-release/bench/bench_fig12_tau_efficiency \
+  --num_certain=30 --num_uncertain=30 \
+  --json_out="${SMOKE_DIR}/fig12_heap_base.json" > /dev/null
+./build-release/bench/bench_fig12_tau_efficiency \
+  --num_certain=30 --num_uncertain=30 \
+  --heap_sample_bytes=524288 \
+  --heap_out="${SMOKE_DIR}/fig12_heap.json" \
+  --json_out="${SMOKE_DIR}/fig12_heaped.json" > /dev/null
+python3 - "${SMOKE_DIR}" <<'PY'
+import json, math, statistics, sys
+d = sys.argv[1]
+with open(f"{d}/fig12_heap_base.json") as f:
+    off = json.load(f)
+with open(f"{d}/fig12_heaped.json") as f:
+    armed = json.load(f)
+off_samples = {s["name"]: s for s in off["samples"] if not s.get("skipped")}
+deltas, noises = [], []
+for sample in armed["samples"]:
+    if sample.get("skipped") or sample["name"] not in off_samples:
+        continue
+    base = off_samples[sample["name"]]["wall_seconds"]
+    cur = sample["wall_seconds"]
+    if base["median"] <= 0:
+        continue
+    delta_pct = (cur["median"] - base["median"]) / base["median"] * 100.0
+    noise_pct = (math.hypot(base["stddev"], cur["stddev"])
+                 / base["median"] * 100.0)
+    deltas.append(delta_pct)
+    noises.append(noise_pct)
+    print(f"  {sample['name']}: {delta_pct:+.2f}% (noise {noise_pct:.2f}%)")
+assert deltas, "no comparable cells between sinks-off and armed runs"
+median_delta = statistics.median(deltas)
+median_noise = statistics.median(noises)
+threshold = max(1.0, 3.0 * median_noise)
+assert median_delta <= threshold, \
+    f"heap profiler overhead beyond budget: median {median_delta:+.2f}% " \
+    f"over {len(deltas)} cells (threshold {threshold:.2f}%)"
+print(f"heap profiler overhead OK: median {median_delta:+.2f}% over "
+      f"{len(deltas)} cells, threshold {threshold:.2f}% "
+      "(1% floor, 3-sigma noise-gated)")
+PY
+
 # 1d. Live-introspection smoke: the same join sweep twice, server-off then
 # with --statusz_port on a fixed loopback port. A concurrent scraper hits
 # all four endpoints mid-run and checks that /metricsz parses as Prometheus
@@ -451,7 +573,7 @@ if [[ "${1:-}" != "--skip-tsan" ]]; then
     -DSIMJ_SANITIZE=thread -DSIMJ_WERROR=ON
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure \
-    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test|cluster_sim_test|flight_recorder_test'
+    -R 'join_property_test|join_determinism_test|join_test|metrics_test|trace_test|explain_test|log_test|statusz_test|progress_test|cluster_sim_test|flight_recorder_test|heap_profiler_test'
 fi
 
 echo "CI OK"

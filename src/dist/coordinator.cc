@@ -15,6 +15,7 @@
 #include "util/flight_recorder.h"
 #include "util/health.h"
 #include "util/log.h"
+#include "util/heap_profiler.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
 #include "util/sync.h"
@@ -307,6 +308,9 @@ class Coordinator : public ClusterzSource {
       // ask the worker to ship its pending samples with the response; one
       // pid-checked atomic load when no capture is armed.
       span_ctx.profile_hz = prof::ActiveHz();
+      // Same contract for an armed heap capture (bench flag or a mid-join
+      // /heapz): 0 when disarmed, so the field ships nothing.
+      span_ctx.heap_sample_bytes = heapprof::ActiveSampleBytes();
       const double begin_us = tracer.NowUs();
       WallTimer timer;
       StatusOr<ShardResult> result = worker.RunShard(shard, fault, span_ctx);
@@ -397,6 +401,8 @@ class Coordinator : public ClusterzSource {
     core::JoinStats shard_stats;
     prof::SampleBatch profile = std::move(result.profile);
     result.profile = prof::SampleBatch();
+    heapprof::HeapBatch heap = std::move(result.heap);
+    result.heap = heapprof::HeapBatch();
     {
       MutexLock lock(mu_);
       const auto id = static_cast<size_t>(shard_id);
@@ -428,6 +434,13 @@ class Coordinator : public ClusterzSource {
         // lock). Duplicates ship no second batch: the first completion
         // already drained the worker's ring for these samples.
         prof::AccumulateRemoteSection("worker-" + std::to_string(w), profile);
+      }
+      if (!heap.empty()) {
+        // Duplicate completions were dropped above, so a worker's delta
+        // batch is added exactly once — double-adding would inflate the
+        // merged levels.
+        heapprof::AccumulateRemoteSection("worker-" + std::to_string(w),
+                                          heap);
       }
     }
   }

@@ -130,6 +130,9 @@ std::string EncodeRequest(const Shard& shard, const FaultSpec& fault,
     w.I32(qi);
     w.I32(gi);
   }
+  // Additive field, appended last so the frame prefix is unchanged (the
+  // child is a fork of this binary: encoder and decoder change together).
+  w.I64(span_ctx.heap_sample_bytes);
   return w.Take();
 }
 
@@ -158,6 +161,7 @@ bool DecodeRequest(const std::string& frame, Request* out) {
     const int32_t gi = r.I32();
     out->pairs.emplace_back(qi, gi);
   }
+  out->span_ctx.heap_sample_bytes = r.I64();
   return r.AtEnd();
 }
 
@@ -227,6 +231,22 @@ std::string EncodeResult(const ShardResult& result) {
   for (const prof::FoldedStack& stack : batch.stacks) {
     w.Str(stack.thread);
     w.I64(stack.count);
+    w.I32(static_cast<int32_t>(stack.frames.size()));
+    for (const std::string& frame : stack.frames) w.Str(frame);
+  }
+  // Heap batch (empty unless the request carried heap_sample_bytes > 0):
+  // symbolized for the same reason as the profile batch, counters are
+  // deltas since this worker's previous drain. Appended last (additive).
+  const heapprof::HeapBatch& heap = result.heap;
+  w.I64(heap.dropped);
+  w.I64(heap.truncated);
+  w.I32(static_cast<int32_t>(heap.stacks.size()));
+  for (const heapprof::HeapFoldedStack& stack : heap.stacks) {
+    w.Str(stack.thread);
+    w.I64(stack.inuse_bytes);
+    w.I64(stack.inuse_objects);
+    w.I64(stack.alloc_bytes);
+    w.I64(stack.alloc_objects);
     w.I32(static_cast<int32_t>(stack.frames.size()));
     for (const std::string& frame : stack.frames) w.Str(frame);
   }
@@ -327,6 +347,28 @@ StatusOr<ShardResult> DecodeResult(const std::string& frame) {
     for (int32_t f = 0; f < nframes; ++f) stack.frames.push_back(r.Str());
     result.profile.stacks.push_back(std::move(stack));
   }
+  result.heap.dropped = r.I64();
+  result.heap.truncated = r.I64();
+  const int32_t nheap = r.I32();
+  if (!r.ok() || nheap < 0) {
+    return InternalError("shard response corrupt (heap stack count)");
+  }
+  result.heap.stacks.reserve(static_cast<size_t>(nheap));
+  for (int32_t i = 0; i < nheap; ++i) {
+    heapprof::HeapFoldedStack stack;
+    stack.thread = r.Str();
+    stack.inuse_bytes = r.I64();
+    stack.inuse_objects = r.I64();
+    stack.alloc_bytes = r.I64();
+    stack.alloc_objects = r.I64();
+    const int32_t nframes = r.I32();
+    if (!r.ok() || nframes < 0) {
+      return InternalError("shard response corrupt (heap frame count)");
+    }
+    stack.frames.reserve(static_cast<size_t>(nframes));
+    for (int32_t f = 0; f < nframes; ++f) stack.frames.push_back(r.Str());
+    result.heap.stacks.push_back(std::move(stack));
+  }
   if (!r.AtEnd()) {
     return InternalError("shard response corrupt (trailing bytes)");
   }
@@ -401,6 +443,10 @@ class ThreadWorker final : public ShardWorker {
       // them under "worker-N", symmetric with a forked child's section.
       result.profile = prof::DrainThisThreadBatch();
     }
+    if (span_ctx.heap_sample_bytes > 0 && heapprof::HeapProfilingActive()) {
+      // Likewise for heap entries: deltas since this thread's last drain.
+      result.heap = heapprof::DrainThisThreadBatch();
+    }
     return result;
   }
 
@@ -452,6 +498,21 @@ int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
       // last profiled response, so the residual profile is discardable.
       SIMJ_IGNORE_STATUS(prof::StopProfiling().status());
     }
+    // Same arm/disarm contract for the heap capture. The atfork handler
+    // cleared the parent's armed state in this child, so HeapProfilingActive
+    // is false until we arm our own.
+    if (request.span_ctx.heap_sample_bytes > 0 &&
+        !heapprof::HeapProfilingActive()) {
+      heapprof::NoteThisThread("serve");
+      Status armed = heapprof::StartHeapProfiling(
+          heapprof::HeapProfileOptions{request.span_ctx.heap_sample_bytes});
+      if (!armed.ok()) {
+        SIMJ_LOG(WARN) << "shard child heap profiler: " << armed.ToString();
+      }
+    } else if (request.span_ctx.heap_sample_bytes == 0 &&
+               heapprof::HeapProfilingActive()) {
+      SIMJ_IGNORE_STATUS(heapprof::StopHeapProfiling().status());
+    }
     SleepMs(request.fault.delay_ms);
     if (request.fault.die_after_pairs >= 0) {
       const size_t prefix =
@@ -479,6 +540,10 @@ int ServeShards(const WorkerContext& ctx, int request_fd, int response_fd) {
       // Single-threaded serve loop, but drain every ring anyway so
       // nothing is stranded if the evaluator ever grows helper threads.
       result.profile = prof::DrainAllThreadsBatch();
+    }
+    if (request.span_ctx.heap_sample_bytes > 0 &&
+        heapprof::HeapProfilingActive()) {
+      result.heap = heapprof::DrainAllThreadsBatch();
     }
     Status status =
         subprocess::WriteFrame(response_fd, EncodeResult(result));

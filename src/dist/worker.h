@@ -32,6 +32,7 @@
 #include "graph/label.h"
 #include "graph/labeled_graph.h"
 #include "graph/uncertain_graph.h"
+#include "util/heap_profiler.h"
 #include "util/profiler.h"
 #include "util/status.h"
 #include "util/trace.h"
@@ -74,6 +75,14 @@ struct SpanContext {
   // profiler at this frequency on first sight and drains every ring.
   // 0 (the default and the fallback path's value) ships nothing.
   int profile_hz = 0;
+  // > 0 while the coordinator has a heap capture armed
+  // (util/heap_profiler): same shipping contract as profile_hz — the
+  // thread transport drains its own thread's heap entries per response, a
+  // forked child arms its own heap profiler at this rate on first sight
+  // and drains every thread's. Shipped counters are deltas since the
+  // worker's previous drain. 0 ships nothing. Additive protocol field:
+  // appended at the end of the request frame.
+  int64_t heap_sample_bytes = 0;
 };
 
 // Immutable view of the join workload shared by every worker. The caller
@@ -101,6 +110,12 @@ struct ShardResult {
   // unless SpanContext.profile_hz > 0). The coordinator folds these into
   // the capture's "worker-N" section via prof::AccumulateRemoteSection.
   prof::SampleBatch profile;
+  // Heap stack deltas drained since this worker's previous response
+  // (empty unless SpanContext.heap_sample_bytes > 0); folded into the
+  // heap capture's "worker-N" section via
+  // heapprof::AccumulateRemoteSection. Appended at the end of the result
+  // frame.
+  heapprof::HeapBatch heap;
 };
 
 class ShardWorker {

@@ -71,6 +71,14 @@ int64_t PageSizeBytes() {
 
 void SampleRssToMetrics() {
   metrics::Registry& registry = metrics::Registry::Global();
+  static bool help_registered = [&registry] {
+    registry.SetHelp("simj_mem_current_rss_bytes",
+                     "Resident set size at the last sample.");
+    registry.SetHelp("simj_mem_peak_rss_bytes",
+                     "High-water resident set size (monotonic).");
+    return true;
+  }();
+  (void)help_registered;
   int64_t current = CurrentRssBytes();
   if (current > 0) {
     registry.GetGauge("simj_mem_current_rss_bytes")

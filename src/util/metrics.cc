@@ -247,12 +247,19 @@ void AppendLine(std::string& out, const char* format, ...) {
   if (written > 0) out.append(buffer, std::min<size_t>(written, sizeof(buffer) - 1));
 }
 
-// Emits `# TYPE family kind` the first time a family is seen. Label sets
-// of the same family (and a bare series alongside labeled ones) share one
-// TYPE line, as the exposition format requires.
+// Emits `# HELP family text` (when registered) and `# TYPE family kind`
+// the first time a family is seen. Label sets of the same family (and a
+// bare series alongside labeled ones) share one HELP/TYPE pair, as the
+// exposition format requires; HELP precedes TYPE by convention.
 void AppendTypeOnce(std::string& out, std::set<std::string>& emitted,
-                    const std::string& family, const char* kind) {
+                    const std::string& family, const char* kind,
+                    const std::map<std::string, std::string>& help) {
   if (!emitted.insert(family).second) return;
+  auto it = help.find(family);
+  if (it != help.end()) {
+    AppendLine(out, "# HELP %s %s\n", family.c_str(),
+               EscapeHelpText(it->second).c_str());
+  }
   AppendLine(out, "# TYPE %s %s\n", family.c_str(), kind);
 }
 
@@ -272,24 +279,47 @@ std::string SubSeries(const std::string& family, const char* suffix,
 
 }  // namespace
 
+std::string EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string ExpositionText(const MetricsSnapshot& snapshot) {
+  return ExpositionText(snapshot, {});
+}
+
+std::string ExpositionText(const MetricsSnapshot& snapshot,
+                           const std::map<std::string, std::string>& help) {
   std::string out;
   std::set<std::string> typed_families;
   std::string family, labels;
   for (const auto& [name, value] : snapshot.counters) {
     SplitMetricName(name, &family, &labels);
-    AppendTypeOnce(out, typed_families, family, "counter");
+    AppendTypeOnce(out, typed_families, family, "counter", help);
     AppendLine(out, "%s %lld\n", name.c_str(),
                static_cast<long long>(value));
   }
   for (const auto& [name, value] : snapshot.gauges) {
     SplitMetricName(name, &family, &labels);
-    AppendTypeOnce(out, typed_families, family, "gauge");
+    AppendTypeOnce(out, typed_families, family, "gauge", help);
     AppendLine(out, "%s %.9g\n", name.c_str(), value);
   }
   for (const auto& [name, hist] : snapshot.histograms) {
     SplitMetricName(name, &family, &labels);
-    AppendTypeOnce(out, typed_families, family, "histogram");
+    AppendTypeOnce(out, typed_families, family, "histogram", help);
     // `le` joins the metric's own labels inside one brace block.
     const std::string le_prefix = labels.empty() ? "" : labels + ",";
     // Trim to the populated bucket range; the series stays a valid
@@ -317,8 +347,20 @@ std::string ExpositionText(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+void Registry::SetHelp(const std::string& family, const std::string& help) {
+  MutexLock lock(mu_);
+  help_[family] = help;
+}
+
 std::string Registry::ExpositionText() const {
-  return metrics::ExpositionText(Snapshot());
+  std::map<std::string, std::string> help;
+  {
+    MutexLock lock(mu_);
+    help = help_;
+  }
+  // Snapshot() retakes mu_; copy the help map first so the lock is never
+  // held across the merge.
+  return metrics::ExpositionText(Snapshot(), help);
 }
 
 }  // namespace simj::metrics

@@ -213,8 +213,17 @@ class Registry {
 
   MetricsSnapshot Snapshot() const;
 
+  // Registers a description for a metric family, emitted as a `# HELP
+  // family text` line (before the family's `# TYPE` line) in
+  // ExpositionText(). Keyed by bare family name — one help string covers
+  // every label set of the family. Re-registering replaces the text;
+  // families without help get no HELP line. Survives ResetForTesting()
+  // (help is registration state, not a value).
+  void SetHelp(const std::string& family, const std::string& help);
+
   // Prometheus text exposition of the current snapshot. Histogram bucket
   // series are cumulative and trimmed to the populated range plus +Inf.
+  // Families registered via SetHelp lead with their `# HELP` line.
   std::string ExpositionText() const;
 
   // Zeroes every value without invalidating references handed out by the
@@ -232,10 +241,20 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ SIMJ_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       SIMJ_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ SIMJ_GUARDED_BY(mu_);
 };
 
+// Prometheus HELP-text escaping: backslash and newline become \\ and \n
+// (quotes are NOT escaped in HELP lines, unlike label values). Exposed for
+// tests.
+std::string EscapeHelpText(const std::string& text);
+
 // Renders any snapshot (e.g. a merged one) in the exposition format.
+// `help` maps family name -> description; pass nothing for no HELP lines
+// (a merged snapshot has no registry to ask).
 std::string ExpositionText(const MetricsSnapshot& snapshot);
+std::string ExpositionText(const MetricsSnapshot& snapshot,
+                           const std::map<std::string, std::string>& help);
 
 // Observes the elapsed wall time of a scope into a histogram.
 class ScopedLatency {

@@ -224,6 +224,10 @@ double NowUnixSeconds() {
 void PublishBuildInfoMetric() {
   GitInfo git = QueryGitInfo();
   BuildInfo build = CurrentBuildInfo();
+  metrics::Registry::Global().SetHelp(
+      "simj_build_info",
+      "Build provenance as labels (git_sha, build_type, sanitizers); "
+      "value is always 1.");
   metrics::Registry::Global()
       .GetGauge(metrics::LabeledName(
           "simj_build_info", {{"git_sha", git.sha},
@@ -279,6 +283,10 @@ std::string ToJson(const BenchResult& result) {
   if (!result.profile_json.empty()) {
     // Already-rendered simj_profile_v1 object; spliced raw, not re-escaped.
     json.Field("profile", result.profile_json);
+  }
+  if (!result.heap_json.empty()) {
+    // Already-rendered simj_heap_v1 object; same splice contract.
+    json.Field("heap", result.heap_json);
   }
 
   json.BeginObject("metrics");

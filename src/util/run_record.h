@@ -103,6 +103,10 @@ struct BenchResult {
   // tools/bench_compare.py diffs self-time shares between two embedded
   // profiles.
   std::string profile_json;
+  // Raw simj_heap_v1 JSON object (util/heap_profiler.h), spliced verbatim
+  // under the "heap" key with the same non-empty-only contract.
+  // tools/bench_compare.py reads inuse-bytes deltas by leaf frame from it.
+  std::string heap_json;
   // Point-in-time registry snapshot at emission (counters accumulate over
   // every trial including warmups; histograms are summarized in the JSON).
   metrics::MetricsSnapshot metrics;

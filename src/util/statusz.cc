@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "util/health.h"
+#include "util/heap_profiler.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/metrics.h"
@@ -113,6 +114,67 @@ std::string ProfilezResponse(const std::string& query) {
   }
   return HttpResponse(200, "OK", "application/json",
                       prof::ProfileJson(*profile));
+}
+
+// /heapz?seconds=N&sample_bytes=B&format=json|folded — on-demand heap
+// capture. Same synchronous contract as /profilez: the serving thread
+// blocks for the window and a concurrent capture gets 409.
+std::string HeapzResponse(const std::string& query) {
+  double seconds = 1.0;
+  int64_t sample_bytes = heapprof::kDefaultSampleBytes;
+  std::string format = "json";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string pair =
+        query.substr(pos, amp == std::string::npos ? amp : amp - pos);
+    pos = amp == std::string::npos ? query.size() : amp + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "seconds") {
+      char* end = nullptr;
+      seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "unparseable seconds: " + value + "\n");
+      }
+    } else if (key == "sample_bytes") {
+      char* end = nullptr;
+      sample_bytes = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "unparseable sample_bytes: " + value + "\n");
+      }
+    } else if (key == "format") {
+      format = value;
+    }
+  }
+  if (format != "json" && format != "folded") {
+    return HttpResponse(400, "Bad Request", "text/plain",
+                        "format must be json or folded\n");
+  }
+  seconds = std::min(std::max(seconds, 0.05), 60.0);
+  sample_bytes = std::min(std::max(sample_bytes, int64_t{1024}),
+                          int64_t{1} << 32);
+  if (heapprof::HeapProfilingActive()) {
+    return HttpResponse(409, "Conflict", "text/plain",
+                        "heap profiler already armed\n");
+  }
+  StatusOr<heapprof::HeapProfile> profile =
+      heapprof::CaptureHeapProfile(seconds, sample_bytes);
+  if (!profile.ok()) {
+    // E.g. disabled under sanitizers, or a capture raced us to arm.
+    return HttpResponse(503, "Service Unavailable", "text/plain",
+                        profile.status().ToString() + "\n");
+  }
+  if (format == "folded") {
+    return HttpResponse(200, "OK", "text/plain",
+                        heapprof::HeapFoldedText(*profile));
+  }
+  return HttpResponse(200, "OK", "application/json",
+                      heapprof::HeapProfileJson(*profile));
 }
 
 struct EndpointRegistry {
@@ -274,6 +336,7 @@ std::string Server::HandleRequest(const std::string& method,
                                 ? std::string()
                                 : request_path.substr(query_start + 1);
   if (path == "/profilez") return ProfilezResponse(query);
+  if (path == "/heapz") return HeapzResponse(query);
   if (path == "/healthz") {
     return HttpResponse(200, "OK", "application/json", health::HealthzBody());
   }

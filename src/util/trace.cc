@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/heap_profiler.h"
 #include "util/profiler.h"
 
 namespace simj::trace {
@@ -59,6 +60,7 @@ void SetThisThreadName(const std::string& name) {
   // unconditionally (bounded map entry, no buffer) so threads named before
   // a capture starts are covered by it.
   prof::NoteThisThread(name);
+  heapprof::NoteThisThread(name);
   Tracer& tracer = Tracer::Global();
   // Skipping the registration while idle keeps short-lived pools from
   // accumulating dead ThreadBuffers in processes that never introspect.

@@ -208,6 +208,73 @@ TEST(RegistryTest, TypeLineEmittedOncePerLabeledFamily) {
   registry.ResetForTesting();
 }
 
+TEST(RegistryTest, HelpLineEmittedOnceBeforeTypePerFamily) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.SetHelp("test_help_total", "Pairs emitted by the join.");
+  registry.GetCounter(LabeledName("test_help_total", {{"k", "a"}})).Add(1);
+  registry.GetCounter(LabeledName("test_help_total", {{"k", "b"}})).Add(2);
+  registry.GetCounter("test_nohelp_total").Add(3);
+  std::string text = registry.ExpositionText();
+  // Exactly one HELP line for the family, even with two label sets, and it
+  // directly precedes the family's TYPE line.
+  EXPECT_EQ(CountOccurrences(
+                text, "# HELP test_help_total Pairs emitted by the join.\n"),
+            1)
+      << text;
+  EXPECT_NE(
+      text.find("# HELP test_help_total Pairs emitted by the join.\n"
+                "# TYPE test_help_total counter\n"),
+      std::string::npos)
+      << text;
+  // Families without a registered description get no HELP line at all.
+  EXPECT_EQ(CountOccurrences(text, "# HELP test_nohelp_total"), 0) << text;
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_nohelp_total counter"), 1);
+  registry.ResetForTesting();
+}
+
+TEST(RegistryTest, HelpSurvivesResetAndReRegistrationReplaces) {
+  Registry& registry = Registry::Global();
+  registry.ResetForTesting();
+  registry.SetHelp("test_help_gauge", "First text.");
+  registry.GetGauge("test_help_gauge").Set(4.0);
+  registry.ResetForTesting();  // zeroes values, keeps registration state
+  registry.GetGauge("test_help_gauge").Set(5.0);
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# HELP test_help_gauge First text.\n"),
+            std::string::npos)
+      << text;
+  registry.SetHelp("test_help_gauge", "Second text.");
+  text = registry.ExpositionText();
+  EXPECT_EQ(CountOccurrences(text, "# HELP test_help_gauge"), 1) << text;
+  EXPECT_NE(text.find("# HELP test_help_gauge Second text.\n"),
+            std::string::npos)
+      << text;
+  registry.ResetForTesting();
+}
+
+TEST(HelpTest, EscapeHelpTextEscapesBackslashAndNewlineOnly) {
+  EXPECT_EQ(EscapeHelpText("plain text."), "plain text.");
+  EXPECT_EQ(EscapeHelpText("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeHelpText("a\nb"), "a\\nb");
+  // Unlike label values, quotes pass through unescaped in HELP lines.
+  EXPECT_EQ(EscapeHelpText("a\"b"), "a\"b");
+}
+
+TEST(HelpTest, FreeExpositionTextWithoutHelpMapHasNoHelpLines) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["test_free_total"] = 7;
+  std::string text = ExpositionText(snapshot);
+  EXPECT_EQ(CountOccurrences(text, "# HELP"), 0) << text;
+  EXPECT_NE(text.find("# TYPE test_free_total counter"), std::string::npos);
+  std::string with_help = ExpositionText(
+      snapshot, {{"test_free_total", "Merged\nmulti-line \\ text"}});
+  EXPECT_NE(with_help.find(
+                "# HELP test_free_total Merged\\nmulti-line \\\\ text\n"),
+            std::string::npos)
+      << with_help;
+}
+
 TEST(RegistryTest, ExpositionEscapesLabelValues) {
   Registry& registry = Registry::Global();
   registry.ResetForTesting();

@@ -317,6 +317,95 @@ TEST_F(StatuszTest, ProfilezScrapeMidJoinLeavesResultsByteIdentical) {
   EXPECT_EQ(baseline.stats.candidates, live.stats.candidates);
 }
 
+// Both sampling profilers armed at once, mid-join: /profilez (SIGPROF
+// machinery) and /heapz (operator new/delete countdown sampling) are
+// independent subsystems, so concurrent captures must both succeed —
+// or answer a clean 409/503 — and the join must stay byte-identical.
+TEST_F(StatuszTest, ProfilezAndHeapzConcurrentMidJoinStayByteIdentical) {
+  RandomJoinWorkload w = MakeRandomJoinWorkload(
+      22, {.num_certain = 8, .num_uncertain = 8});
+  core::SimJParams params;
+  params.tau = 2;
+  params.alpha = 0.3;
+  params.group_count = 2;
+  params.num_threads = 8;
+  params.slow_pair_log_ms = 0.0;
+
+  // Baseline: no server, neither profiler.
+  core::JoinResult baseline = core::SimJoin(w.d, w.u, params, w.dict);
+
+  StartServer();
+  trace::SetThisThreadName("statusz-test-main");
+  const int port = server_.bound_port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> cpu_captures{0};
+  std::atomic<int> heap_captures{0};
+  auto scrape = [&](const std::string& path, const char* schema,
+                    std::atomic<int>& captures) {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string response = Get(port, path);
+      if (response.find("HTTP/1.0 200 OK") != std::string::npos) {
+        EXPECT_NE(BodyOf(response).find(schema), std::string::npos)
+            << response;
+        captures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // 503: the profiler refused to arm (sanitizer build). 409: a
+        // previous capture of the same endpoint still draining. Either
+        // is a clean refusal, never a crash or a corrupted join.
+        EXPECT_TRUE(
+            response.find("HTTP/1.0 503") != std::string::npos ||
+            response.find("HTTP/1.0 409") != std::string::npos)
+            << response;
+      }
+    }
+  };
+  std::thread cpu_scraper(
+      scrape, "/profilez?seconds=0.05&hz=500&format=json",
+      "\"schema\":\"simj_profile_v1\"", std::ref(cpu_captures));
+  std::thread heap_scraper(
+      scrape, "/heapz?seconds=0.05&sample_bytes=4096&format=json",
+      "\"schema\":\"simj_heap_v1\"", std::ref(heap_captures));
+  core::JoinResult live = core::SimJoin(w.d, w.u, params, w.dict);
+  stop.store(true, std::memory_order_release);
+  cpu_scraper.join();
+  heap_scraper.join();
+
+  ASSERT_EQ(baseline.pairs.size(), live.pairs.size());
+  for (size_t i = 0; i < baseline.pairs.size(); ++i) {
+    EXPECT_EQ(baseline.pairs[i].q_index, live.pairs[i].q_index);
+    EXPECT_EQ(baseline.pairs[i].g_index, live.pairs[i].g_index);
+    EXPECT_EQ(baseline.pairs[i].similarity_probability,
+              live.pairs[i].similarity_probability);
+    EXPECT_EQ(baseline.pairs[i].mapping, live.pairs[i].mapping);
+  }
+  EXPECT_EQ(baseline.stats.results, live.stats.results);
+  EXPECT_EQ(baseline.stats.candidates, live.stats.candidates);
+}
+
+TEST_F(StatuszTest, HeapzCapturesOrRefusesCleanly) {
+  StartServer();
+  trace::SetThisThreadName("statusz-test-main");
+  const int port = server_.bound_port();
+  std::string response =
+      Get(port, "/heapz?seconds=0.05&sample_bytes=4096&format=json");
+  if (response.find("HTTP/1.0 200 OK") != std::string::npos) {
+    std::string body = BodyOf(response);
+    EXPECT_NE(body.find("\"schema\":\"simj_heap_v1\""), std::string::npos)
+        << body;
+    EXPECT_NE(body.find("\"sample_bytes\":4096"), std::string::npos) << body;
+    // Folded output is plain text with the four trailing counters.
+    std::string folded =
+        Get(port, "/heapz?seconds=0.05&sample_bytes=4096&format=folded");
+    EXPECT_NE(folded.find("HTTP/1.0 200 OK"), std::string::npos) << folded;
+    EXPECT_NE(folded.find("Content-Type: text/plain"), std::string::npos);
+  } else {
+    // Sanitizer builds compile the hooks out; /heapz must refuse with
+    // 503, not crash or hang.
+    EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos) << response;
+  }
+}
+
 TEST_F(StatuszTest, ProfilezValidatesItsQuery) {
   StartServer();
   const int port = server_.bound_port();
@@ -329,6 +418,17 @@ TEST_F(StatuszTest, ProfilezValidatesItsQuery) {
             std::string::npos);
   // Query strings never leak into path matching for the other endpoints.
   EXPECT_NE(Get(port, "/healthz?x=1").find("HTTP/1.0 200"),
+            std::string::npos);
+}
+
+TEST_F(StatuszTest, HeapzValidatesItsQuery) {
+  StartServer();
+  const int port = server_.bound_port();
+  EXPECT_NE(Get(port, "/heapz?seconds=abc").find("HTTP/1.0 400"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/heapz?sample_bytes=abc").find("HTTP/1.0 400"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/heapz?format=yaml").find("HTTP/1.0 400"),
             std::string::npos);
 }
 

@@ -16,7 +16,11 @@ When both records embed a `simj_profile_v1` profile (--profile_out=, see
 util/profiler.h), the comparison also names the top-N symbols whose
 self-time share regressed between the two profiles — warn-only triage
 notes pointing at *which code* got hotter, alongside the sample deltas
-saying *how much* slower.
+saying *how much* slower. When both embed a `simj_heap_v1` record
+(--heap_out=, see util/heap_profiler.h) it likewise names the top-N
+allocation sites (leaf frames) whose live bytes grew beyond the sampled
+profile's own statistical noise — warn-only, pointing at *which code*
+holds more memory when peak RSS moves.
 
 Exit status:
   0  no regression beyond --fail_above_pct (or no --fail_above_pct given:
@@ -115,6 +119,10 @@ def validate_record(record, origin="<record>"):
     # only insist it is an object so compare_profiles can sniff it.
     if "profile" in record and not isinstance(record["profile"], dict):
         raise SchemaError(f"{origin}: 'profile' must be an object")
+    # Optional within v1: heap-profiled runs (--heap_out=) embed the raw
+    # simj_heap_v1 object under "heap". Same contract as "profile".
+    if "heap" in record and not isinstance(record["heap"], dict):
+        raise SchemaError(f"{origin}: 'heap' must be an object")
     return record
 
 
@@ -267,6 +275,71 @@ def compare_profiles(baseline, current, top_n=5):
     return notes
 
 
+def heap_inuse_by_leaf(heap):
+    """Per-leaf-frame live bytes summed across every section of a
+    simj_heap_v1 record. The leaf frame is the function that called the
+    allocator, so growth attributes to the allocation site."""
+    counts = {}
+    for section in heap.get("sections", []):
+        for stack in section.get("stacks", []):
+            frames = stack.get("frames", [])
+            value = stack.get("inuse_bytes", 0)
+            if not frames or not isinstance(value, int):
+                continue
+            leaf = frames[-1]
+            counts[leaf] = counts.get(leaf, 0) + value
+    return counts
+
+
+def _mib(n):
+    return f"{n / 1048576.0:.1f} MiB"
+
+
+def compare_heaps(baseline, current, top_n=5, noise_sigmas=3.0):
+    """Warn-only notes naming leaf frames whose live bytes grew.
+
+    Requires both records to carry an embedded simj_heap_v1 object
+    (--heap_out= wiring in bench_util.h); silent otherwise. Gating is
+    stddev-aware for the *sampling* noise inherent to a sampled heap
+    profile: a leaf holding B bytes was estimated from roughly
+    B / sample_bytes samples, so its standard error is about
+    sqrt(B * sample_bytes). A growth only becomes a note when it exceeds
+    `noise_sigmas` combined standard errors — a one-sample wobble on a
+    coarsely-sampled profile is not a finding.
+    """
+    base_heap = baseline.get("heap")
+    cur_heap = current.get("heap")
+    if not isinstance(base_heap, dict) or not isinstance(cur_heap, dict):
+        return []
+    for origin, heap in (("baseline", base_heap), ("current", cur_heap)):
+        if heap.get("schema") != "simj_heap_v1":
+            return [f"embedded {origin} heap record has unknown schema "
+                    f"{heap.get('schema')!r}; heap diff skipped"]
+    base_sb = max(int(base_heap.get("sample_bytes", 0)), 1)
+    cur_sb = max(int(cur_heap.get("sample_bytes", 0)), 1)
+    base_counts = heap_inuse_by_leaf(base_heap)
+    cur_counts = heap_inuse_by_leaf(cur_heap)
+    moves = []
+    for leaf in set(base_counts) | set(cur_counts):
+        base_bytes = base_counts.get(leaf, 0)
+        cur_bytes = cur_counts.get(leaf, 0)
+        delta = cur_bytes - base_bytes
+        sigma = math.sqrt(max(base_bytes, 0) * base_sb
+                          + max(cur_bytes, 0) * cur_sb)
+        if delta > noise_sigmas * sigma:
+            moves.append((delta, leaf, base_bytes, cur_bytes, sigma))
+    moves.sort(key=lambda m: (-m[0], m[1]))
+    notes = []
+    for delta, leaf, base_bytes, cur_bytes, sigma in moves[:top_n]:
+        notes.append(
+            f"heap inuse grew: {leaf} {_mib(base_bytes)} -> "
+            f"{_mib(cur_bytes)} ({_mib(delta)} more, beyond "
+            f"{noise_sigmas:g} sigma ~ {_mib(noise_sigmas * sigma)} "
+            "sampling noise, warn-only)"
+        )
+    return notes
+
+
 def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0,
                     profile_top=5):
     """Returns (deltas, missing_names, added_names, notes)."""
@@ -320,6 +393,7 @@ def compare_records(baseline, current, min_delta_pct=2.0, noise_sigmas=3.0,
     added = sorted(set(cur_samples) - set(base_samples) - set(skipped))
     notes.extend(compare_scheduler_counters(baseline, current))
     notes.extend(compare_profiles(baseline, current, profile_top))
+    notes.extend(compare_heaps(baseline, current, profile_top, noise_sigmas))
     return deltas, missing, added, notes
 
 
@@ -660,6 +734,76 @@ def self_test(repo):
     except SchemaError:
         pass
 
+    # Embedded-heap diff: names leaf frames whose live bytes grew beyond
+    # the sampling noise; shrinks and sub-noise wobbles stay silent.
+    def make_heap(leaf_inuse, sample_bytes=4096):
+        return {
+            "schema": "simj_heap_v1",
+            "sample_bytes": sample_bytes,
+            "duration_seconds": 1.0,
+            "sections": [{
+                "label": "coordinator",
+                "stacks": [
+                    {"thread": "main", "inuse_bytes": inuse,
+                     "inuse_objects": max(inuse // 1024, 1),
+                     "alloc_bytes": inuse * 2,
+                     "alloc_objects": max(inuse // 512, 1),
+                     "frames": ["Run", leaf]}
+                    for leaf, inuse in sorted(leaf_inuse.items())
+                ],
+            }],
+        }
+
+    heap_base = make_record({"eff tau=2": 1.0})
+    heap_base["heap"] = make_heap({"BuildIndex": 4 << 20, "Verify": 1 << 20})
+    heap_cur = make_record({"eff tau=2": 1.0})
+    heap_cur["heap"] = make_heap({"BuildIndex": 16 << 20, "Verify": 1 << 19})
+    validate_record(heap_base, "with-heap")
+    notes = compare_heaps(heap_base, heap_cur)
+    check(len(notes) == 1 and "BuildIndex" in notes[0]
+          and "4.0 MiB -> 16.0 MiB" in notes[0] and "warn-only" in notes[0],
+          f"heap inuse growth not named: {notes}")
+    check(not any("Verify" in n for n in notes),
+          "shrinking leaf misreported as heap growth")
+    # A growth smaller than noise_sigmas standard errors of the sampling
+    # estimate is gated: 16 KiB growth on a 512 KiB-sampled profile is
+    # within one sample's wobble.
+    wobble_base = make_record({"x": 1.0})
+    wobble_base["heap"] = make_heap({"BuildIndex": 4 << 20},
+                                    sample_bytes=512 * 1024)
+    wobble_cur = make_record({"x": 1.0})
+    wobble_cur["heap"] = make_heap({"BuildIndex": (4 << 20) + (16 << 10)},
+                                   sample_bytes=512 * 1024)
+    check(compare_heaps(wobble_base, wobble_cur) == [],
+          "sub-noise heap wobble misflagged")
+    # Unheaped records (the common case) stay silent; the diff rides
+    # through compare_records as notes; unknown schemas degrade to a note.
+    check(compare_heaps(make_record({"x": 1.0}),
+                        make_record({"x": 1.0})) == [],
+          "unheaped records produced heap notes")
+    _, _, _, notes = compare_records(heap_base, heap_cur)
+    check(any("heap inuse grew: BuildIndex" in n for n in notes),
+          "heap diff not surfaced through compare_records")
+    bad_heap = make_record({"x": 1.0})
+    bad_heap["heap"] = {"schema": "simj_heap_v99"}
+    notes = compare_heaps(bad_heap, heap_cur)
+    check(len(notes) == 1 and "unknown schema" in notes[0],
+          "unknown heap schema not surfaced")
+    heap_not_dict = make_record({"x": 1.0})
+    heap_not_dict["heap"] = "folded text"
+    try:
+        validate_record(heap_not_dict, "bad-heap")
+        check(False, "non-object 'heap' accepted")
+    except SchemaError:
+        pass
+    # A leaf present only in current compares against zero bytes.
+    new_leaf_cur = make_record({"x": 1.0})
+    new_leaf_cur["heap"] = make_heap({"BuildIndex": 4 << 20,
+                                      "Spill": 8 << 20})
+    notes = compare_heaps(heap_base, new_leaf_cur)
+    check(any("Spill" in n and "0.0 MiB -> 8.0 MiB" in n for n in notes),
+          f"new allocation site not reported: {notes}")
+
     # The checked-in golden record (tests/golden) must satisfy the schema —
     # it is the contract between the C++ writer and this reader.
     golden = os.path.join(repo, "tests", "golden", "bench_result_v1.json")
@@ -676,7 +820,7 @@ def self_test(repo):
     for failure in failures:
         print(f"self-test: {failure}")
     if not failures:
-        print("self-test OK: 39 cases")
+        print("self-test OK: 47 cases")
     return 1 if failures else 0
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render simj CPU profiles as self-contained SVG flamegraphs.
+"""Render simj CPU and heap profiles as self-contained SVG flamegraphs.
 
 Input is either Brendan-Gregg folded-stack text (one
 "section;thread;root;...;leaf count" line per aggregated stack — what
@@ -10,16 +10,28 @@ is a static icicle layout — frames widen with their inclusive sample
 count, nested by call depth, with <title> tooltips carrying exact counts
 and percentages — and needs no JavaScript or external assets.
 
+Heap profiles (`simj_heap_v1`, from /heapz and --heap_out) carry four
+counters per stack — inuse_bytes inuse_objects alloc_bytes alloc_objects
+— instead of one sample count. Select the rendered counter with
+--metric; heap folded text has the four counters as trailing columns and
+needs --metric too (the default `samples` expects the one-count CPU
+shape). Run records are unwrapped through their "heap" or "profile" key
+to match the metric. Stacks whose selected counter is <= 0 (possible for
+in-use deltas drained mid-capture) are skipped — a flame frame cannot
+have negative width.
+
 Modes:
   tools/flame.py profile.json -o flame.svg       # render one profile
+  tools/flame.py --metric inuse_bytes heap.json  # heap: live bytes
   tools/flame.py --diff old.json new.json        # hot-path delta report
   tools/flame.py --self-test                     # offline unit checks
 
 --diff compares per-symbol self-time *shares* (fraction of total samples
 in which the symbol is the leaf frame), so two captures of different
 lengths compare cleanly; it prints the top-N symbols whose share moved,
-worst regression first. Exit status: 0 on success (including a diff with
-no movement), 2 on malformed input.
+worst regression first. With a heap --metric it compares shares of that
+counter instead. Exit status: 0 on success (including a diff with no
+movement), 2 on malformed input.
 """
 
 import argparse
@@ -42,28 +54,65 @@ PALETTE = [
 ]
 
 
-def parse_folded(text):
+# Heap folded lines carry these four counters, in this column order,
+# after the semicolon-joined stack (heapprof::HeapFoldedText's contract).
+HEAP_METRICS = ("inuse_bytes", "inuse_objects", "alloc_bytes",
+                "alloc_objects")
+
+
+def metric_unit(metric):
+    """Display unit for a --metric value ("samples" for CPU)."""
+    if metric.endswith("_bytes"):
+        return "bytes"
+    if metric.endswith("_objects"):
+        return "objects"
+    return "samples"
+
+
+def _is_int(token):
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_folded(text, metric="samples"):
     """Folded text -> list of (frames_tuple, count).
 
     The section and thread fields are kept as the two outermost frames so
-    one graph shows coordinator vs worker sections side by side.
+    one graph shows coordinator vs worker sections side by side. With a
+    heap metric each line must end in the four heap counters; the
+    requested column is selected and non-positive stacks are dropped.
     """
+    column = HEAP_METRICS.index(metric) if metric in HEAP_METRICS else None
     stacks = []
     for line_number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        frames_part, _, count_part = line.rpartition(" ")
-        if not frames_part:
+        tokens = line.split(" ")
+        n_counts = 1 if column is None else len(HEAP_METRICS)
+        if len(tokens) <= n_counts:
             raise ValueError(f"line {line_number}: no count field")
+        if (column is None and len(tokens) > len(HEAP_METRICS)
+                and all(_is_int(t) for t in tokens[-len(HEAP_METRICS):])):
+            raise ValueError(
+                f"line {line_number}: four trailing counters look like "
+                f"heap folded text; pass --metric "
+                f"{'/'.join(HEAP_METRICS)}")
+        frames_part = " ".join(tokens[:-n_counts])
         try:
-            count = int(count_part)
+            counts = [int(t) for t in tokens[-n_counts:]]
         except ValueError as error:
-            raise ValueError(f"line {line_number}: bad count "
-                             f"{count_part!r}") from error
+            raise ValueError(f"line {line_number}: bad count in "
+                             f"{tokens[-n_counts:]!r}") from error
+        count = counts[0] if column is None else counts[column]
         frames = tuple(f for f in frames_part.split(";") if f)
         if not frames:
             raise ValueError(f"line {line_number}: empty stack")
+        if column is not None and count <= 0:
+            continue
         stacks.append((frames, count))
     return stacks
 
@@ -84,16 +133,55 @@ def parse_profile_json(text):
     return stacks
 
 
-def load_stacks(text):
-    """Sniffs JSON vs folded text and parses accordingly."""
+def parse_heap_json(text, metric):
+    """simj_heap_v1 JSON -> list of (frames_tuple, value) for `metric`."""
+    record = json.loads(text)
+    if record.get("schema") != "simj_heap_v1":
+        raise ValueError(f"not a simj_heap_v1 record "
+                         f"(schema={record.get('schema')!r})")
+    if metric not in HEAP_METRICS:
+        raise ValueError(f"heap profiles need --metric from "
+                         f"{'/'.join(HEAP_METRICS)} (got {metric!r})")
+    stacks = []
+    for section in record.get("sections", []):
+        label = section.get("label", "?")
+        for stack in section.get("stacks", []):
+            value = int(stack.get(metric, 0))
+            if value <= 0:
+                continue
+            frames = (label, stack.get("thread", "?"),
+                      *stack.get("frames", []))
+            stacks.append((frames, value))
+    return stacks
+
+
+def load_stacks(text, metric="samples"):
+    """Sniffs JSON vs folded text; returns (stacks, resolved_metric).
+
+    The resolved metric differs from the argument only when a bare
+    simj_heap_v1 record arrives without an explicit heap metric, in which
+    case it defaults to inuse_bytes (live memory is the usual question).
+    """
     stripped = text.lstrip()
-    if stripped.startswith("{"):
-        # A run record embeds the profile under "profile"; accept both.
-        record = json.loads(stripped)
-        if "profile" in record and "schema" not in record:
-            return parse_profile_json(json.dumps(record["profile"]))
-        return parse_profile_json(stripped)
-    return parse_folded(text)
+    if not stripped.startswith("{"):
+        return parse_folded(text, metric), metric
+    record = json.loads(stripped)
+    if "schema" not in record:
+        # A run record embeds profiles under "profile" / "heap"; unwrap
+        # whichever matches the metric.
+        key = "heap" if metric in HEAP_METRICS else "profile"
+        if key not in record:
+            raise ValueError(f"run record has no {key!r} section "
+                             f"(--metric {metric})")
+        record = record[key]
+    if record.get("schema") == "simj_heap_v1":
+        if metric == "samples":
+            metric = "inuse_bytes"
+        return parse_heap_json(json.dumps(record), metric), metric
+    if metric in HEAP_METRICS:
+        raise ValueError(f"--metric {metric} needs a simj_heap_v1 record "
+                         f"(schema={record.get('schema')!r})")
+    return parse_profile_json(json.dumps(record)), metric
 
 
 class Node:
@@ -129,11 +217,11 @@ def tree_depth(node):
     return 1 + max(tree_depth(child) for child in node.children.values())
 
 
-def render_svg(stacks, title="simj CPU profile"):
+def render_svg(stacks, title="simj CPU profile", unit="samples"):
     """Static icicle SVG: root row on top, leaves at the bottom."""
     root = build_tree(stacks)
     if root.total <= 0:
-        raise ValueError("profile contains no samples")
+        raise ValueError(f"profile contains no {unit}")
     depth = tree_depth(root)
     height = depth * ROW_HEIGHT + 40
     parts = [
@@ -143,14 +231,14 @@ def render_svg(stacks, title="simj CPU profile"):
         f'<rect width="{WIDTH}" height="{height}" fill="#fdf6ec"/>',
         f'<text x="{WIDTH / 2:.0f}" y="16" text-anchor="middle" '
         f'font-size="14">{html.escape(title)} '
-        f'({root.total} samples)</text>',
+        f'({root.total} {unit})</text>',
     ]
 
     def emit(node, x, row, width):
         y = 28 + row * ROW_HEIGHT
         color = PALETTE[row % len(PALETTE)]
         pct = 100.0 * node.total / root.total
-        tooltip = f"{node.name}: {node.total} samples ({pct:.2f}%)"
+        tooltip = f"{node.name}: {node.total} {unit} ({pct:.2f}%)"
         if node.self_count:
             tooltip += f", {node.self_count} self"
         parts.append(
@@ -278,8 +366,89 @@ def self_test():
         check(True, "wrong schema raises ValueError")
     # A run record with an embedded profile loads through the same door.
     embedded = json.dumps({"harness": "x", "profile": record})
-    check(len(load_stacks(embedded)) == 2, "embedded profile loads")
-    check(load_stacks(folded) == stacks, "load_stacks sniffs folded text")
+    check(len(load_stacks(embedded)[0]) == 2, "embedded profile loads")
+    check(load_stacks(folded)[0] == stacks, "load_stacks sniffs folded text")
+
+    # Heap profiles: four counters per stack, column picked by --metric.
+    heap_record = {
+        "schema": "simj_heap_v1", "sample_bytes": 524288,
+        "sections": [
+            {"label": "coordinator", "stacks": [
+                {"thread": "main", "inuse_bytes": 4096, "inuse_objects": 2,
+                 "alloc_bytes": 8192, "alloc_objects": 4,
+                 "frames": ["JoinPairs", "BuildIndex"]},
+                {"thread": "io", "inuse_bytes": 0, "inuse_objects": 0,
+                 "alloc_bytes": 1024, "alloc_objects": 1,
+                 "frames": ["ReadGraph"]}]},
+            {"label": "worker-1", "stacks": [
+                {"thread": "serve", "inuse_bytes": -512, "inuse_objects": -1,
+                 "alloc_bytes": 2048, "alloc_objects": 2,
+                 "frames": ["Verify"]}]},
+        ],
+    }
+    heap_text = json.dumps(heap_record)
+    inuse = parse_heap_json(heap_text, "inuse_bytes")
+    check(inuse == [(("coordinator", "main", "JoinPairs", "BuildIndex"),
+                     4096)],
+          "inuse_bytes keeps only positive live stacks")
+    alloc = parse_heap_json(heap_text, "alloc_bytes")
+    check(len(alloc) == 3 and alloc[2][1] == 2048,
+          "alloc_bytes keeps every allocating stack")
+    check(parse_heap_json(heap_text, "alloc_objects")[0][1] == 4,
+          "alloc_objects selects the object counter")
+    try:
+        parse_heap_json(heap_text, "samples")
+        check(False, "heap json without heap metric should raise")
+    except ValueError:
+        check(True, "heap json without heap metric raises")
+    try:
+        parse_heap_json('{"schema":"simj_profile_v1"}', "inuse_bytes")
+        check(False, "cpu schema through heap parser should raise")
+    except ValueError:
+        check(True, "cpu schema through heap parser raises")
+
+    # load_stacks resolves bare heap JSON to inuse_bytes by default and
+    # unwraps run records through the "heap" key for heap metrics.
+    default_stacks, default_metric = load_stacks(heap_text)
+    check(default_metric == "inuse_bytes" and default_stacks == inuse,
+          "bare heap json defaults to inuse_bytes")
+    heap_embedded = json.dumps({"harness": "x", "heap": heap_record})
+    check(load_stacks(heap_embedded, "alloc_bytes")[0] == alloc,
+          "run record heap key unwraps for heap metrics")
+    try:
+        load_stacks(embedded, "inuse_bytes")
+        check(False, "run record without heap key should raise")
+    except ValueError:
+        check(True, "run record without heap key raises")
+    try:
+        load_stacks(json.dumps(record), "inuse_bytes")
+        check(False, "heap metric against cpu schema should raise")
+    except ValueError:
+        check(True, "heap metric against cpu schema raises")
+
+    heap_folded = ("coordinator;main;JoinPairs;BuildIndex 4096 2 8192 4\n"
+                   "coordinator;io;ReadGraph 0 0 1024 1\n"
+                   "worker-1;serve;Verify -512 -1 2048 2\n")
+    check(parse_folded(heap_folded, "inuse_bytes") == inuse,
+          "heap folded matches heap json for inuse_bytes")
+    check(parse_folded(heap_folded, "alloc_objects")[1][1] == 1,
+          "heap folded selects trailing column by metric")
+    try:
+        parse_folded(heap_folded)
+        check(False, "heap folded without metric should raise")
+    except ValueError:
+        check(True, "heap folded without metric raises on extra columns")
+    try:
+        parse_folded(folded, "inuse_bytes")
+        check(False, "cpu folded with heap metric should raise")
+    except ValueError:
+        check(True, "cpu folded with heap metric raises")
+
+    heap_svg = render_svg(alloc, title="heap self-test", unit="bytes")
+    check("11264 bytes" in heap_svg, "heap svg totals use byte unit")
+    check(metric_unit("inuse_bytes") == "bytes"
+          and metric_unit("alloc_objects") == "objects"
+          and metric_unit("samples") == "samples", "metric_unit mapping")
 
     root = build_tree(stacks)
     check(root.total == 10, "tree total")
@@ -340,6 +509,10 @@ def main():
                         help="compare two profiles' self-time shares")
     parser.add_argument("--top", type=int, default=10,
                         help="rows in the --diff report (default 10)")
+    parser.add_argument("--metric", default="samples",
+                        choices=("samples",) + HEAP_METRICS,
+                        help="counter to render: samples (CPU, default) "
+                             "or a simj_heap_v1 counter")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -351,24 +524,27 @@ def main():
             if len(args.inputs) != 2:
                 parser.error("--diff needs exactly two input files")
             with open(args.inputs[0]) as f:
-                old_stacks = load_stacks(f.read())
+                old_stacks, _ = load_stacks(f.read(), args.metric)
             with open(args.inputs[1]) as f:
-                new_stacks = load_stacks(f.read())
+                new_stacks, _ = load_stacks(f.read(), args.metric)
             sys.stdout.write(format_diff(diff_report(old_stacks, new_stacks,
                                                      args.top)))
             return 0
         if len(args.inputs) != 1:
             parser.error("expected exactly one input file (or --diff)")
         with open(args.inputs[0]) as f:
-            stacks = load_stacks(f.read())
-        svg = render_svg(stacks, title=args.title)
+            stacks, metric = load_stacks(f.read(), args.metric)
+        title = args.title
+        if metric != "samples" and title == parser.get_default("title"):
+            title = f"simj heap profile ({metric})"
+        svg = render_svg(stacks, title=title, unit=metric_unit(metric))
     except (ValueError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     with open(args.output, "w") as f:
         f.write(svg)
     total = sum(count for _, count in stacks)
-    print(f"wrote {args.output}: {total} samples, "
+    print(f"wrote {args.output}: {total} {metric_unit(metric)}, "
           f"{len(stacks)} distinct stacks")
     return 0
 

@@ -30,6 +30,15 @@ Rules (see DESIGN.md "Correctness tooling"):
                      runner), which is exempt by path. Mirrors
                      no-raw-sockets: one auditable file per privileged
                      syscall family.
+  no-raw-allocator-interposition
+                     global operator new/delete replacements and malloc/
+                     free-family interposition (definitions, not calls)
+                     live only in src/util/heap_profiler.cc — the sampling
+                     heap profiler, which is exempt by path. Two
+                     replacements of the global allocator in one binary is
+                     an ODR violation the linker won't always catch.
+                     Mirrors no-raw-sockets: one auditable file per
+                     privileged hook. Waivable with allow(allocator).
   unconsumed-status  a call to a function returning Status/StatusOr (names
                      harvested from src/**/*.h) must not be a bare
                      discarded statement, and `(void)` discards must use
@@ -93,6 +102,7 @@ PRAGMA_SHORTHAND = {
     "logging": "no-raw-logging",
     "sockets": "no-raw-sockets",
     "subprocess": "no-raw-subprocess",
+    "allocator": "no-raw-allocator-interposition",
     "fork": "fork-safety",
     "signal-handler": "signal-handler-safety",
     "memory-order": "explicit-memory-order",
@@ -248,7 +258,11 @@ EXCEPTION_RE = re.compile(r"\b(throw)\b|\b(try)\s*\{|\b(catch)\s*\(")
 RANDOM_RE = re.compile(r"\b(rand|srand|time)\s*\(|\bstd::random_device\b")
 IO_RE = re.compile(r"\b(printf|fprintf|puts|fputs|putchar)\s*\(|\bstd::(cout|cerr|clog)\b")
 LOGGING_RE = re.compile(r"\b(fprintf)\s*\(\s*stderr\b|\bstd::(cerr|cout)\b")
-NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+# Naked allocation. The lookahead skips placement-new syntax `new (` and
+# the token sequence `new[]` (which only occurs in `operator new[]`
+# declarations — policed by no-raw-allocator-interposition instead);
+# preprocessor lines (`#include <new>`) are skipped at the check site.
+NEW_RE = re.compile(r"\bnew\b(?!\s*(?:\(|\[\]))")
 # Socket headers and ::-qualified POSIX socket calls. The lookbehind keeps
 # std::bind (the functional one) from matching `::bind(`.
 SOCKET_INCLUDE_RE = re.compile(
@@ -269,6 +283,17 @@ SUBPROCESS_CALL_RE = re.compile(
     r"waitpid|waitid|wait[34]?|kill|killpg|system|popen)\s*\("
 )
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][A-Za-z0-9_:]*)\s*\(")
+# Global allocator replacement: any mention of `operator new`/`operator
+# delete` (replacing, declaring, or ::operator-calling the global ones all
+# belong next to the replacement), plus *definitions* of the C allocator
+# entry points (a return type directly before the name — plain calls like
+# `std::free(p)` or `::free(p)` don't match).
+OPERATOR_ALLOC_RE = re.compile(r"\boperator\s+(new|delete)\b")
+ALLOC_INTERPOSE_RE = re.compile(
+    r'^\s*(?:extern\s*"[^"]*"\s*)?(?:void\s*\*|void|int)\s+'
+    r"(malloc|calloc|realloc|free|cfree|aligned_alloc|posix_memalign|"
+    r"memalign|valloc|pvalloc)\s*\("
+)
 
 # --- fork-safety ---
 # Only these may run in a forked child before exec/_exit: the async-signal-
@@ -505,6 +530,12 @@ def lint_file(source, status_functions):
         in_dir(rel, "src", "bench", "examples")
         and rel != "src/util/subprocess.cc"
     )
+    # The sampling heap profiler is the one file allowed to replace the
+    # global allocator.
+    check_allocator = (
+        in_dir(rel, "src", "bench", "examples")
+        and rel != "src/util/heap_profiler.cc"
+    )
 
     bare_call_re = None
     if status_functions:
@@ -561,7 +592,7 @@ def lint_file(source, status_functions):
                     "(or annotate allow(logging))",
                 )
         match = NEW_RE.search(line)
-        if match:
+        if match and not line.lstrip().startswith("#"):
             emit(
                 "no-naked-new", line_number,
                 "naked 'new' — own allocations with containers or "
@@ -588,6 +619,19 @@ def lint_file(source, status_functions):
                     f"raw process control ('{what}') — fork/exec/pipe/wait "
                     "plumbing belongs in src/util/subprocess.cc (or "
                     "annotate allow(subprocess))",
+                )
+        if check_allocator:
+            match = OPERATOR_ALLOC_RE.search(line) or ALLOC_INTERPOSE_RE.match(line)
+            if match:
+                what = (f"operator {match.group(1)}"
+                        if match.re is OPERATOR_ALLOC_RE
+                        else f"{match.group(1)} definition")
+                emit(
+                    "no-raw-allocator-interposition", line_number,
+                    f"global allocator hook ('{what}') — operator "
+                    "new/delete replacement and malloc-family interposition "
+                    "belong in src/util/heap_profiler.cc (or annotate "
+                    "allow(allocator))",
                 )
         if bare_call_re:
             match = bare_call_re.match(line)
@@ -722,6 +766,22 @@ SELF_TEST_CASES = [
     ("src/workload/bad_cout.cc",
      "#include <iostream>\nvoid F() { std::cout << 1; }\n",
      "no-raw-logging"),
+    ("src/core/bad_opnew.cc",
+     "#include <new>\nvoid* operator new(std::size_t n);\n",
+     "no-raw-allocator-interposition"),
+    ("src/core/bad_opdelete.cc",
+     "void operator delete(void* p) noexcept;\n",
+     "no-raw-allocator-interposition"),
+    ("src/util/bad_malloc_def.cc",
+     "#include <cstddef>\n"
+     "extern \"C\" void* malloc(std::size_t n) { return nullptr; }\n",
+     "no-raw-allocator-interposition"),
+    ("bench/bad_free_def.cc",
+     "void free(void* p) {}\n",
+     "no-raw-allocator-interposition"),
+    ("src/core/bad_opnew_call.cc",
+     "void* F(std::size_t n) { return ::operator new(n); }\n",
+     "no-raw-allocator-interposition"),
     ("src/core/bad_socket_header.cc",
      "#include <sys/socket.h>\nvoid F();\n", "no-raw-sockets"),
     ("src/core/bad_socket_call.cc",
@@ -845,6 +905,22 @@ SELF_TEST_CLEAN = [
     # A function merely named like a handler but never registered is free.
     ("src/util/ok_not_registered.cc",
      "void OnProf(int) { malloc(8); }  // simj-lint: allow(new)\n"),
+    # The sampling heap profiler is path-exempt from allocator
+    # interposition (and `operator new[]`/`#include <new>` don't trip
+    # no-naked-new, whose target is naked allocation expressions).
+    ("src/util/heap_profiler.cc",
+     "#include <new>\n"
+     "void* operator new(std::size_t n) { return SimjAlloc(n); }\n"
+     "void* operator new[](std::size_t n) { return SimjAlloc(n); }\n"
+     "void operator delete(void* p) noexcept { SimjFree(p); }\n"),
+    # Calls into the allocator (not definitions) are not interposition.
+    ("src/core/ok_free_call.cc",
+     "#include <cstdlib>\nvoid F(void* p) { std::free(p); }\n"),
+    ("src/core/ok_malloc_wrapper.cc",
+     "void* MyAlloc(std::size_t n);\n"),
+    # An interposition violation can be waived per line.
+    ("src/core/ok_alloc_pragma.cc",
+     "void* operator new(std::size_t n);  // simj-lint: allow(allocator)\n"),
     # Explicit orders satisfy the rule even when the call wraps lines.
     ("src/core/ok_mo_multiline.cc",
      "#include <atomic>\nstd::atomic<int> c;\nvoid F() {\n  c.store(1,\n"

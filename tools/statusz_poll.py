@@ -23,11 +23,20 @@ hottest frames by self time. A 404 means the binary serves /statusz but
 was built without the profiler — reported and exited 0, not an error; a
 409 means another capture is already in flight.
 
+With --heap=SECONDS it triggers an on-demand heap capture via /heapz (see
+util/heap_profiler.h), saves the four-counter folded output to
+--heap_out (render with tools/flame.py --metric inuse_bytes), and prints
+the top-5 allocation sites by live (in-use) bytes. 404 (built without
+the heap profiler, e.g. under a sanitizer) and 503 (profiler refused to
+arm) are tolerated and exit 0; 409 means a capture is already running.
+
 Usage:
   tools/statusz_poll.py [--port PORT] [--host HOST]
       [--watch] [--interval SECONDS]
   tools/statusz_poll.py --profile SECONDS [--hz HZ]
       [--profile_out FILE.folded]
+  tools/statusz_poll.py --heap SECONDS [--sample_bytes N]
+      [--heap_out FILE.folded]
   tools/statusz_poll.py --self-test
 """
 
@@ -125,6 +134,107 @@ def run_profile(host: str, port: int, seconds: float, hz: int,
     print("top frames by self time:")
     for frame, count, share in top_frames(body):
         print(f"  {share:5.1f}%  {count:>6}  {frame}")
+    return 0
+
+
+def parse_heap_folded_leaves(text: str):
+    """(leaf -> [inuse_b, inuse_obj, alloc_b, alloc_obj], totals) from
+    /heapz folded text.
+
+    Heap folded lines end in four counters (util/heap_profiler.h's
+    contract); counters aggregate onto the stack's leaf frame — the
+    function that called the allocator. Malformed lines are skipped.
+    """
+    counts = {}
+    totals = [0, 0, 0, 0]
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split(" ")
+        if len(tokens) < 5:
+            continue
+        try:
+            values = [int(t) for t in tokens[-4:]]
+        except ValueError:
+            continue
+        leaf = " ".join(tokens[:-4]).split(";")[-1]
+        slot = counts.setdefault(leaf, [0, 0, 0, 0])
+        for i, v in enumerate(values):
+            slot[i] += v
+            totals[i] += v
+    return counts, totals
+
+
+def format_bytes(n: int) -> str:
+    """1234567 -> '1.2 MB'; negatives keep their sign (drained deltas)."""
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    if n < 1024:
+        return f"{sign}{n} B"
+    for unit, scale in (("KB", 1024), ("MB", 1024 ** 2), ("GB", 1024 ** 3)):
+        if n < scale * 1024 or unit == "GB":
+            return f"{sign}{n / scale:.1f} {unit}"
+    return f"{sign}{n} B"  # unreachable
+
+
+def top_heap_frames(text: str, n: int = 5):
+    """Top-n (frame, inuse_bytes, inuse_objects, share_pct) by live bytes."""
+    counts, totals = parse_heap_folded_leaves(text)
+    total_inuse = totals[0]
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1][0], kv[0]))
+    return [
+        (frame, vals[0], vals[1],
+         100.0 * vals[0] / total_inuse if total_inuse > 0 else 0.0)
+        for frame, vals in ranked[:n]
+    ]
+
+
+def run_heap(host: str, port: int, seconds: float, sample_bytes: int,
+             out_path: str) -> int:
+    url = (f"http://{host}:{port}/heapz?seconds={seconds:g}"
+           f"&sample_bytes={sample_bytes}&format=folded")
+    print(f"statusz_poll: capturing heap for {seconds:g}s "
+          f"(1 sample per ~{sample_bytes} bytes) via {url}")
+    try:
+        # The server blocks for the whole capture window; give it margin.
+        with urllib.request.urlopen(url, timeout=seconds + 15.0) as response:
+            body = response.read().decode("utf-8", errors="replace")
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", errors="replace").strip()
+        if error.code == 404:
+            print("statusz_poll: /heapz not found (404) — binary built "
+                  "without the heap profiler; nothing captured")
+            return 0
+        if error.code == 503:
+            print(f"statusz_poll: heap profiler unavailable (503): {detail}")
+            return 0
+        if error.code == 409:
+            print(f"statusz_poll: capture already in flight (409): {detail}",
+                  file=sys.stderr)
+        else:
+            print(f"statusz_poll: /heapz failed ({error.code}): {detail}",
+                  file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"statusz_poll: cannot reach {url}: {error}", file=sys.stderr)
+        return 2
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(body)
+    counts, totals = parse_heap_folded_leaves(body)
+    print(f"statusz_poll: {format_bytes(totals[0])} live in "
+          f"{totals[1]} sampled objects ({format_bytes(totals[2])} "
+          f"allocated) across {len(counts)} leaf frames saved to "
+          f"{out_path} (render: tools/flame.py --metric inuse_bytes "
+          f"{out_path})")
+    if totals[3] == 0:
+        print("statusz_poll: no sampled allocations (quiet window or "
+              "sample_bytes too large)")
+        return 0
+    print("top frames by live bytes:")
+    for frame, inuse_b, inuse_obj, share in top_heap_frames(body):
+        print(f"  {share:5.1f}%  {format_bytes(inuse_b):>10}  "
+              f"{inuse_obj:>6} objs  {frame}")
     return 0
 
 
@@ -270,6 +380,39 @@ def self_test() -> int:
     empty_counts, empty_total = parse_folded_leaves("# nothing\n\n")
     assert empty_counts == {} and empty_total == 0
 
+    # Heap folded parsing for --heap: four counters aggregate onto the
+    # leaf frame; malformed lines are skipped; negative in-use deltas
+    # (possible in drained remote sections) sum through.
+    heap_folded = (
+        "# comment\n"
+        "coordinator;main;Join;BuildIndex 4096 2 8192 4\n"
+        "coordinator;t1;Join;BuildIndex 1024 1 1024 1\n"
+        "coordinator;main;Join;Verify 512 1 2048 3\n"
+        "worker-1;serve;Verify -256 -1 1024 2\n"
+        "not heap folded\n"
+        "also;not;heap 12\n"
+    )
+    heap_counts, heap_totals = parse_heap_folded_leaves(heap_folded)
+    assert heap_totals == [5376, 3, 12288, 10], heap_totals
+    assert heap_counts["BuildIndex"] == [5120, 3, 9216, 5], heap_counts
+    assert heap_counts["Verify"] == [256, 0, 3072, 5], heap_counts
+    heap_ranked = top_heap_frames(heap_folded, n=1)
+    assert heap_ranked == [("BuildIndex", 5120, 3,
+                            100.0 * 5120 / 5376)], heap_ranked
+    heap_tie = top_heap_frames("a;B 5 1 5 1\na;A 5 1 5 1\n")
+    assert [f for f, *_ in heap_tie] == ["A", "B"], heap_tie
+    empty_heap = parse_heap_folded_leaves("# nothing\n\n")
+    assert empty_heap == ({}, [0, 0, 0, 0]), empty_heap
+    # Zero-total in-use renders 0% shares rather than dividing by zero.
+    freed = top_heap_frames("a;X 0 0 64 1\n")
+    assert freed == [("X", 0, 0, 0.0)], freed
+
+    assert format_bytes(512) == "512 B", format_bytes(512)
+    assert format_bytes(5376) == "5.2 KB", format_bytes(5376)
+    assert format_bytes(3 * 1024 * 1024) == "3.0 MB"
+    assert format_bytes(-2048) == "-2.0 KB", format_bytes(-2048)
+    assert format_bytes(5 * 1024 ** 3) == "5.0 GB"
+
     print("statusz_poll.py self-test: OK")
     return 0
 
@@ -289,6 +432,14 @@ def main() -> int:
                         help="sampling frequency for --profile")
     parser.add_argument("--profile_out", default="statusz_profile.folded",
                         help="where --profile saves the folded stacks")
+    parser.add_argument("--heap", type=float, metavar="SECONDS",
+                        help="trigger a /heapz capture of this many "
+                             "seconds instead of polling /statusz")
+    parser.add_argument("--sample_bytes", type=int, default=512 * 1024,
+                        help="heap sampling interval for --heap "
+                             "(bytes per sample, default 512 KiB)")
+    parser.add_argument("--heap_out", default="statusz_heap.folded",
+                        help="where --heap saves the folded stacks")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -297,6 +448,9 @@ def main() -> int:
     if args.profile is not None:
         return run_profile(args.host, args.port, args.profile, args.hz,
                            args.profile_out)
+    if args.heap is not None:
+        return run_heap(args.host, args.port, args.heap, args.sample_bytes,
+                        args.heap_out)
 
     try:
         while True:
